@@ -1,0 +1,144 @@
+// Ablation bench for the design choices DESIGN.md §6 calls out. Each
+// ablation runs the Fig. 4 MatMul P=2 configuration (co-runner on core 0)
+// unless stated otherwise, and reports throughput deltas.
+//
+//   A: steal-exemption of high-priority tasks ON (paper) vs OFF
+//   B: cold PTT (zero-init exploration, paper) vs warm PTT (pre-trained by
+//      an identical clean run — an upper bound for smarter initialisation)
+//   C: re-mold at dequeue/steal time (paper, Fig. 3 steps 4-5) vs width
+//      frozen at wake-up
+//   D: round-robin (paper-faithful deterministic) vs random tie-breaking in
+//      the min-searches
+//   E: update ratio 1/5 (paper) vs 5/5 (last-sample-only) on the noisy
+//      tile-32 workload — the Fig. 8 effect, isolated
+
+#include <iostream>
+
+#include "../bench/support.hpp"
+#include "core/criticality.hpp"
+
+using namespace das;
+using namespace das::bench;
+
+namespace {
+
+double run(const Bench& b, Policy policy, const workloads::SyntheticDagSpec& spec,
+           const SpeedScenario* scenario, sim::SimOptions opts,
+           bool warm_ptt = false) {
+  sim::SimEngine eng(b.topo, policy, b.registry, opts, scenario);
+  if (warm_ptt) {
+    // Pre-train on a clean run of the same DAG shape (no interference).
+    Dag warmup = workloads::make_synthetic_dag(spec);
+    sim::SimEngine trainer(b.topo, policy, b.registry, opts, scenario);
+    (void)trainer;  // train in-place instead: run a prefix DAG on `eng`
+    workloads::SyntheticDagSpec prefix = spec;
+    prefix.total_tasks = spec.parallelism * 50;
+    Dag pre = workloads::make_synthetic_dag(prefix);
+    eng.run(pre);
+    eng.stats().reset();
+  }
+  Dag dag = workloads::make_synthetic_dag(spec);
+  const double t0 = eng.now();
+  eng.run(dag);
+  return dag.num_nodes() / (eng.now() - t0);
+}
+
+}  // namespace
+
+int main() {
+  Bench b;
+  SpeedScenario corunner(b.topo);
+  corunner.add_cpu_corunner(0);
+  const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, 0.5);
+
+  print_title("Ablation A: steal-exemption of high-priority tasks (DAM-C)");
+  {
+    TextTable t({"variant", "tasks/s"});
+    sim::SimOptions on = Bench::make_options();
+    sim::SimOptions off = Bench::make_options();
+    off.policy_options.steal_exempt_high_priority = false;
+    t.row().add("steal-exempt (paper)").add(run(b, Policy::kDamC, spec, &corunner, on), 0);
+    t.row().add("stealable criticals").add(run(b, Policy::kDamC, spec, &corunner, off), 0);
+    t.print(std::cout);
+  }
+
+  print_title("Ablation B: cold vs warm PTT (DAM-C)");
+  {
+    TextTable t({"variant", "tasks/s"});
+    const sim::SimOptions opts = Bench::make_options();
+    t.row().add("cold (zero-init, paper)").add(run(b, Policy::kDamC, spec, &corunner, opts), 0);
+    t.row().add("warm (50-layer pre-train)").add(run(b, Policy::kDamC, spec, &corunner, opts, true), 0);
+    t.print(std::cout);
+  }
+
+  print_title("Ablation C: re-mold on dequeue/steal (RWSM-C and DAM-C)");
+  {
+    TextTable t({"policy", "re-mold (paper)", "width frozen at wake-up"});
+    for (Policy p : {Policy::kRwsmC, Policy::kDamC}) {
+      sim::SimOptions on = Bench::make_options();
+      sim::SimOptions off = Bench::make_options();
+      off.policy_options.remold_on_dequeue = false;
+      t.row()
+          .add(policy_name(p))
+          .add(run(b, p, spec, &corunner, on), 0)
+          .add(run(b, p, spec, &corunner, off), 0);
+    }
+    t.print(std::cout);
+  }
+
+  print_title("Ablation D: tie-breaking in the min-searches (DAM-P)");
+  {
+    TextTable t({"variant", "tasks/s"});
+    sim::SimOptions rr = Bench::make_options();
+    sim::SimOptions rnd = Bench::make_options();
+    rnd.policy_options.random_tie_break = true;
+    t.row().add("round-robin (deterministic)").add(run(b, Policy::kDamP, spec, &corunner, rr), 0);
+    t.row().add("random").add(run(b, Policy::kDamP, spec, &corunner, rnd), 0);
+    t.print(std::cout);
+  }
+
+  print_title("Ablation E: PTT smoothing on noisy short tasks (tile 32, DAM-C)");
+  {
+    // P=2: the release-bound regime where decision quality shows (cf. the
+    // Fig. 8 bench).
+    const auto noisy = workloads::paper_matmul_spec(b.ids.matmul, 2, 0.5, 32);
+    TextTable t({"update ratio", "tasks/s"});
+    for (int num : {1, 5}) {
+      sim::SimOptions opts = Bench::make_options();
+      opts.ptt_ratio = UpdateRatio{num, 5};
+      t.row()
+          .add(num == 1 ? "1/5 (paper)" : "5/5 (last sample only)")
+          .add(run(b, Policy::kDamC, noisy, &corunner, opts), 0);
+    }
+    t.print(std::cout);
+  }
+
+  print_title("Ablation F: user-marked vs inferred vs absent criticality "
+              "(DAM-C)");
+  {
+    // The paper relies on user marks; core/criticality.hpp infers them from
+    // the DAG structure (CATS-style). "absent" demotes everything to low
+    // priority — the criticality-aware machinery goes unused.
+    TextTable t({"priority source", "tasks/s"});
+    auto run_variant = [&](const char* label, auto&& mutate) {
+      Dag dag = workloads::make_synthetic_dag(spec);
+      mutate(dag);
+      sim::SimEngine eng(b.topo, Policy::kDamC, b.registry,
+                         Bench::make_options(), &corunner);
+      const double makespan = eng.run(dag);
+      t.row().add(label).add(dag.num_nodes() / makespan, 0);
+    };
+    run_variant("user marks (generator)", [](Dag&) {});
+    run_variant("inferred (critical path)", [](Dag& dag) {
+      for (NodeId i = 0; i < dag.num_nodes(); ++i)
+        dag.node(i).priority = Priority::kLow;  // erase ground truth
+      infer_criticality(dag);
+    });
+    run_variant("absent (all low)", [](Dag& dag) {
+      for (NodeId i = 0; i < dag.num_nodes(); ++i)
+        dag.node(i).priority = Priority::kLow;
+    });
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the runtime's hot components.
+//
+// The headline check is the paper's §4.1.1 claim that a GLOBAL search of the
+// whole PTT costs "in the order of one microsecond" on the TX2's 10 places —
+// BM_PolicyGlobalSearch/10 measures exactly that decision; the larger
+// instances show how the cost scales with the number of places (the paper's
+// stated scalability concern).
+
+#include <benchmark/benchmark.h>
+
+#include "core/policy.hpp"
+#include "core/ptt.hpp"
+#include "core/two_level_search.hpp"
+#include "platform/speed_model.hpp"
+#include "platform/topology.hpp"
+#include "rt/wsq.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace das;
+
+Topology topology_with_places(int places) {
+  switch (places) {
+    case 10: return Topology::tx2();          // 10 places (paper platform)
+    case 36: return Topology::haswell16();    // 2 x 18 places... (see below)
+    default: return Topology::haswell_cluster(4);  // 144 places
+  }
+}
+
+void BM_PttLookup(benchmark::State& state) {
+  const Topology topo = Topology::tx2();
+  Ptt ptt(topo);
+  for (int pid = 0; pid < topo.num_places(); ++pid) ptt.update(pid, 1e-3);
+  int pid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptt.value(pid));
+    pid = (pid + 1) % topo.num_places();
+  }
+}
+BENCHMARK(BM_PttLookup);
+
+void BM_PttUpdate(benchmark::State& state) {
+  const Topology topo = Topology::tx2();
+  Ptt ptt(topo);
+  for (auto _ : state) {
+    ptt.update(3, 1e-3);
+  }
+}
+BENCHMARK(BM_PttUpdate);
+
+void BM_PolicyGlobalSearch(benchmark::State& state) {
+  const Topology topo = topology_with_places(static_cast<int>(state.range(0)));
+  PttStore store(topo, 1);
+  Xoshiro256 rng(1);
+  for (int pid = 0; pid < topo.num_places(); ++pid)
+    store.table(0).update(pid, 1e-3 * (1.0 + rng.uniform()));
+  PolicyEngine eng(Policy::kDamC, topo, &store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.on_ready(0, Priority::kHigh, 0));
+  }
+  state.counters["places"] = topo.num_places();
+}
+BENCHMARK(BM_PolicyGlobalSearch)->Arg(10)->Arg(36)->Arg(144);
+
+// Future-work prototype (paper §4.1.1 scalability concern): the two-level
+// cluster-cached search vs the flat scan above, on the 144-place topology,
+// with updates localised to one cluster between decisions — the cache skips
+// the 7 clean clusters.
+void BM_TwoLevelSearchLocalisedUpdates(benchmark::State& state) {
+  const Topology topo = Topology::haswell_cluster(4);
+  Ptt ptt(topo);
+  Xoshiro256 rng(2);
+  for (int pid = 0; pid < topo.num_places(); ++pid)
+    ptt.update(pid, 1e-3 * (1.0 + rng.uniform()));
+  TwoLevelSearch search(topo);
+  const ExecutionPlace touched{0, 1};
+  for (auto _ : state) {
+    ptt.update(touched, 1e-3);
+    search.invalidate(touched);
+    benchmark::DoNotOptimize(search.find_min(ptt, PolicyEngine::Objective::kCost));
+  }
+  state.counters["places"] = topo.num_places();
+}
+BENCHMARK(BM_TwoLevelSearchLocalisedUpdates);
+
+void BM_PolicyLocalSearch(benchmark::State& state) {
+  const Topology topo = Topology::tx2();
+  PttStore store(topo, 1);
+  for (int pid = 0; pid < topo.num_places(); ++pid)
+    store.table(0).update(pid, 1e-3 + pid * 1e-5);
+  PolicyEngine eng(Policy::kDamC, topo, &store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.on_execute(0, Priority::kLow, 3));
+  }
+}
+BENCHMARK(BM_PolicyLocalSearch);
+
+void BM_WsDequePushPop(benchmark::State& state) {
+  rt::WsDeque<int> q;
+  int item = 7;
+  for (auto _ : state) {
+    q.push_bottom(&item);
+    benchmark::DoNotOptimize(q.pop_bottom());
+  }
+}
+BENCHMARK(BM_WsDequePushPop);
+
+void BM_WsDequeStealUncontended(benchmark::State& state) {
+  rt::WsDeque<int> q;
+  std::vector<int> items(1024);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& i : items) q.push_bottom(&i);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < items.size(); ++i)
+      benchmark::DoNotOptimize(q.steal_top());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(items.size()));
+}
+BENCHMARK(BM_WsDequeStealUncontended);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::EventQueue<int> q;
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.push(rng.uniform(), i);
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_SpeedScenarioQuery(benchmark::State& state) {
+  const Topology topo = Topology::tx2();
+  SpeedScenario sc(topo);
+  sc.add_dvfs(DvfsSchedule{.cluster = 0});
+  sc.add_cpu_corunner(0);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc.speed(2, t));
+    t += 1e-4;
+  }
+}
+BENCHMARK(BM_SpeedScenarioQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches: a registered kernel
+// set, canonical scenarios, and a one-call throughput runner. Every bench is
+// deterministic from kFigureSeed.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "platform/speed_model.hpp"
+#include "sim/engine.hpp"
+#include "util/format.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+namespace das::bench {
+
+inline constexpr std::uint64_t kFigureSeed = 2020;  // ICPP'20
+
+struct Bench {
+  Bench() : topo(Topology::tx2()) {
+    ids = kernels::register_paper_kernels(registry);
+  }
+
+  /// Runs `spec` on the TX2 model under `scenario` with `policy`; returns
+  /// tasks per (virtual) second.
+  double throughput(Policy policy, const workloads::SyntheticDagSpec& spec,
+                    const SpeedScenario* scenario,
+                    sim::SimOptions opts = make_options()) const {
+    Dag dag = workloads::make_synthetic_dag(spec);
+    sim::SimEngine eng(topo, policy, registry, opts, scenario);
+    const double makespan = eng.run(dag);
+    return dag.num_nodes() / makespan;
+  }
+
+  static sim::SimOptions make_options() {
+    sim::SimOptions o;
+    o.seed = kFigureSeed;
+    return o;
+  }
+
+  Topology topo;
+  TaskTypeRegistry registry;
+  kernels::PaperKernelIds ids;
+};
+
+/// Header used by the per-figure tables: one column per scheduler.
+inline std::vector<std::string> policy_header(const std::string& first) {
+  std::vector<std::string> h{first};
+  for (Policy p : all_policies()) h.emplace_back(policy_name(p));
+  return h;
+}
+
+inline void print_title(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace das::bench

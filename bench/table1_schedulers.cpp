@@ -1,0 +1,26 @@
+// Reproduces the paper's Table 1: "Features summary of all evaluated
+// schedulers" — printed from the live policy introspection so the table can
+// never drift from the implementation.
+
+#include <iostream>
+
+#include "core/policy.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace das;
+  std::cout << "Table 1: Features summary of all evaluated schedulers\n\n";
+  TextTable t({"Name", "[A]symmetry awareness", "[M]oldability",
+               "Priority placement", "uses PTT"});
+  for (Policy p : all_policies()) {
+    const PolicyTraits tr = policy_traits(p);
+    t.row()
+        .add(policy_name(p))
+        .add(tr.asymmetry)
+        .add(tr.moldability)
+        .add(tr.priority_placement)
+        .add(tr.uses_ptt ? "yes" : "no");
+  }
+  t.print(std::cout);
+  return 0;
+}

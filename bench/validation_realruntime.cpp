@@ -1,0 +1,58 @@
+// Cross-engine validation (DESIGN.md A2): the real-thread runtime, with
+// throttle-emulated TX2 asymmetry and the core-0 co-runner, must rank the
+// schedulers the same way the deterministic DES does on the Fig. 4 MatMul
+// P=2 configuration. Absolute numbers differ (the runtime executes real
+// busy-work and pays real synchronisation); the ordering and rough factors
+// are what validate the DES as the figure-generation substrate.
+
+#include <iostream>
+
+#include "../bench/support.hpp"
+#include "platform/affinity.hpp"
+#include "rt/runtime.hpp"
+
+using namespace das;
+using namespace das::bench;
+
+int main() {
+  Bench b;
+  SpeedScenario scenario(b.topo);
+  scenario.add_cpu_corunner(0);
+
+  // Scaled so each policy's real run takes well under a second of wall time.
+  workloads::SyntheticDagSpec spec =
+      workloads::paper_matmul_spec(b.ids.matmul, 2, 0.05);
+
+  print_title("Validation: real-thread runtime (emulated TX2) vs DES — "
+              "MatMul P=2, co-runner on core 0");
+  if (allowed_cpu_count() < b.topo.num_cores() + 1) {
+    std::cout << "note: only " << allowed_cpu_count()
+              << " CPUs available for 6 workers — expect wall-clock noise\n";
+  }
+
+  TextTable t({"scheduler", "real tasks/s", "DES tasks/s", "real vs RWS",
+               "DES vs RWS"});
+  double real_rws = 0.0, sim_rws = 0.0;
+  for (Policy p : {Policy::kRws, Policy::kFa, Policy::kDa, Policy::kDamC}) {
+    Dag dag = workloads::make_synthetic_dag(spec);  // cost-model fallback work
+    rt::RtOptions opts;
+    opts.scenario = &scenario;
+    opts.seed = kFigureSeed;
+    rt::Runtime rt(b.topo, p, b.registry, opts);
+    const double elapsed = rt.run(dag);
+    const double real_tp = dag.num_nodes() / elapsed;
+    const double sim_tp = b.throughput(p, spec, &scenario);
+    if (p == Policy::kRws) {
+      real_rws = real_tp;
+      sim_rws = sim_tp;
+    }
+    t.row()
+        .add(policy_name(p))
+        .add(real_tp, 0)
+        .add(sim_tp, 0)
+        .add(fmt_double(real_tp / real_rws, 2) + "x")
+        .add(fmt_double(sim_tp / sim_rws, 2) + "x");
+  }
+  t.print(std::cout);
+  return 0;
+}

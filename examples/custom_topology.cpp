@@ -1,0 +1,70 @@
+// Bring-your-own platform: the scheduler makes no assumptions about the
+// hardware (paper §3: "without prior assumptions about the underlying
+// architecture"), so a custom topology — here a three-class machine with
+// big, medium and little clusters — works out of the box. The example runs
+// the same workload under every scheduler and prints the comparison, then
+// shows how the PTT ranked the places.
+
+#include <cstdio>
+
+#include "kernels/registry.hpp"
+#include "sim/engine.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+int main() {
+  using namespace das;
+
+  // 2 big + 2 medium + 4 little cores, each cluster with its own L2.
+  Cluster big{.name = "big", .first_core = 0, .num_cores = 2,
+              .base_speed = 1.0, .widths = {1, 2},
+              .l1_kb = 64, .l2_kb = 4096, .mem_bw_gbs = 25};
+  Cluster mid{.name = "mid", .first_core = 2, .num_cores = 2,
+              .base_speed = 0.7, .widths = {1, 2},
+              .l1_kb = 48, .l2_kb = 2048, .mem_bw_gbs = 20};
+  Cluster little{.name = "little", .first_core = 4, .num_cores = 4,
+                 .base_speed = 0.4, .widths = {1, 2, 4},
+                 .l1_kb = 32, .l2_kb = 1024, .mem_bw_gbs = 15,
+                 .stream_fit = 0.5};
+  const Topology topo({big, mid, little});
+  std::printf("custom topology: %d cores, %d clusters, %d execution places\n",
+              topo.num_cores(), topo.num_clusters(), topo.num_places());
+
+  // Interference hits the big cluster; the medium cores become the best
+  // hosts for critical tasks — something only the dynamic schedulers find.
+  TaskTypeRegistry registry;
+  const auto ids = kernels::register_paper_kernels(registry);
+  SpeedScenario scenario(topo);
+  scenario.add_cpu_corunner(0);
+  scenario.add_cpu_corunner(1);
+
+  std::printf("\n%-8s %12s   %s\n", "policy", "tasks/s", "criticals mostly at");
+  sim::SimEngine* last = nullptr;
+  std::unique_ptr<sim::SimEngine> engines[7];
+  int i = 0;
+  for (Policy p : all_policies()) {
+    workloads::SyntheticDagSpec spec = workloads::paper_matmul_spec(ids.matmul, 2, 0.1);
+    engines[i] = std::make_unique<sim::SimEngine>(topo, p, registry,
+                                                  sim::SimOptions{}, &scenario);
+    sim::SimEngine& eng = *engines[i++];
+    Dag dag = workloads::make_synthetic_dag(spec);
+    const double makespan = eng.run(dag);
+    const auto dist = eng.stats().distribution(Priority::kHigh);
+    std::printf("%-8s %12.0f   %s %.0f%%\n", policy_name(p),
+                dag.num_nodes() / makespan,
+                dist.empty() ? "-" : to_string(dist[0].first).c_str(),
+                dist.empty() ? 0.0 : dist[0].second * 100.0);
+    last = &eng;
+  }
+
+  std::printf("\nPTT ranking learned by %s:\n", policy_name(last->policy(0).policy()));
+  const Ptt& ptt = last->ptt().table(ids.matmul);
+  for (const ExecutionPlace& p : topo.places()) {
+    if (ptt.samples(p) == 0) continue;
+    std::printf("  %-7s cluster=%-7s %8.0f us\n", to_string(p).c_str(),
+                topo.cluster_of_core(p.leader).name.c_str(),
+                ptt.value(p) * 1e6);
+  }
+  std::printf("\nNote how FA keeps hammering the interfered big cores while "
+              "DA/DAM-* discover the medium cluster.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Watching the PTT adapt to DVFS (the paper's §5.2 scenario, observable):
+// the fast cluster's frequency toggles on a square wave while a steady
+// stream of task layers executes; snapshots of the PTT and of the critical
+// tasks' placement show the scheduler detecting each phase change within a
+// few tasks (the weighted 1:4 update needs ~3 measurements, §4.1.1) and
+// re-steering.
+//
+// Runs on the deterministic DES so the printed trace is reproducible.
+
+#include <cstdio>
+
+#include "kernels/registry.hpp"
+#include "sim/engine.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+int main() {
+  using namespace das;
+
+  TaskTypeRegistry registry;
+  const auto ids = kernels::register_paper_kernels(registry);
+  const Topology topo = Topology::tx2();
+
+  SpeedScenario scenario(topo);
+  scenario.add_dvfs(DvfsSchedule{.cluster = 0,
+                                 .period_s = 0.8,   // 0.4 s HI + 0.4 s LO
+                                 .duty_hi = 0.5,
+                                 .hi = 1.0,
+                                 .lo = 345.0 / 2035.0});
+
+  sim::SimOptions options;
+  options.seed = 7;
+  sim::SimEngine engine(topo, Policy::kDamP, registry, options, &scenario);
+
+  std::printf("DVFS square wave on the Denver cluster (0.4 s at 2035 MHz, "
+              "0.4 s at 345 MHz)\nscheduler: DAM-P; kernel: matmul 64x64\n\n");
+  std::printf("%-8s %-6s %-14s %-14s %-14s %s\n", "t [s]", "phase", "PTT(C1,1)",
+              "PTT(C0,2)", "PTT(C2,4)", "criticals at");
+
+  // 20 slices of ~100 layers each; print a snapshot after each slice.
+  for (int slice = 0; slice < 20; ++slice) {
+    workloads::SyntheticDagSpec spec = workloads::paper_matmul_spec(ids.matmul, 2, 0.005);
+    Dag dag = workloads::make_synthetic_dag(spec);
+    engine.stats().reset();
+    engine.run(dag);
+
+    const Ptt& ptt = engine.ptt().table(ids.matmul);
+    const auto dist = engine.stats().distribution(Priority::kHigh);
+    const bool lo_phase = scenario.speed(0, engine.now()) < 0.5;
+    char buf[64] = "-";
+    if (!dist.empty()) {
+      std::snprintf(buf, sizeof buf, "%s %.0f%%", to_string(dist[0].first).c_str(),
+                    dist[0].second * 100.0);
+    }
+    std::printf("%-8.3f %-6s %10.0f us %11.0f us %11.0f us   %s\n",
+                engine.now(), lo_phase ? "LO" : "HI",
+                ptt.value(ExecutionPlace{1, 1}) * 1e6,
+                ptt.value(ExecutionPlace{0, 2}) * 1e6,
+                ptt.value(ExecutionPlace{2, 4}) * 1e6, buf);
+  }
+
+  std::printf("\nDuring LO phases the Denver entries inflate within a few "
+              "samples and the criticals migrate to the A57 cluster (or to "
+              "molded wide places); each HI phase pulls them back.\n");
+  return 0;
+}

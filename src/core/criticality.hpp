@@ -1,0 +1,45 @@
+#pragma once
+// Automatic task-criticality inference.
+//
+// The paper relies on user-specified priorities ("Unlike CATS, our work does
+// not address the problem of determining task criticality dynamically",
+// §4.2.3) and describes high-priority tasks as those that "release a large
+// amount of dependent tasks, or tasks that lie on the DAG's critical path"
+// (§2). This module implements both notions as a DAG pass, in the spirit of
+// CATS' bottom-level criticality (Chronaki et al., ICS'15), so workloads
+// without hand-marked priorities can still benefit from the criticality-
+// aware schedulers. The ablation bench compares inferred marks against the
+// generator's ground truth.
+
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/task_type.hpp"
+
+namespace das {
+
+struct CriticalityOptions {
+  /// Mark every node on a longest path (bottom+top level spanning the DAG's
+  /// longest path). When false, only fanout marking applies.
+  bool mark_critical_path = true;
+  /// Additionally mark nodes releasing at least `fanout_threshold`
+  /// dependents (the paper's "release a large amount of dependent tasks");
+  /// 0 disables fanout marking.
+  int fanout_threshold = 0;
+  /// Weight nodes by their type's cost model evaluated at width 1 on the
+  /// given core class instead of counting nodes. Null = unit weights.
+  const TaskTypeRegistry* registry = nullptr;
+  const Cluster* reference_cluster = nullptr;  ///< required iff registry set
+};
+
+/// Longest (weighted) path from each node to any sink, including the node
+/// itself. Unit weights unless options carry a registry.
+std::vector<double> bottom_levels(const Dag& dag, const CriticalityOptions& opts = {});
+/// Longest (weighted) path from any source to each node, including itself.
+std::vector<double> top_levels(const Dag& dag, const CriticalityOptions& opts = {});
+
+/// Overwrites every node's priority: kHigh for nodes selected by `opts`,
+/// kLow otherwise. Returns the number of nodes marked high.
+int infer_criticality(Dag& dag, const CriticalityOptions& opts = {});
+
+}  // namespace das

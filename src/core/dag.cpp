@@ -1,0 +1,102 @@
+#include "core/dag.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+NodeId Dag::add_node(TaskTypeId type, Priority priority, TaskParams params,
+                     WorkFn work) {
+  DAS_CHECK(type != kInvalidTaskType);
+  DagNode n;
+  n.type = type;
+  n.priority = priority;
+  n.params = params;
+  n.work = std::move(work);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void Dag::add_edge(NodeId from, NodeId to, double delay_s) {
+  DAS_CHECK(from >= 0 && from < num_nodes());
+  DAS_CHECK(to >= 0 && to < num_nodes());
+  DAS_CHECK_MSG(from != to, "self-edges are not allowed");
+  DAS_CHECK(delay_s >= 0.0);
+  nodes_[static_cast<std::size_t>(from)].successors.push_back(DagEdge{to, delay_s});
+  nodes_[static_cast<std::size_t>(to)].num_predecessors++;
+  num_edges_++;
+}
+
+DagNode& Dag::node(NodeId id) {
+  DAS_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const DagNode& Dag::node(NodeId id) const {
+  DAS_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Dag::roots() const {
+  std::vector<NodeId> r;
+  for (NodeId i = 0; i < num_nodes(); ++i)
+    if (nodes_[static_cast<std::size_t>(i)].num_predecessors == 0) r.push_back(i);
+  return r;
+}
+
+bool Dag::is_acyclic() const {
+  std::vector<int> indeg(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) indeg[i] = nodes_[i].num_predecessors;
+  std::vector<NodeId> stack = roots();
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const DagEdge& e : nodes_[static_cast<std::size_t>(n)].successors)
+      if (--indeg[static_cast<std::size_t>(e.to)] == 0) stack.push_back(e.to);
+  }
+  return visited == nodes_.size();
+}
+
+std::vector<NodeId> Dag::topological_order() const {
+  std::vector<int> indeg(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) indeg[i] = nodes_[i].num_predecessors;
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> stack = roots();
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (const DagEdge& e : nodes_[static_cast<std::size_t>(n)].successors)
+      if (--indeg[static_cast<std::size_t>(e.to)] == 0) stack.push_back(e.to);
+  }
+  DAS_CHECK_MSG(order.size() == nodes_.size(), "DAG contains a cycle");
+  return order;
+}
+
+int Dag::longest_path_nodes() const {
+  if (nodes_.empty()) return 0;
+  const std::vector<NodeId> order = topological_order();
+  std::vector<int> depth(nodes_.size(), 1);
+  int best = 1;
+  for (NodeId n : order) {
+    const auto& node = nodes_[static_cast<std::size_t>(n)];
+    for (const DagEdge& e : node.successors) {
+      auto& d = depth[static_cast<std::size_t>(e.to)];
+      d = std::max(d, depth[static_cast<std::size_t>(n)] + 1);
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+double Dag::dag_parallelism() const {
+  const int lp = longest_path_nodes();
+  if (lp == 0) return 0.0;
+  return static_cast<double>(num_nodes()) / static_cast<double>(lp);
+}
+
+}  // namespace das

@@ -1,0 +1,81 @@
+#pragma once
+// Task DAG representation (paper §2).
+//
+// A Dag is built ahead of execution (static DAG); engines additionally allow
+// tasks to insert successors at runtime (dynamic DAG — used by K-means).
+// Each node carries a type (keys the PTT), a priority (high = critical), the
+// cost-model parameters, and — for the real-thread engine — a work closure
+// executed cooperatively by all participants of the chosen execution place.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/task_type.hpp"
+
+namespace das {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Context a participant receives when executing (real-thread engine).
+struct ExecContext {
+  int rank = 0;    ///< 0..width-1; rank 0 need not be the leader core
+  int width = 1;
+  int leader = 0;  ///< leader core of the execution place
+  int core = 0;    ///< the participant's core
+};
+
+using WorkFn = std::function<void(const ExecContext&)>;
+
+/// Dependency edge. `delay_s` models a release latency between the
+/// producer's completion and the consumer becoming ready — used for
+/// cross-rank messages in the DES distributed-memory experiments. The
+/// real-thread engine ignores it (real communication runs through das::net).
+struct DagEdge {
+  NodeId to = kInvalidNode;
+  double delay_s = 0.0;
+};
+
+struct DagNode {
+  TaskTypeId type = kInvalidTaskType;
+  Priority priority = Priority::kLow;
+  TaskParams params;
+  WorkFn work;                  ///< may be empty (DES-only DAGs)
+  std::vector<DagEdge> successors;
+  int num_predecessors = 0;     ///< maintained by add_edge
+  int rank = 0;                 ///< scheduling domain (MPI-rank analogue)
+  int affinity_core = -1;       ///< waking-core hint; -1 = released-by core
+  int phase = 0;                ///< stats phase tag (application iteration)
+};
+
+class Dag {
+ public:
+  NodeId add_node(TaskTypeId type, Priority priority = Priority::kLow,
+                  TaskParams params = {}, WorkFn work = {});
+  /// Adds the dependency edge from -> to. Rejects self-edges.
+  void add_edge(NodeId from, NodeId to, double delay_s = 0.0);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+  DagNode& node(NodeId id);
+  const DagNode& node(NodeId id) const;
+
+  /// Nodes with no predecessors (the initially-ready set).
+  std::vector<NodeId> roots() const;
+  /// True iff the edge relation is acyclic (Kahn's algorithm).
+  bool is_acyclic() const;
+  /// A topological order; DAS_CHECKs acyclicity.
+  std::vector<NodeId> topological_order() const;
+  /// Longest path length measured in nodes (the critical path of the paper's
+  /// parallelism definition). DAS_CHECKs acyclicity.
+  int longest_path_nodes() const;
+  /// DAG parallelism = total tasks / longest path (paper §2, Fig. 1).
+  double dag_parallelism() const;
+
+ private:
+  std::vector<DagNode> nodes_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace das

@@ -1,0 +1,271 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace das {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kRws: return "RWS";
+    case Policy::kRwsmC: return "RWSM-C";
+    case Policy::kFa: return "FA";
+    case Policy::kFamC: return "FAM-C";
+    case Policy::kDa: return "DA";
+    case Policy::kDamC: return "DAM-C";
+    case Policy::kDamP: return "DAM-P";
+    case Policy::kDheft: return "dHEFT";
+  }
+  return "?";
+}
+
+const std::vector<Policy>& all_policies() {
+  static const std::vector<Policy> kAll = {
+      Policy::kRws, Policy::kRwsmC, Policy::kFa,  Policy::kFamC,
+      Policy::kDa,  Policy::kDamC,  Policy::kDamP};
+  return kAll;
+}
+
+std::optional<Policy> policy_from_name(const std::string& name) {
+  for (Policy p : all_policies())
+    if (name == policy_name(p)) return p;
+  if (name == policy_name(Policy::kDheft)) return Policy::kDheft;
+  return std::nullopt;
+}
+
+PolicyTraits policy_traits(Policy p) {
+  switch (p) {
+    case Policy::kRws:
+      return {"N/A", "N/A", "N/A", /*uses_ptt=*/false, /*priority_aware=*/false};
+    case Policy::kRwsmC:
+      return {"N/A", "Yes", "Resource Cost", true, false};
+    case Policy::kFa:
+      return {"Fixed", "No", "N/A", false, true};
+    case Policy::kFamC:
+      return {"Fixed", "Yes", "Resource Cost", true, true};
+    case Policy::kDa:
+      return {"Dynamic", "No", "N/A", true, true};
+    case Policy::kDamC:
+      return {"Dynamic", "Yes", "Resource Cost", true, true};
+    case Policy::kDamP:
+      return {"Dynamic", "Yes", "Performance", true, true};
+    case Policy::kDheft:
+      return {"Dynamic", "No", "Earliest Finish", true, false};
+  }
+  return {"?", "?", "?", false, false};
+}
+
+PolicyEngine::PolicyEngine(Policy policy, const Topology& topo, PttStore* ptt,
+                           std::uint64_t seed, PolicyOptions options)
+    : policy_(policy),
+      traits_(policy_traits(policy)),
+      topo_(&topo),
+      ptt_(ptt),
+      options_(options),
+      rng_state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {
+  DAS_CHECK_MSG(!traits_.uses_ptt || ptt_ != nullptr,
+                std::string(policy_name(policy)) + " requires a PttStore");
+  const Cluster& fast = topo.cluster(topo.fastest_cluster());
+  for (int c = fast.first_core; c < fast.end_core(); ++c) fast_cores_.push_back(c);
+  for (const ExecutionPlace& p : topo.places())
+    if (fast.contains(p.leader)) fast_cluster_places_.push_back(p);
+  if (policy_ == Policy::kDheft) {
+    reserved_ = std::make_unique<std::atomic<double>[]>(
+        static_cast<std::size_t>(topo.num_cores()));
+    for (int c = 0; c < topo.num_cores(); ++c)
+      reserved_[static_cast<std::size_t>(c)].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+ExecutionPlace PolicyEngine::dheft_place(TaskTypeId type) {
+  // HEFT's earliest-finish rule with runtime-discovered execution times
+  // (dHEFT): finish(core) = reserved work on the core + the PTT's width-1
+  // estimate. Unexplored cores borrow the mean of the explored entries so
+  // the very first placements still spread by reserved work.
+  const Ptt& table = ptt_->table(type);
+  double explored_sum = 0.0;
+  int explored = 0;
+  for (const ExecutionPlace& p : topo_->width1_places()) {
+    if (table.samples(topo_->place_id(p)) > 0) {
+      explored_sum += table.value(topo_->place_id(p));
+      ++explored;
+    }
+  }
+  const double fallback = explored > 0 ? explored_sum / explored : 1e-4;
+
+  double best_finish = std::numeric_limits<double>::infinity();
+  ExecutionPlace best{0, 1};
+  double best_est = fallback;
+  for (const ExecutionPlace& p : topo_->width1_places()) {
+    const int pid = topo_->place_id(p);
+    const double est = table.samples(pid) > 0 ? table.value(pid) : fallback;
+    const double finish =
+        reserved_[static_cast<std::size_t>(p.leader)].load(std::memory_order_relaxed) +
+        est;
+    if (finish < best_finish) {
+      best_finish = finish;
+      best = p;
+      best_est = est;
+    }
+  }
+  reserved_[static_cast<std::size_t>(best.leader)].fetch_add(
+      best_est, std::memory_order_relaxed);
+  return best;
+}
+
+int PolicyEngine::round_robin_fast_core() {
+  const std::uint32_t n = rr_counter_.fetch_add(1, std::memory_order_relaxed);
+  return fast_cores_[n % fast_cores_.size()];
+}
+
+WakeDecision PolicyEngine::on_ready(TaskTypeId type, Priority priority,
+                                    int waking_core) {
+  DAS_CHECK(waking_core >= 0 && waking_core < topo_->num_cores());
+
+  // dHEFT centrally places EVERY task (priority plays no role) and does not
+  // allow stealing to second-guess the placement.
+  if (policy_ == Policy::kDheft) {
+    const ExecutionPlace p = dheft_place(type);
+    return WakeDecision{p.leader, /*stealable=*/false, true, p};
+  }
+
+  // Low-priority tasks — and ALL tasks under the priority-oblivious
+  // schedulers — stay on the waking core's queue to preserve data reuse
+  // across dependent tasks (paper §3.2); idle workers may steal them.
+  if (priority == Priority::kLow || !traits_.priority_aware) {
+    return WakeDecision{waking_core, /*stealable=*/true, false, {}};
+  }
+
+  const bool exempt = options_.steal_exempt_high_priority;
+  switch (policy_) {
+    case Policy::kFa: {
+      // Statically-fast cores, round-robin, width 1 (CATS-style).
+      const int core = round_robin_fast_core();
+      return WakeDecision{core, !exempt, true, ExecutionPlace{core, 1}};
+    }
+    case Policy::kFamC: {
+      // FA's strict mapping to the statically-fast cores (round-robin),
+      // plus moldability: the width is chosen by the local cost search at
+      // the assigned core. Note the core choice itself stays PTT-blind —
+      // that is what keeps half the criticals on a perturbed fast core in
+      // the paper's Fig. 5(d) (35% (C0,1) / 48% (C1,1) / 17% (C0,2)).
+      const int core = round_robin_fast_core();
+      const ExecutionPlace p = search(type, topo_->local_places(core),
+                                      Objective::kCost);
+      return WakeDecision{p.leader, !exempt, true, p};
+    }
+    case Policy::kDa: {
+      // Global search over single cores for the best predicted time.
+      const ExecutionPlace p = search(type, topo_->width1_places(), Objective::kTime);
+      return WakeDecision{p.leader, !exempt, true, p};
+    }
+    case Policy::kDamC: {
+      // Global search minimising PTT(c,w) * w (Algorithm 1, line 8).
+      const ExecutionPlace p = search(type, topo_->places(), Objective::kCost);
+      return WakeDecision{p.leader, !exempt, true, p};
+    }
+    case Policy::kDamP: {
+      // Global search minimising PTT(c,w) (Algorithm 1, line 11).
+      const ExecutionPlace p = search(type, topo_->places(), Objective::kTime);
+      return WakeDecision{p.leader, !exempt, true, p};
+    }
+    case Policy::kRws:
+    case Policy::kRwsmC:
+      break;  // unreachable: handled by the priority-oblivious branch above
+  }
+  return WakeDecision{waking_core, true, false, {}};
+}
+
+ExecutionPlace PolicyEngine::on_execute(TaskTypeId type, Priority priority,
+                                        int core) {
+  DAS_CHECK(core >= 0 && core < topo_->num_cores());
+  (void)priority;  // high-priority tasks with fixed places never reach here
+
+  switch (policy_) {
+    case Policy::kRws:
+    case Policy::kFa:
+    case Policy::kDa:
+    case Policy::kDheft:
+      // Non-moldable schedulers always run where they dequeue, width 1.
+      return ExecutionPlace{core, 1};
+    case Policy::kRwsmC:
+    case Policy::kFamC:
+    case Policy::kDamC:
+    case Policy::kDamP:
+      return local_search(type, core);
+  }
+  return ExecutionPlace{core, 1};
+}
+
+ExecutionPlace PolicyEngine::local_search(TaskTypeId type, int core) {
+  // Algorithm 1, line 4: keep the resource partition and core fixed, mold
+  // only the width; minimise predicted time x width (parallel cost).
+  return search(type, topo_->local_places(core), Objective::kCost);
+}
+
+ExecutionPlace PolicyEngine::search(TaskTypeId type,
+                                    const std::vector<ExecutionPlace>& candidates,
+                                    Objective objective) {
+  DAS_CHECK(!candidates.empty());
+  DAS_CHECK(ptt_ != nullptr);
+  const Ptt& table = ptt_->table(type);
+
+  // Minimise the objective key. Zero-valued (unexplored) entries produce a
+  // zero key and therefore win, yielding the paper's explore-everything
+  // start-up behaviour. Exact key ties are broken by fewest samples, then
+  // round-robin (or randomly under options_.random_tie_break) so the initial
+  // exploration fans out instead of hammering candidate #0.
+  double best_key = std::numeric_limits<double>::infinity();
+  std::uint64_t best_samples = 0;
+  std::vector<const ExecutionPlace*> ties;
+  for (const ExecutionPlace& p : candidates) {
+    const int pid = topo_->place_id(p);
+    const double v = table.value(pid);
+    const double key =
+        objective == Objective::kCost ? v * static_cast<double>(p.width) : v;
+    const std::uint64_t s = table.samples(pid);
+    if (key < best_key || (key == best_key && s < best_samples)) {
+      best_key = key;
+      best_samples = s;
+      ties.clear();
+      ties.push_back(&p);
+    } else if (key == best_key && s == best_samples) {
+      ties.push_back(&p);
+    }
+  }
+  DAS_ASSERT(!ties.empty());
+  if (ties.size() == 1) return *ties.front();
+
+  std::size_t idx;
+  if (options_.random_tie_break) {
+    // splitmix64 step on the shared state; contention is irrelevant here
+    // because ties only persist during the brief exploration phase.
+    std::uint64_t s = rng_state_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                           std::memory_order_relaxed);
+    SplitMix64 sm(s);
+    idx = static_cast<std::size_t>(sm.next() % ties.size());
+  } else {
+    idx = tie_counter_.fetch_add(1, std::memory_order_relaxed) % ties.size();
+  }
+  return *ties[idx];
+}
+
+void PolicyEngine::record_sample(TaskTypeId type, const ExecutionPlace& place,
+                                 double seconds) {
+  if (!traits_.uses_ptt) return;
+  ptt_->table(type).update(place, seconds);
+  if (policy_ == Policy::kDheft) {
+    // Drain the reservation by the observed time; clamp drift at zero.
+    auto& r = reserved_[static_cast<std::size_t>(place.leader)];
+    double cur = r.load(std::memory_order_relaxed);
+    double next;
+    do {
+      next = std::max(cur - seconds, 0.0);
+    } while (!r.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+  }
+}
+
+}  // namespace das

@@ -1,0 +1,137 @@
+#pragma once
+// The seven scheduler configurations of the paper's Table 1, implemented as
+// one engine-agnostic decision object (Algorithm 1 + §4.1.2 / §4.2.3).
+//
+// | Name   | Asymmetry awareness | Moldability | Priority placement       |
+// | RWS    | N/A                 | N/A         | N/A                      |
+// | RWSM-C | N/A                 | Yes         | Resource Cost            |
+// | FA     | Fixed               | No          | N/A (fast cores, RR)     |
+// | FAM-C  | Fixed               | Yes         | Resource Cost            |
+// | DA     | Dynamic             | No          | N/A (fastest core)       |
+// | DAM-C  | Dynamic             | Yes         | Resource Cost            |
+// | DAM-P  | Dynamic             | Yes         | Performance              |
+//
+// Both execution engines (src/rt real threads, src/sim discrete events) call
+// the same three hooks:
+//   on_ready    — wake-up time: which worker queue receives the task, is it
+//                 steal-exempt, and (for high-priority tasks under the
+//                 criticality-aware policies) the fixed execution place.
+//   on_execute  — dequeue time: the final width molding for tasks without a
+//                 fixed place (paper Fig. 3 steps 4-5: thieves re-run the
+//                 local search).
+//   record_sample — task completion: folds the observed span into the PTT.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/ptt.hpp"
+#include "core/task_type.hpp"
+#include "platform/topology.hpp"
+
+namespace das {
+
+enum class Policy : std::uint8_t {
+  kRws = 0,
+  kRwsmC,
+  kFa,
+  kFamC,
+  kDa,
+  kDamC,
+  kDamP,
+  // Baseline beyond the paper's Table 1: dHEFT (Chronaki et al.) — every
+  // ready task, regardless of priority, is centrally placed on the single
+  // core with the earliest predicted FINISH time (reserved work + predicted
+  // execution time), discovered at runtime like the PTT. Not moldable, not
+  // work-stealing. Used by bench/baseline_dheft for the related-work
+  // comparison the paper cites.
+  kDheft,
+};
+
+const char* policy_name(Policy p);
+/// The paper's seven schedulers, in Table 1 order (excludes baselines).
+const std::vector<Policy>& all_policies();
+/// Parses "DAM-C" etc.; returns nullopt for unknown names.
+std::optional<Policy> policy_from_name(const std::string& name);
+
+/// Introspection used to print the paper's Table 1.
+struct PolicyTraits {
+  const char* asymmetry;           // "N/A" | "Fixed" | "Dynamic"
+  const char* moldability;         // "N/A" | "No" | "Yes"
+  const char* priority_placement;  // "N/A" | "Resource Cost" | "Performance"
+  bool uses_ptt;                   // needs the performance model
+  bool priority_aware;             // treats high-priority tasks specially
+};
+PolicyTraits policy_traits(Policy p);
+
+struct WakeDecision {
+  int queue_core = 0;       ///< worker whose queue receives the task
+  bool stealable = true;    ///< false => steal-exempt inbox (paper §4.1.2)
+  bool has_fixed_place = false;
+  ExecutionPlace fixed_place{};
+};
+
+/// Tunables mostly exercised by the ablation bench; the defaults reproduce
+/// the paper's scheduler.
+struct PolicyOptions {
+  bool steal_exempt_high_priority = true;  ///< paper disables stealing of
+                                           ///< high-priority tasks
+  bool remold_on_dequeue = true;           ///< re-run the local search when a
+                                           ///< (stolen) task is dequeued
+  bool random_tie_break = false;           ///< default: round-robin
+};
+
+class PolicyEngine {
+ public:
+  /// `ptt` may be null only for policies with traits().uses_ptt == false.
+  PolicyEngine(Policy policy, const Topology& topo, PttStore* ptt,
+               std::uint64_t seed = 1, PolicyOptions options = {});
+
+  Policy policy() const { return policy_; }
+  const PolicyTraits& traits() const { return traits_; }
+  const Topology& topology() const { return *topo_; }
+  const PolicyOptions& options() const { return options_; }
+
+  /// Wake-up decision for a task released by (or spawned from) `waking_core`.
+  WakeDecision on_ready(TaskTypeId type, Priority priority, int waking_core);
+
+  /// Final place for a task WITHOUT a fixed place, dequeued by `core`.
+  /// Low-priority molding: local search minimising PTT(c,w) * w.
+  ExecutionPlace on_execute(TaskTypeId type, Priority priority, int core);
+
+  /// Folds an observed task span into the model (no-op for RWS / FA).
+  void record_sample(TaskTypeId type, const ExecutionPlace& place, double seconds);
+
+  // Exposed for tests and analysis ------------------------------------------
+  enum class Objective { kCost, kTime };
+  /// The min-search of Algorithm 1 over an explicit candidate set, with the
+  /// zero-entry exploration semantics and fewest-samples tie-breaking.
+  ExecutionPlace search(TaskTypeId type,
+                        const std::vector<ExecutionPlace>& candidates,
+                        Objective objective);
+
+ private:
+  ExecutionPlace local_search(TaskTypeId type, int core);
+  int round_robin_fast_core();
+  ExecutionPlace dheft_place(TaskTypeId type);
+
+  Policy policy_;
+  PolicyTraits traits_;
+  const Topology* topo_;
+  PttStore* ptt_;
+  PolicyOptions options_;
+  std::vector<ExecutionPlace> fast_cluster_places_;  // FAM-C candidate set
+  std::vector<int> fast_cores_;                      // FA round-robin targets
+  std::atomic<std::uint32_t> rr_counter_{0};
+  std::atomic<std::uint32_t> tie_counter_{0};
+  std::atomic<std::uint64_t> rng_state_;             // splitmix for random ties
+
+  // dHEFT: per-core reserved work (seconds of placed-but-unfinished tasks).
+  // Incremented by the estimate at placement, drained by the observed time
+  // at completion; the small drift between the two is self-correcting.
+  std::unique_ptr<std::atomic<double>[]> reserved_;
+};
+
+}  // namespace das

@@ -1,0 +1,38 @@
+#include "core/task_type.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+TaskTypeId TaskTypeRegistry::register_type(TaskTypeInfo info) {
+  DAS_CHECK(!info.name.empty());
+  DAS_CHECK_MSG(find(info.name) == kInvalidTaskType,
+                "duplicate task type name: " + info.name);
+  types_.push_back(std::move(info));
+  return static_cast<TaskTypeId>(types_.size()) - 1;
+}
+
+const TaskTypeInfo& TaskTypeRegistry::info(TaskTypeId id) const {
+  DAS_CHECK(id >= 0 && id < size());
+  return types_[static_cast<std::size_t>(id)];
+}
+
+TaskTypeId TaskTypeRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].name == name) return static_cast<TaskTypeId>(i);
+  return kInvalidTaskType;
+}
+
+double TaskTypeRegistry::noise_sigma(TaskTypeId id, double cost_s) const {
+  const TaskTypeInfo& t = info(id);
+  if (t.noise0 <= 0.0 && t.noise1 <= 0.0) return 0.0;
+  const double ms = std::max(cost_s * 1e3, 1e-3);
+  // Cap the relative dispersion: even a microsecond task's measurement is
+  // bounded by scheduler quanta, not unbounded lognormal tails (an uncapped
+  // 1/T blows up for the sub-10us bookkeeping tasks).
+  return std::min(t.noise0 + t.noise1 / ms, 0.75);
+}
+
+}  // namespace das

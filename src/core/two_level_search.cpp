@@ -1,0 +1,69 @@
+#include "core/two_level_search.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+TwoLevelSearch::TwoLevelSearch(const Topology& topo) : topo_(&topo) {
+  cluster_place_ids_.resize(static_cast<std::size_t>(topo.num_clusters()));
+  for (int pid = 0; pid < topo.num_places(); ++pid) {
+    const int ci = topo.cluster_index_of(topo.place_at(pid).leader);
+    cluster_place_ids_[static_cast<std::size_t>(ci)].push_back(pid);
+  }
+  caches_ = std::make_unique<ClusterCache[]>(
+      static_cast<std::size_t>(topo.num_clusters()));
+}
+
+void TwoLevelSearch::invalidate(const ExecutionPlace& place) {
+  DAS_CHECK(topo_->is_valid_place(place));
+  const int ci = topo_->cluster_index_of(place.leader);
+  caches_[static_cast<std::size_t>(ci)].dirty.store(true,
+                                                    std::memory_order_release);
+}
+
+void TwoLevelSearch::invalidate_all() {
+  for (int ci = 0; ci < topo_->num_clusters(); ++ci)
+    caches_[static_cast<std::size_t>(ci)].dirty.store(true,
+                                                      std::memory_order_release);
+}
+
+ExecutionPlace TwoLevelSearch::find_min(const Ptt& ptt,
+                                        PolicyEngine::Objective objective) {
+  double best_key = std::numeric_limits<double>::infinity();
+  ExecutionPlace best{0, 1};
+  for (int ci = 0; ci < topo_->num_clusters(); ++ci) {
+    ClusterCache& cache = caches_[static_cast<std::size_t>(ci)];
+    if (cache.dirty.exchange(false, std::memory_order_acq_rel)) {
+      // Rescan this cluster's places; refresh both objectives in one pass.
+      ++rescans_;
+      double cost_key = std::numeric_limits<double>::infinity();
+      double time_key = std::numeric_limits<double>::infinity();
+      for (int pid : cluster_place_ids_[static_cast<std::size_t>(ci)]) {
+        const ExecutionPlace& p = topo_->place_at(pid);
+        const double v = ptt.value(pid);
+        const double ck = v * p.width;
+        if (ck < cost_key) {
+          cost_key = ck;
+          cache.best_cost = p;
+        }
+        if (v < time_key) {
+          time_key = v;
+          cache.best_time = p;
+        }
+      }
+      cache.cost_key = cost_key;
+      cache.time_key = time_key;
+    }
+    const bool cost = objective == PolicyEngine::Objective::kCost;
+    const double key = cost ? cache.cost_key : cache.time_key;
+    if (key < best_key) {
+      best_key = key;
+      best = cost ? cache.best_cost : cache.best_time;
+    }
+  }
+  return best;
+}
+
+}  // namespace das

@@ -1,0 +1,64 @@
+#pragma once
+// Two-level (cluster-cached) PTT search — a prototype of the "scalable
+// performance prediction models" the paper defers to future work (§4.1.1:
+// the flat global search "may result in non negligible overheads when
+// scaling to platforms with large amount of execution places and cores").
+//
+// Idea: the arg-min over all places decomposes over clusters. Each cluster
+// caches its own best place per objective and is only rescanned after one of
+// its entries changed (record_sample invalidates the owning cluster). A
+// global search then costs O(#clusters + #places in dirty clusters) instead
+// of O(#places): on the 4-node / 144-place cluster topology this cuts the
+// decision cost roughly by the cluster fan-out when updates are localised —
+// bench/micro_components quantifies it.
+//
+// Thread-safety: invalidate() may be called concurrently with find_min();
+// a concurrent invalidation is picked up by the NEXT search (momentarily
+// stale decisions are acceptable for scheduling, like the PTT itself).
+// Concurrent find_min() calls must be externally serialised per instance.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/ptt.hpp"
+#include "platform/topology.hpp"
+
+namespace das {
+
+class TwoLevelSearch {
+ public:
+  explicit TwoLevelSearch(const Topology& topo);
+
+  /// Marks the cluster owning `place` stale (cheap; call on PTT update).
+  void invalidate(const ExecutionPlace& place);
+  void invalidate_all();
+
+  /// Arg-min of PTT value (kTime) or value x width (kCost) over all places,
+  /// rescanning only stale clusters. Matches the flat search's result for
+  /// every state reachable through invalidate() notifications. Exploration
+  /// note: zero (unexplored) entries win their cluster scan exactly as in
+  /// the flat search.
+  ExecutionPlace find_min(const Ptt& ptt, PolicyEngine::Objective objective);
+
+  /// Cluster rescans performed so far (tests/benchmarks).
+  std::uint64_t rescans() const { return rescans_; }
+
+ private:
+  struct ClusterCache {
+    std::atomic<bool> dirty{true};
+    ExecutionPlace best_cost{};
+    double cost_key = 0.0;
+    ExecutionPlace best_time{};
+    double time_key = 0.0;
+  };
+
+  const Topology* topo_;
+  std::vector<std::vector<int>> cluster_place_ids_;  // per cluster
+  std::unique_ptr<ClusterCache[]> caches_;
+  std::uint64_t rescans_ = 0;
+};
+
+}  // namespace das

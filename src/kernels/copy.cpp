@@ -1,0 +1,28 @@
+#include "kernels/copy.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace das::kernels {
+
+void copy_partition(const double* src, double* dst, std::size_t n, int rank,
+                    int width) {
+  DAS_CHECK(width >= 1);
+  DAS_CHECK(rank >= 0 && rank < width);
+  const std::size_t w = static_cast<std::size_t>(width);
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const std::size_t base = n / w;
+  const std::size_t extra = n % w;
+  const std::size_t begin = r * base + (r < extra ? r : extra);
+  const std::size_t len = base + (r < extra ? 1 : 0);
+  if (len > 0) std::memcpy(dst + begin, src + begin, len * sizeof(double));
+}
+
+double checksum(const double* data, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += data[i];
+  return acc;
+}
+
+}  // namespace das::kernels

@@ -1,0 +1,17 @@
+#pragma once
+// Copy kernel — the paper's memory-intensive workload class (§4.2.2):
+// streams large arrays through main memory.
+
+#include <cstddef>
+
+namespace das::kernels {
+
+/// Copies the rank's share of `n` doubles from src to dst (block partition).
+void copy_partition(const double* src, double* dst, std::size_t n, int rank,
+                    int width);
+
+/// Checksum used by tests to verify a copy without a second pass being
+/// optimised away.
+double checksum(const double* data, std::size_t n);
+
+}  // namespace das::kernels

@@ -1,0 +1,36 @@
+#include "kernels/matmul.hpp"
+
+#include "util/assert.hpp"
+
+namespace das::kernels {
+
+RowRange partition_rows(int n, int rank, int width) {
+  DAS_CHECK(width >= 1);
+  DAS_CHECK(rank >= 0 && rank < width);
+  const int base = n / width;
+  const int extra = n % width;
+  const int begin = rank * base + (rank < extra ? rank : extra);
+  const int len = base + (rank < extra ? 1 : 0);
+  return RowRange{begin, begin + len};
+}
+
+void matmul_partition(const double* a, const double* b, double* c, int n,
+                      int rank, int width) {
+  const RowRange r = partition_rows(n, rank, width);
+  for (int i = r.begin; i < r.end; ++i) {
+    double* ci = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) ci[j] = 0.0;
+    const double* ai = a + static_cast<std::size_t>(i) * n;
+    for (int k = 0; k < n; ++k) {
+      const double aik = ai[k];
+      const double* bk = b + static_cast<std::size_t>(k) * n;
+      for (int j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void matmul_reference(const double* a, const double* b, double* c, int n) {
+  matmul_partition(a, b, c, n, 0, 1);
+}
+
+}  // namespace das::kernels

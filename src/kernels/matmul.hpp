@@ -1,0 +1,30 @@
+#pragma once
+// MatMul kernel — the paper's compute-intensive workload class (§4.2.2).
+//
+// C = A x B on tile x tile row-major doubles. Moldable: participants split
+// the rows of C by rank, so a width-w execution place runs w disjoint row
+// bands concurrently with no synchronisation beyond the assembly's
+// completion counter.
+
+#include <cstddef>
+
+namespace das::kernels {
+
+/// Computes rows [rank*n/width, (rank+1)*n/width) of C = A*B.
+/// A, B, C are n x n row-major. The i-k-j loop order keeps the inner loop
+/// streaming over B and C rows.
+void matmul_partition(const double* a, const double* b, double* c, int n,
+                      int rank, int width);
+
+/// Naive reference for tests (single-threaded, whole matrix).
+void matmul_reference(const double* a, const double* b, double* c, int n);
+
+/// Row range assigned to `rank` of `width` for an n-row iteration space:
+/// the first (n % width) ranks take one extra row. Shared by all kernels.
+struct RowRange {
+  int begin = 0;
+  int end = 0;
+};
+RowRange partition_rows(int n, int rank, int width);
+
+}  // namespace das::kernels

@@ -1,0 +1,25 @@
+#include "kernels/registry.hpp"
+
+namespace das::kernels {
+
+PaperKernelIds register_paper_kernels(TaskTypeRegistry& registry,
+                                      CostModelConfig cfg, CommParams comm) {
+  PaperKernelIds ids;
+  ids.matmul = registry.register_type(
+      TaskTypeInfo{"matmul", matmul_cost(cfg), cfg.noise0, cfg.noise1});
+  ids.copy = registry.register_type(
+      TaskTypeInfo{"copy", copy_cost(cfg), cfg.noise0, cfg.noise1});
+  ids.stencil = registry.register_type(
+      TaskTypeInfo{"stencil", stencil_cost(cfg), cfg.noise0, cfg.noise1});
+  ids.comm = registry.register_type(
+      TaskTypeInfo{"comm", comm_cost(comm.latency_s, comm.bw_gbs), cfg.noise0, 0.0});
+  ids.kmeans_map = registry.register_type(
+      TaskTypeInfo{"kmeans_map", kmeans_map_cost(), cfg.noise0, cfg.noise1});
+  ids.kmeans_reduce = registry.register_type(
+      TaskTypeInfo{"kmeans_reduce", kmeans_reduce_cost(), cfg.noise0, cfg.noise1});
+  ids.heat_compute = registry.register_type(
+      TaskTypeInfo{"heat_compute", heat_compute_cost(cfg), cfg.noise0, cfg.noise1});
+  return ids;
+}
+
+}  // namespace das::kernels

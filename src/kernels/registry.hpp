@@ -1,0 +1,30 @@
+#pragma once
+// Registers the paper's task types (with their DES cost models and noise
+// coefficients) into a TaskTypeRegistry and hands back the ids.
+
+#include "core/task_type.hpp"
+#include "kernels/cost_models.hpp"
+
+namespace das::kernels {
+
+struct PaperKernelIds {
+  TaskTypeId matmul = kInvalidTaskType;
+  TaskTypeId copy = kInvalidTaskType;
+  TaskTypeId stencil = kInvalidTaskType;
+  TaskTypeId comm = kInvalidTaskType;          // MPI-boundary exchange (Heat)
+  TaskTypeId kmeans_map = kInvalidTaskType;
+  TaskTypeId kmeans_reduce = kInvalidTaskType;
+  TaskTypeId heat_compute = kInvalidTaskType;  // interior stencil rows (Heat)
+};
+
+/// Network parameters only matter for the `comm` type.
+struct CommParams {
+  double latency_s = 15e-6;  ///< FDR InfiniBand-ish small-message latency
+  double bw_gbs = 5.0;       ///< effective per-link bandwidth
+};
+
+PaperKernelIds register_paper_kernels(TaskTypeRegistry& registry,
+                                      CostModelConfig cfg = {},
+                                      CommParams comm = {});
+
+}  // namespace das::kernels

@@ -1,0 +1,28 @@
+#include "kernels/stencil.hpp"
+
+#include "kernels/matmul.hpp"  // partition_rows
+#include "util/assert.hpp"
+
+namespace das::kernels {
+
+void stencil_partition(const double* in, double* out, int n, int rank,
+                       int width) {
+  DAS_CHECK(n >= 3);
+  // Interior rows are 1 .. n-2; map the partition over n-2 rows.
+  const RowRange r = partition_rows(n - 2, rank, width);
+  for (int i = 1 + r.begin; i < 1 + r.end; ++i) {
+    const double* up = in + static_cast<std::size_t>(i - 1) * n;
+    const double* mid = in + static_cast<std::size_t>(i) * n;
+    const double* down = in + static_cast<std::size_t>(i + 1) * n;
+    double* o = out + static_cast<std::size_t>(i) * n;
+    for (int j = 1; j < n - 1; ++j) {
+      o[j] = 0.25 * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+    }
+  }
+}
+
+void stencil_reference(const double* in, double* out, int n) {
+  stencil_partition(in, out, n, 0, 1);
+}
+
+}  // namespace das::kernels

@@ -1,0 +1,16 @@
+#pragma once
+// Stencil kernel — the paper's cache-intensive workload class (§4.2.2):
+// 5-point Jacobi update on an n x n grid; interior rows partitioned by rank.
+
+namespace das::kernels {
+
+/// out(i,j) = 0.25 * (in(i-1,j) + in(i+1,j) + in(i,j-1) + in(i,j+1)) for the
+/// rank's share of interior rows [1, n-1); border rows/columns of `out` are
+/// left untouched. `in` and `out` are n x n row-major.
+void stencil_partition(const double* in, double* out, int n, int rank,
+                       int width);
+
+/// Single-threaded reference sweep for tests.
+void stencil_reference(const double* in, double* out, int n);
+
+}  // namespace das::kernels

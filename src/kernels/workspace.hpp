@@ -1,0 +1,65 @@
+#pragma once
+// Fixed-size pool of kernel workspaces for the real-thread engine.
+//
+// Synthetic DAGs contain tens of thousands of tasks, but at most
+// `num_cores` assemblies execute concurrently, so a pool of that many
+// buffers suffices; tasks acquire on entry and release on completion. The
+// pool is a spinlock-guarded freelist — acquire/release are two pointer
+// moves, negligible against millisecond kernels.
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/spinlock.hpp"
+
+namespace das::kernels {
+
+class WorkspacePool {
+ public:
+  /// `count` buffers of `doubles_each` doubles, zero-initialised.
+  WorkspacePool(int count, std::size_t doubles_each)
+      : doubles_each_(doubles_each) {
+    DAS_CHECK(count >= 1);
+    DAS_CHECK(doubles_each >= 1);
+    buffers_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      buffers_.push_back(std::make_unique<double[]>(doubles_each));
+      free_.push_back(buffers_.back().get());
+    }
+  }
+
+  std::size_t doubles_each() const { return doubles_each_; }
+
+  /// Takes a free buffer; spins if the pool is momentarily empty (only
+  /// possible if more assemblies run concurrently than `count`).
+  double* acquire() {
+    for (;;) {
+      {
+        std::lock_guard<Spinlock> g(lock_);
+        if (!free_.empty()) {
+          double* b = free_.back();
+          free_.pop_back();
+          return b;
+        }
+      }
+      cpu_relax();
+    }
+  }
+
+  void release(double* buffer) {
+    DAS_CHECK(buffer != nullptr);
+    std::lock_guard<Spinlock> g(lock_);
+    DAS_ASSERT(free_.size() < buffers_.size());
+    free_.push_back(buffer);
+  }
+
+ private:
+  std::size_t doubles_each_;
+  std::vector<std::unique_ptr<double[]>> buffers_;
+  std::vector<double*> free_;
+  Spinlock lock_;
+};
+
+}  // namespace das::kernels

@@ -1,0 +1,48 @@
+#include "net/mailbox.hpp"
+
+#include <algorithm>
+
+namespace das::net {
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    messages_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::deque<Message>::iterator Mailbox::find_locked(int src, int tag) {
+  return std::find_if(messages_.begin(), messages_.end(), [&](const Message& m) {
+    return m.src == src && m.tag == tag;
+  });
+}
+
+Message Mailbox::take(int src, int tag) {
+  std::unique_lock<std::mutex> g(mu_);
+  for (;;) {
+    auto it = find_locked(src, tag);
+    if (it != messages_.end()) {
+      Message m = std::move(*it);
+      messages_.erase(it);
+      return m;
+    }
+    cv_.wait(g);
+  }
+}
+
+bool Mailbox::try_take(int src, int tag, Message& out) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = find_locked(src, tag);
+  if (it == messages_.end()) return false;
+  out = std::move(*it);
+  messages_.erase(it);
+  return true;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return messages_.size();
+}
+
+}  // namespace das::net

@@ -1,0 +1,42 @@
+#pragma once
+// Per-rank mailbox for the in-process message-passing substrate.
+//
+// Messages are matched by (source rank, tag) with FIFO order preserved per
+// (source, tag) pair — the MPI non-overtaking guarantee, which the Heat
+// ghost-cell exchange relies on.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace das::net {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  void deliver(Message msg);
+  /// Blocks until a message from `src` with `tag` is available and removes
+  /// the oldest such message.
+  Message take(int src, int tag);
+  /// Non-blocking variant; returns false if no match is queued.
+  bool try_take(int src, int tag, Message& out);
+  std::size_t pending() const;
+
+ private:
+  // Returns an iterator to the oldest match, or end().
+  std::deque<Message>::iterator find_locked(int src, int tag);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> messages_;
+};
+
+}  // namespace das::net

@@ -1,0 +1,41 @@
+#include "net/world.hpp"
+
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace das::net {
+
+World::World(int nranks) {
+  DAS_CHECK(nranks >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  comms_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    comms_.push_back(std::unique_ptr<Comm>(new Comm(this, r)));
+  }
+}
+
+World::~World() = default;
+
+Comm& World::comm(int rank) {
+  DAS_CHECK(rank >= 0 && rank < size());
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+Mailbox& World::mailbox(int rank) {
+  DAS_CHECK(rank >= 0 && rank < size());
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  DAS_CHECK(fn != nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &fn] { fn(comm(r)); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace das::net

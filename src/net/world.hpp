@@ -1,0 +1,44 @@
+#pragma once
+// In-process rank world: owns the mailboxes, the collective state, and the
+// rank threads.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/comm.hpp"
+#include "net/mailbox.hpp"
+
+namespace das::net {
+
+class World {
+ public:
+  explicit World(int nranks);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  /// Endpoint of `rank` (valid for the World's lifetime). A Comm may only be
+  /// used by one thread at a time.
+  Comm& comm(int rank);
+  Mailbox& mailbox(int rank);
+
+  /// Runs `fn(comm)` once per rank, each on its own thread, and joins.
+  void run(const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+
+  // Sense-reversing central barrier.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace das::net

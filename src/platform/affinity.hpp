@@ -1,0 +1,18 @@
+#pragma once
+// Best-effort thread pinning.
+//
+// On the paper's platforms worker i is pinned to physical core i. In
+// containers / CI the affinity mask may be restricted, so pinning failure is
+// reported rather than fatal: the runtime still emulates asymmetry through
+// the throttle even when threads float.
+
+namespace das {
+
+/// Pins the calling thread to OS cpu `os_cpu`. Returns false if the
+/// platform refuses (insufficient permissions, cpu not in the allowed set).
+bool pin_current_thread(int os_cpu);
+
+/// Number of CPUs the process is allowed to run on (>=1).
+int allowed_cpu_count();
+
+}  // namespace das

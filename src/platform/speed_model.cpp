@@ -1,0 +1,97 @@
+#include "platform/speed_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+SpeedScenario& SpeedScenario::add_dvfs(DvfsSchedule s) {
+  DAS_CHECK(s.cluster >= 0 && s.cluster < topo_->num_clusters());
+  DAS_CHECK(s.period_s > 0.0);
+  DAS_CHECK(s.duty_hi >= 0.0 && s.duty_hi <= 1.0);
+  DAS_CHECK(s.hi > 0.0 && s.lo > 0.0);
+  dvfs_.push_back(std::move(s));
+  return *this;
+}
+
+SpeedScenario& SpeedScenario::add_interference(InterferenceEvent e) {
+  DAS_CHECK(!e.cores.empty());
+  for (int c : e.cores) DAS_CHECK(c >= 0 && c < topo_->num_cores());
+  DAS_CHECK(e.t_start <= e.t_end);
+  DAS_CHECK(e.cpu_share > 0.0 && e.cpu_share <= 1.0);
+  DAS_CHECK(e.victim_cluster_bw > 0.0 && e.victim_cluster_bw <= 1.0);
+  DAS_CHECK(e.global_bw > 0.0 && e.global_bw <= 1.0);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+SpeedScenario& SpeedScenario::add_cpu_corunner(int core, double t0, double t1) {
+  return add_interference(InterferenceEvent{.cores = {core},
+                                            .t_start = t0,
+                                            .t_end = t1,
+                                            .cpu_share = 0.5,
+                                            .victim_cluster_bw = 1.0,
+                                            .global_bw = 1.0});
+}
+
+SpeedScenario& SpeedScenario::add_mem_corunner(int core, double t0, double t1) {
+  return add_interference(InterferenceEvent{.cores = {core},
+                                            .t_start = t0,
+                                            .t_end = t1,
+                                            .cpu_share = 0.6,
+                                            .victim_cluster_bw = 0.7,
+                                            .global_bw = 0.85});
+}
+
+SpeedScenario& SpeedScenario::close_open_interference(double t) {
+  for (InterferenceEvent& e : events_) {
+    if (t >= e.t_start && t < e.t_end) e.t_end = t;
+  }
+  return *this;
+}
+
+namespace {
+
+double dvfs_multiplier(const DvfsSchedule& s, double t) {
+  double pos = std::fmod(t - s.phase_s, s.period_s);
+  if (pos < 0.0) pos += s.period_s;
+  return pos < s.duty_hi * s.period_s ? s.hi : s.lo;
+}
+
+bool active(const InterferenceEvent& e, double t) {
+  return t >= e.t_start && t < e.t_end;
+}
+
+}  // namespace
+
+double SpeedScenario::speed(int core, double t) const {
+  const int ci = topo_->cluster_index_of(core);
+  double v = topo_->cluster(ci).base_speed;
+  for (const DvfsSchedule& s : dvfs_)
+    if (s.cluster == ci) v *= dvfs_multiplier(s, t);
+  for (const InterferenceEvent& e : events_)
+    if (active(e, t) &&
+        std::find(e.cores.begin(), e.cores.end(), core) != e.cores.end())
+      v *= e.cpu_share;
+  return v;
+}
+
+double SpeedScenario::relative_speed(int core, double t) const {
+  return speed(core, t) / topo_->max_base_speed();
+}
+
+double SpeedScenario::bandwidth_share(int cluster, double t) const {
+  DAS_CHECK(cluster >= 0 && cluster < topo_->num_clusters());
+  double share = 1.0;
+  for (const InterferenceEvent& e : events_) {
+    if (!active(e, t)) continue;
+    if (e.victim_cluster_bw >= 1.0 && e.global_bw >= 1.0) continue;
+    const int victim_cluster = topo_->cluster_index_of(e.cores.front());
+    share *= (cluster == victim_cluster) ? e.victim_cluster_bw : e.global_bw;
+  }
+  return share;
+}
+
+}  // namespace das

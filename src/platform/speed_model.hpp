@@ -1,0 +1,93 @@
+#pragma once
+// Time-varying per-core performance model (the *dynamic asymmetry* the paper
+// schedules around).
+//
+// The effective speed of a core at time t is
+//     speed(core, t) = base_speed(cluster) * dvfs(cluster, t) * share(core, t)
+// where
+//   - dvfs(cluster, t) is a square wave emulating the power-management
+//     scenario of paper §5.2 (Denver toggling 2035 <-> 345 MHz, 10 s period),
+//   - share(core, t) < 1 while a co-running application time-shares the core
+//     (paper §5.1: a matmul or copy chain pinned to core 0).
+//
+// Memory interference (the Copy co-runner) additionally shrinks the
+// bandwidth available to each cluster; the DES cost model for the Copy
+// kernel consumes bandwidth_share(cluster, t).
+//
+// The model is a pure function of t: both engines (virtual-time DES and the
+// real-thread runtime, which passes seconds since its epoch) share it.
+
+#include <limits>
+#include <vector>
+
+#include "platform/topology.hpp"
+
+namespace das {
+
+/// Square-wave DVFS schedule on one cluster: the first duty_hi * period
+/// seconds of each period run at multiplier `hi`, the remainder at `lo`.
+struct DvfsSchedule {
+  int cluster = 0;
+  double period_s = 10.0;
+  double duty_hi = 0.5;
+  double hi = 1.0;
+  double lo = 345.0 / 2035.0;  ///< paper's lowest/highest TX2 frequency ratio
+  double phase_s = 0.0;        ///< shifts the wave; t=phase starts a HI phase
+};
+
+/// A co-running application occupying `cores` during [t_start, t_end):
+/// the victim cores retain `cpu_share` of their speed; the victim cluster
+/// keeps `victim_cluster_bw` of its bandwidth and all other clusters
+/// `global_bw` (DRAM is shared across clusters).
+struct InterferenceEvent {
+  std::vector<int> cores;
+  double t_start = 0.0;
+  double t_end = std::numeric_limits<double>::infinity();
+  double cpu_share = 0.5;
+  double victim_cluster_bw = 1.0;
+  double global_bw = 1.0;
+};
+
+class SpeedScenario {
+ public:
+  explicit SpeedScenario(const Topology& topo) : topo_(&topo) {}
+
+  SpeedScenario& add_dvfs(DvfsSchedule s);
+  SpeedScenario& add_interference(InterferenceEvent e);
+
+  /// Convenience: CPU-bound co-runner (paper's matmul chain) on `core` over
+  /// [t0, t1): halves the victim core's effective speed.
+  SpeedScenario& add_cpu_corunner(int core, double t0 = 0.0,
+                                  double t1 = std::numeric_limits<double>::infinity());
+  /// Convenience: memory-bound co-runner (paper's copy chain) on `core`:
+  /// victim core x0.6, victim cluster bandwidth x0.7, other clusters x0.85.
+  SpeedScenario& add_mem_corunner(int core, double t0 = 0.0,
+                                  double t1 = std::numeric_limits<double>::infinity());
+
+  /// Ends every still-open interference event at time `t` (used by drivers
+  /// that discover the window boundaries while running, e.g. "interference
+  /// during iterations 20-70" in the paper's K-means experiment).
+  SpeedScenario& close_open_interference(double t);
+
+  const Topology& topology() const { return *topo_; }
+  bool empty() const { return dvfs_.empty() && events_.empty(); }
+
+  /// Effective speed of `core` at time `t` (absolute units: the fastest
+  /// unperturbed cluster has speed max_base_speed()).
+  double speed(int core, double t) const;
+  /// speed() normalised to [0, 1] against the topology's max base speed;
+  /// the throttle emulator (platform/throttle.hpp) consumes this.
+  double relative_speed(int core, double t) const;
+  /// Fraction of the cluster's memory bandwidth available at time `t`.
+  double bandwidth_share(int cluster, double t) const;
+
+  const std::vector<DvfsSchedule>& dvfs_schedules() const { return dvfs_; }
+  const std::vector<InterferenceEvent>& interference_events() const { return events_; }
+
+ private:
+  const Topology* topo_;
+  std::vector<DvfsSchedule> dvfs_;
+  std::vector<InterferenceEvent> events_;
+};
+
+}  // namespace das

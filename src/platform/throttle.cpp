@@ -1,0 +1,7 @@
+#include "platform/throttle.hpp"
+
+// SpeedEmulator is header-only; this translation unit exists so the platform
+// object library has a home for future out-of-line throttle logic and to keep
+// one .cpp per header in the build graph.
+
+namespace das {}

@@ -1,0 +1,102 @@
+#include "rt/runtime.hpp"
+
+#include "platform/affinity.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace das::rt {
+
+Runtime::Runtime(const Topology& topo, Policy policy,
+                 const TaskTypeRegistry& registry, RtOptions options)
+    : topo_(&topo), registry_(&registry), options_(options) {
+  ptt_ = std::make_unique<PttStore>(topo, registry.size(), options_.ptt_ratio);
+  policy_ = std::make_unique<PolicyEngine>(policy, topo, ptt_.get(),
+                                           options_.seed, options_.policy_options);
+  stats_ = std::make_unique<ExecutionStats>(topo, options_.stats_phases);
+  epoch_ns_ = now_ns();
+  if (options_.scenario != nullptr) {
+    DAS_CHECK_MSG(&options_.scenario->topology() == &topo,
+                  "scenario topology must match runtime topology");
+    emulator_ = std::make_unique<SpeedEmulator>(*options_.scenario, epoch_ns_);
+  }
+
+  const int n = topo.num_cores();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    auto w = std::make_unique<Worker>();
+    w->rng.reseed(options_.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(c) + 1);
+    workers_.push_back(std::move(w));
+  }
+  for (int c = 0; c < n; ++c) {
+    workers_[static_cast<std::size_t>(c)]->thread =
+        std::thread([this, c] { worker_loop(c); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+double Runtime::scenario_now() const { return ns_to_s(now_ns() - epoch_ns_); }
+
+void Runtime::submit_roots(const Dag& dag) {
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    const DagNode& n = dag.node(i);
+    if (n.num_predecessors != 0) continue;
+    const int waking = n.affinity_core >= 0 ? n.affinity_core : 0;
+    DAS_CHECK(waking < topo_->num_cores());
+    wake_task(&records_[static_cast<std::size_t>(i)], waking,
+              /*caller_is_worker=*/false);
+  }
+}
+
+double Runtime::run(const Dag& dag) {
+  DAS_CHECK(dag.num_nodes() > 0);
+  DAS_CHECK_MSG(!run_active_.load(std::memory_order_acquire),
+                "run() is not reentrant");
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    const DagNode& n = dag.node(i);
+    DAS_CHECK_MSG(n.rank == 0, "the threaded runtime executes single-rank DAGs"
+                               " (distributed DAGs run via das::net)");
+    DAS_CHECK_MSG(n.work != nullptr || registry_->info(n.type).cost != nullptr,
+                  "node without work closure needs a cost model to emulate");
+  }
+
+  num_records_ = static_cast<std::size_t>(dag.num_nodes());
+  records_ = std::make_unique<TaskRec[]>(num_records_);
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    TaskRec& r = records_[static_cast<std::size_t>(i)];
+    r.node = &dag.node(i);
+    r.id = i;
+    r.preds.store(r.node->num_predecessors, std::memory_order_relaxed);
+  }
+
+  outstanding_.store(dag.num_nodes(), std::memory_order_release);
+  const std::int64_t t0 = now_ns();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    run_active_.store(true, std::memory_order_release);
+    ++epoch_;
+  }
+  // Roots are submitted while workers may already be spinning up: queues are
+  // thread-safe and a worker finding nothing simply retries.
+  submit_roots(dag);
+  cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [this] { return !run_active_.load(std::memory_order_acquire); });
+  }
+  const double elapsed = ns_to_s(now_ns() - t0);
+  stats_->set_elapsed(stats_->elapsed_s() + elapsed);
+  return elapsed;
+}
+
+}  // namespace das::rt

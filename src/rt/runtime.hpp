@@ -1,0 +1,144 @@
+#pragma once
+// Real-thread moldable-task runtime (the XiTAO analogue of paper §4.1.2).
+//
+// One worker thread per topology core. Each worker owns
+//   - an assembly queue (AQ): FIFO of participations in moldable tasks that
+//     have already been given an execution place — always drained first;
+//   - a steal-exempt inbox: high-priority tasks routed here by the
+//     criticality-aware policies ("we disable the stealing of high priority
+//     tasks", §4.1.2);
+//   - a feeder: an MPSC side-channel through which OTHER threads (the
+//     submitter, remote wake-ups under ablation options) hand it stealable
+//     tasks — drained into the WSQ by the owner, preserving the Chase-Lev
+//     single-owner invariant;
+//   - a Chase-Lev WSQ of stealable (low-priority) tasks.
+//
+// Task lifetime follows the paper's Fig. 3: wake-up -> queue insertion
+// (policy decides where) -> dequeue (width molding) -> insertion into the
+// AQs of the place's cores -> cooperative execution -> last finisher updates
+// the PTT and wakes dependents.
+//
+// Asymmetry is emulated: when an RtOptions::scenario is given, every
+// participation is stretched by busy-waiting to the wall time a core of that
+// effective speed would need (platform/throttle.hpp explains why this
+// preserves the scheduling problem).
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/policy.hpp"
+#include "core/ptt.hpp"
+#include "core/task_type.hpp"
+#include "platform/speed_model.hpp"
+#include "platform/throttle.hpp"
+#include "platform/topology.hpp"
+#include "rt/wsq.hpp"
+#include "trace/stats.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+
+namespace das::rt {
+
+struct RtOptions {
+  std::uint64_t seed = 7;
+  bool pin_threads = false;            ///< best-effort pthread affinity
+  const SpeedScenario* scenario = nullptr;  ///< asymmetry emulation; null = off
+  PolicyOptions policy_options{};
+  UpdateRatio ptt_ratio{};
+  int stats_phases = 1;
+  int steal_attempts_per_round = 4;    ///< victims probed before backing off
+};
+
+class Runtime {
+ public:
+  Runtime(const Topology& topo, Policy policy, const TaskTypeRegistry& registry,
+          RtOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes every task of `dag`, returns wall seconds for this run.
+  /// Callable repeatedly; workers, PTT state and stats persist across runs.
+  double run(const Dag& dag);
+
+  const Topology& topology() const { return *topo_; }
+  ExecutionStats& stats() { return *stats_; }
+  PolicyEngine& policy() { return *policy_; }
+  PttStore& ptt() { return *ptt_; }
+  /// True if every worker thread was successfully pinned.
+  bool pinned() const { return pinned_; }
+  /// Seconds elapsed since the runtime's construction — the time base of
+  /// the RtOptions::scenario (drivers use it to open/close interference
+  /// windows at application-level boundaries, cf. the paper's Fig. 9).
+  double scenario_now() const;
+
+ private:
+  struct TaskRec {
+    const DagNode* node = nullptr;
+    NodeId id = kInvalidNode;
+    std::atomic<int> preds{0};
+    bool has_fixed_place = false;   // written before publication
+    ExecutionPlace place{};
+    std::atomic<int> arrivals{0};
+    std::atomic<int> departures{0};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> max_busy_ns{0};  ///< slowest participant
+  };
+
+  struct alignas(kCacheLine) Worker {
+    WsDeque<TaskRec> wsq;
+    std::deque<TaskRec*> inbox;   // guarded by lock
+    std::deque<TaskRec*> aq;      // guarded by lock
+    std::deque<TaskRec*> feeder;  // guarded by lock
+    Spinlock lock;
+    Xoshiro256 rng;
+    std::thread thread;
+  };
+
+  // worker.cpp
+  void worker_loop(int core);
+  bool try_make_progress(int core);
+  void participate(int core, TaskRec* task);
+  void distribute(int core, TaskRec* task, const ExecutionPlace& place);
+  TaskRec* try_steal(int core);
+  /// `caller_is_worker` means the calling thread IS worker `waking_core`
+  /// (enables the owner-only WSQ fast path; the submitter passes false).
+  void wake_task(TaskRec* task, int waking_core, bool caller_is_worker);
+  void push_stealable(int target_core, TaskRec* task, bool from_owner);
+  void complete_run_if_drained();
+
+  // runtime.cpp
+  void submit_roots(const Dag& dag);
+
+  const Topology* topo_;
+  const TaskTypeRegistry* registry_;
+  RtOptions options_;
+  std::unique_ptr<PttStore> ptt_;
+  std::unique_ptr<PolicyEngine> policy_;
+  std::unique_ptr<ExecutionStats> stats_;
+  std::unique_ptr<SpeedEmulator> emulator_;  // null when no scenario
+  std::int64_t epoch_ns_ = 0;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool pinned_ = true;
+
+  // Run/epoch coordination.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;       // bumped per run() under mu_
+  bool shutdown_ = false;
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<bool> run_active_{false};
+
+  std::unique_ptr<TaskRec[]> records_;  // one per DAG node, per run
+  std::size_t num_records_ = 0;
+};
+
+}  // namespace das::rt

@@ -1,0 +1,239 @@
+#include "platform/affinity.hpp"
+#include "rt/runtime.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace das::rt {
+
+namespace {
+
+/// Pops the front of a spinlock-guarded deque; nullptr when empty.
+template <typename Lock, typename Deque>
+typename Deque::value_type pop_front_locked(Lock& lock, Deque& dq) {
+  std::lock_guard<Lock> g(lock);
+  if (dq.empty()) return nullptr;
+  auto* item = dq.front();
+  dq.pop_front();
+  return item;
+}
+
+}  // namespace
+
+void Runtime::worker_loop(int core) {
+  if (options_.pin_threads) {
+    if (!pin_current_thread(core)) pinned_ = false;
+  }
+  Worker& self = *workers_[static_cast<std::size_t>(core)];
+  std::uint64_t seen_epoch = 0;
+
+  for (;;) {
+    // Park until a run starts (or shutdown).
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      cv_.wait(g, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+
+    int idle_spins = 0;
+    while (run_active_.load(std::memory_order_acquire)) {
+      if (try_make_progress(core)) {
+        idle_spins = 0;
+        continue;
+      }
+      // Backoff: spin briefly, then yield so oversubscribed configurations
+      // (more workers than allowed CPUs) stay live.
+      if (++idle_spins < 64) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+        idle_spins = 0;
+      }
+    }
+    (void)self;
+  }
+}
+
+bool Runtime::try_make_progress(int core) {
+  Worker& w = *workers_[static_cast<std::size_t>(core)];
+
+  // 1. Assembly queue: committed participations come first.
+  if (TaskRec* t = pop_front_locked(w.lock, w.aq)) {
+    participate(core, t);
+    return true;
+  }
+  // 2. Steal-exempt inbox (fixed-place high-priority tasks).
+  if (TaskRec* t = pop_front_locked(w.lock, w.inbox)) {
+    DAS_ASSERT(t->has_fixed_place);
+    distribute(core, t, t->place);
+    return true;
+  }
+  // 3. Feeder: stealable tasks handed to us by other threads; drain into our
+  //    WSQ (owner-only push keeps the Chase-Lev invariant).
+  for (;;) {
+    TaskRec* t = pop_front_locked(w.lock, w.feeder);
+    if (t == nullptr) break;
+    w.wsq.push_bottom(t);
+  }
+  // 4. Own WSQ, newest first.
+  if (TaskRec* t = w.wsq.pop_bottom()) {
+    const ExecutionPlace place =
+        t->has_fixed_place
+            ? t->place
+            : policy_->on_execute(t->node->type, t->node->priority, core);
+    distribute(core, t, place);
+    return true;
+  }
+  // 5. Steal from a random victim; the thief re-runs the local search
+  //    (paper Fig. 3 steps 4-5).
+  if (TaskRec* t = try_steal(core)) {
+    const ExecutionPlace place =
+        t->has_fixed_place
+            ? t->place
+            : policy_->on_execute(t->node->type, t->node->priority, core);
+    distribute(core, t, place);
+    return true;
+  }
+  return false;
+}
+
+Runtime::TaskRec* Runtime::try_steal(int core) {
+  Worker& self = *workers_[static_cast<std::size_t>(core)];
+  const int n = topo_->num_cores();
+  if (n <= 1) return nullptr;
+  for (int attempt = 0; attempt < options_.steal_attempts_per_round; ++attempt) {
+    const int victim = static_cast<int>(self.rng.below(static_cast<std::uint64_t>(n)));
+    if (victim == core) continue;
+    if (TaskRec* t = workers_[static_cast<std::size_t>(victim)]->wsq.steal_top())
+      return t;
+  }
+  return nullptr;
+}
+
+void Runtime::distribute(int core, TaskRec* task, const ExecutionPlace& place) {
+  (void)core;
+  DAS_ASSERT(topo_->is_valid_place(place));
+  task->place = place;
+  task->has_fixed_place = true;
+  // Publish into every participant's AQ. The write of `place` above
+  // happens-before the AQ push (the queue lock provides the edge).
+  for (int i = 0; i < place.width; ++i) {
+    Worker& w = *workers_[static_cast<std::size_t>(place.leader + i)];
+    std::lock_guard<Spinlock> g(w.lock);
+    w.aq.push_back(task);
+  }
+}
+
+void Runtime::participate(int core, TaskRec* task) {
+  const DagNode& node = *task->node;
+  const int width = task->place.width;
+
+  const int rank = task->arrivals.fetch_add(1, std::memory_order_acq_rel);
+  DAS_ASSERT(rank >= 0 && rank < width);
+  // First arrival stamps the assembly start (CAS so any arrival order works).
+  std::int64_t expected = 0;
+  const std::int64_t arrive_ns = now_ns();
+  task->start_ns.compare_exchange_strong(expected, arrive_ns,
+                                         std::memory_order_acq_rel);
+
+  const std::int64_t t0 = now_ns();
+  if (node.work) {
+    node.work(ExecContext{rank, width, task->place.leader, core});
+  } else {
+    // DES-style node: emulate the cost model's native-speed duration, which
+    // the throttle below then stretches by the core's scenario speed.
+    CostQuery q;
+    q.place = task->place;
+    q.rank = rank;
+    q.core = core;
+    q.cluster = &topo_->cluster_of_core(core);
+    q.speed = topo_->max_base_speed();
+    q.bw_share = 1.0;
+    busy_wait_ns(s_to_ns(registry_->info(node.type).cost(node.params, q)));
+  }
+  std::int64_t busy = now_ns() - t0;
+  if (emulator_ != nullptr) {
+    const double rel = emulator_->relative_speed(core, t0);
+    const std::int64_t deficit = SpeedEmulator::deficit_ns(busy, rel);
+    busy_wait_ns(deficit);
+    busy += deficit;
+  }
+  stats_->record_busy(core, busy);
+  // Fold this participant's busy time into the assembly maximum (CAS loop:
+  // no fetch_max before C++26).
+  std::int64_t seen = task->max_busy_ns.load(std::memory_order_relaxed);
+  while (busy > seen &&
+         !task->max_busy_ns.compare_exchange_weak(seen, busy,
+                                                  std::memory_order_acq_rel)) {
+  }
+
+  const int departed = task->departures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  DAS_ASSERT(departed <= width);
+  if (departed < width) return;
+
+  // Last finisher: train the PTT and wake the dependents (paper Fig. 3
+  // step 8). The PTT learns the slowest participant's busy time — the
+  // task's intrinsic duration at this place, what the paper's leader core
+  // observes — not the assembly span, which arrival skew would poison.
+  const double span =
+      ns_to_s(now_ns() - task->start_ns.load(std::memory_order_acquire));
+  policy_->record_sample(node.type, task->place,
+                         ns_to_s(task->max_busy_ns.load(std::memory_order_acquire)));
+  stats_->record_task_at(node.priority, topo_->place_id(task->place), span,
+                         node.phase);
+  for (const DagEdge& e : node.successors) {
+    TaskRec* succ = &records_[static_cast<std::size_t>(e.to)];
+    if (succ->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      wake_task(succ, core, /*caller_is_worker=*/true);
+    }
+  }
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    complete_run_if_drained();
+  }
+}
+
+void Runtime::wake_task(TaskRec* task, int waking_core, bool caller_is_worker) {
+  const DagNode& node = *task->node;
+  const WakeDecision wd = policy_->on_ready(node.type, node.priority, waking_core);
+
+  if (wd.has_fixed_place) {
+    task->place = wd.fixed_place;
+    task->has_fixed_place = true;
+  } else if (!options_.policy_options.remold_on_dequeue &&
+             policy_->traits().uses_ptt) {
+    // Ablation: width decided at wake-up, honoured by owner and thieves.
+    task->place = policy_->on_execute(node.type, node.priority, wd.queue_core);
+    task->has_fixed_place = true;
+  }
+
+  Worker& target = *workers_[static_cast<std::size_t>(wd.queue_core)];
+  if (!wd.stealable) {
+    std::lock_guard<Spinlock> g(target.lock);
+    target.inbox.push_back(task);
+  } else {
+    const bool owner_path = caller_is_worker && wd.queue_core == waking_core;
+    push_stealable(wd.queue_core, task, owner_path);
+  }
+}
+
+void Runtime::push_stealable(int target_core, TaskRec* task, bool from_owner) {
+  Worker& target = *workers_[static_cast<std::size_t>(target_core)];
+  if (from_owner) {
+    // The calling thread IS this worker: Chase-Lev owner push.
+    target.wsq.push_bottom(task);
+    return;
+  }
+  // Any other thread (the submitter, or remote wake-ups under ablation
+  // options) hands the task over through the MPSC feeder; the owner drains
+  // it into its WSQ.
+  std::lock_guard<Spinlock> g(target.lock);
+  target.feeder.push_back(task);
+}
+
+void Runtime::complete_run_if_drained() {
+  std::lock_guard<std::mutex> g(mu_);
+  run_active_.store(false, std::memory_order_release);
+  cv_.notify_all();
+}
+
+}  // namespace das::rt

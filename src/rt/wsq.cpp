@@ -1,0 +1,10 @@
+#include "rt/wsq.hpp"
+
+// WsDeque is a header-only template; this explicit instantiation anchors the
+// object library and gives the tests a concrete symbol to link against.
+
+namespace das::rt {
+
+template class WsDeque<int>;
+
+}  // namespace das::rt

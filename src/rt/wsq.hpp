@@ -1,0 +1,130 @@
+#pragma once
+// Chase-Lev work-stealing deque.
+//
+// The owner pushes/pops at the bottom (LIFO — newest first, preserving the
+// paper's release-order execution); thieves steal from the top (FIFO —
+// oldest first). Lock-free; the memory ordering follows Lê, Pop, Cohen,
+// Nardelli — "Correct and efficient work-stealing for weak memory models"
+// (PPoPP'13).
+//
+// Grown arrays are retired to a list that is reclaimed only on destruction:
+// a thief may still be reading a stale array, and the deques live for the
+// whole runtime, so leaking a handful of small arrays until then is the
+// standard, safe choice.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace das::rt {
+
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::int64_t initial_capacity = 256)
+      : top_(0), bottom_(0) {
+    DAS_CHECK(initial_capacity >= 2 &&
+              (initial_capacity & (initial_capacity - 1)) == 0);
+    auto a = std::make_unique<Array>(initial_capacity);
+    array_.store(a.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(a));
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner only.
+  void push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) a = grow(a, t, b);
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. nullptr when empty.
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* item = nullptr;
+    if (t <= b) {
+      item = a->get(b);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. nullptr when empty or when the CAS race was lost (callers
+  /// treat both as a failed steal attempt).
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Array* a = array_.load(std::memory_order_acquire);
+    T* item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  bool empty() const { return size_estimate() <= 0; }
+
+  /// Racy but monotone-consistent size hint (steal heuristics only).
+  std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b - t;
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::int64_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(static_cast<std::size_t>(cap))) {}
+    T* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i & mask)].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* v) {
+      slots[static_cast<std::size_t>(i & mask)].store(v, std::memory_order_relaxed);
+    }
+    std::int64_t capacity;
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Array>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Array* raw = bigger.get();
+    array_.store(raw, std::memory_order_release);
+    retired_.push_back(std::move(bigger));  // owner-only container
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_;
+  std::atomic<std::int64_t> bottom_;
+  std::atomic<Array*> array_;
+  std::vector<std::unique_ptr<Array>> retired_;
+};
+
+}  // namespace das::rt

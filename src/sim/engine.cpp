@@ -1,0 +1,402 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace das::sim {
+
+SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
+                     const TaskTypeRegistry& registry, SimOptions options)
+    : policy_kind_(policy), registry_(&registry), options_(options),
+      rng_(options.seed) {
+  DAS_CHECK(!ranks.empty());
+  int next_core = 0;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    DAS_CHECK(ranks[r].topo != nullptr);
+    Rank rank;
+    rank.topo = ranks[r].topo;
+    rank.scenario = ranks[r].scenario;
+    rank.first_core = next_core;
+    rank.ptt = std::make_unique<PttStore>(*rank.topo, registry.size(),
+                                          options_.ptt_ratio);
+    rank.policy = std::make_unique<PolicyEngine>(
+        policy, *rank.topo, rank.ptt.get(), options_.seed + 17 * (r + 1),
+        options_.policy_options);
+    rank.stats =
+        std::make_unique<ExecutionStats>(*rank.topo, options_.stats_phases);
+    next_core += rank.topo->num_cores();
+    for (int c = 0; c < rank.topo->num_cores(); ++c)
+      rank_of_core_.push_back(static_cast<int>(r));
+    ranks_.push_back(std::move(rank));
+  }
+  cores_.resize(static_cast<std::size_t>(next_core));
+}
+
+SimEngine::SimEngine(const Topology& topo, Policy policy,
+                     const TaskTypeRegistry& registry, SimOptions options,
+                     const SpeedScenario* scenario)
+    : SimEngine(std::vector<RankSpec>{RankSpec{&topo, scenario}}, policy,
+                registry, options) {}
+
+SimEngine::~SimEngine() = default;
+
+int SimEngine::rank_of_core(int core) const {
+  DAS_ASSERT(core >= 0 && core < static_cast<int>(rank_of_core_.size()));
+  return rank_of_core_[static_cast<std::size_t>(core)];
+}
+
+int SimEngine::local_core(int core) const {
+  return core - ranks_[static_cast<std::size_t>(rank_of_core(core))].first_core;
+}
+
+ExecutionStats& SimEngine::stats(int rank) {
+  DAS_CHECK(rank >= 0 && rank < num_ranks());
+  return *ranks_[static_cast<std::size_t>(rank)].stats;
+}
+
+const ExecutionStats& SimEngine::stats(int rank) const {
+  DAS_CHECK(rank >= 0 && rank < num_ranks());
+  return *ranks_[static_cast<std::size_t>(rank)].stats;
+}
+
+PolicyEngine& SimEngine::policy(int rank) {
+  DAS_CHECK(rank >= 0 && rank < num_ranks());
+  return *ranks_[static_cast<std::size_t>(rank)].policy;
+}
+
+PttStore& SimEngine::ptt(int rank) {
+  DAS_CHECK(rank >= 0 && rank < num_ranks());
+  return *ranks_[static_cast<std::size_t>(rank)].ptt;
+}
+
+double SimEngine::completion_time(NodeId id) const {
+  DAS_CHECK(id >= 0 && id < static_cast<NodeId>(tasks_.size()));
+  return tasks_[static_cast<std::size_t>(id)].completion;
+}
+
+double SimEngine::lognormal_noise(double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  // Marsaglia polar method on the engine RNG — deterministic across
+  // standard libraries, unlike std::normal_distribution.
+  double u, v, s;
+  do {
+    u = rng_.uniform(-1.0, 1.0);
+    v = rng_.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double z = u * std::sqrt(-2.0 * std::log(s) / s);
+  return std::exp(sigma * z);
+}
+
+double SimEngine::run(const Dag& dag) {
+  DAS_CHECK(dag.num_nodes() > 0);
+  dag_ = &dag;
+  const double t_start = now_;
+
+  tasks_.assign(static_cast<std::size_t>(dag.num_nodes()), TaskState{});
+  completed_ = 0;
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    const DagNode& n = dag.node(i);
+    DAS_CHECK_MSG(n.rank >= 0 && n.rank < num_ranks(),
+                  "dag node rank out of range");
+    DAS_CHECK_MSG(registry_->info(n.type).cost != nullptr,
+                  "task type '" + registry_->info(n.type).name +
+                      "' has no cost model; the DES cannot execute it");
+    tasks_[static_cast<std::size_t>(i)].preds = n.num_predecessors;
+  }
+
+  // Submit roots: released "from" their rank's core 0 (or the affinity
+  // core), in node order at t_start.
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    const DagNode& n = dag.node(i);
+    if (n.num_predecessors != 0) continue;
+    const int local = n.affinity_core >= 0 ? n.affinity_core : 0;
+    DAS_CHECK(local < ranks_[static_cast<std::size_t>(n.rank)].topo->num_cores());
+    events_.push(t_start, Event{Ev::kRoot, -1, i, global_core(n.rank, local), 0.0});
+  }
+
+  while (!events_.empty()) {
+    auto item = events_.pop();
+    DAS_ASSERT(item.time + 1e-12 >= now_);
+    now_ = std::max(now_, item.time);
+    const Event& e = item.payload;
+    switch (e.kind) {
+      case Ev::kWake:
+        cores_[static_cast<std::size_t>(e.core)].active = false;
+        handle_wake(e.core, now_);
+        break;
+      case Ev::kDone:
+        handle_done(e, now_);
+        break;
+      case Ev::kRelease:
+        handle_release(e, now_);
+        break;
+      case Ev::kRoot:
+        make_ready(e.task, e.from_core, now_);
+        break;
+    }
+  }
+
+  DAS_CHECK_MSG(completed_ == dag.num_nodes(),
+                "simulation drained its event queue with " +
+                    std::to_string(dag.num_nodes() - completed_) +
+                    " tasks incomplete (dependency deadlock?)");
+  const double makespan = now_ - t_start;
+  for (auto& r : ranks_) r.stats->set_elapsed(now_);
+  dag_ = nullptr;
+  return makespan;
+}
+
+void SimEngine::activate(int core, double at, bool direct) {
+  CoreState& cs = cores_[static_cast<std::size_t>(core)];
+  if (cs.active) return;
+  cs.active = true;
+  if (direct) {
+    // Explicit wake signal (steal-exempt placement): immediate.
+    events_.push(at, Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
+    return;
+  }
+  // An inactive core is an idle worker in backoff sleep; it notices the new
+  // work after the wake delay. The delay is jittered (uniform in
+  // [0.5, 1.5] x nominal): each sleeper is at a random point of its backoff
+  // period, which is also what keeps the steal race unbiased — with a fixed
+  // delay, ties resolve FIFO and the lowest-numbered idle core would always
+  // win the race (cores 3..5 would never work at low DAG parallelism).
+  const double jitter = 0.5 + rng_.uniform();
+  events_.push(at + options_.idle_wake_delay_s * jitter,
+               Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
+}
+
+void SimEngine::make_ready(NodeId id, int waking_core, double t) {
+  const DagNode& n = dag_->node(id);
+  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  Rank& rank = ranks_[static_cast<std::size_t>(n.rank)];
+
+  // Wakes crossing ranks land on the task's affinity core (or core 0 of its
+  // rank): a remote completion cannot touch another process's queues.
+  int local_waker;
+  if (rank_of_core(waking_core) == n.rank) {
+    local_waker = local_core(waking_core);
+  } else {
+    local_waker = n.affinity_core >= 0 ? n.affinity_core : 0;
+  }
+
+  const WakeDecision wd = rank.policy->on_ready(n.type, n.priority, local_waker);
+  const int queue_core = global_core(n.rank, wd.queue_core);
+  CoreState& target = cores_[static_cast<std::size_t>(queue_core)];
+
+  if (wd.has_fixed_place) {
+    ts.has_fixed_place = true;
+    ts.place = wd.fixed_place;
+  } else if (!options_.policy_options.remold_on_dequeue &&
+             rank.policy->traits().uses_ptt) {
+    // Ablation: decide the width at wake-up and never re-mold.
+    ts.has_fixed_place = true;
+    ts.place = rank.policy->on_execute(n.type, n.priority, wd.queue_core);
+  }
+
+  if (wd.stealable) {
+    target.wsq.push_back(id);
+    // The new task is visible to thieves: give every idle core of the rank a
+    // chance to grab it (they re-idle immediately if they lose the race).
+    activate(queue_core, t);
+    for (int c = 0; c < rank.topo->num_cores(); ++c)
+      activate(global_core(n.rank, c), t);
+  } else {
+    target.inbox.push_back(id);
+    activate(queue_core, t, /*direct=*/true);
+  }
+}
+
+void SimEngine::distribute(NodeId id, const ExecutionPlace& place, int rank,
+                           double t) {
+  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
+  DAS_CHECK_MSG(r.topo->is_valid_place(place),
+                "policy produced invalid place " + to_string(place));
+  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  ts.place = place;
+  ts.has_fixed_place = true;
+  for (int i = 0; i < place.width; ++i) {
+    const int core = global_core(rank, place.leader + i);
+    cores_[static_cast<std::size_t>(core)].aq.push_back(Participation{id, i});
+    activate(core, t + options_.dispatch_overhead_s);
+  }
+}
+
+double SimEngine::participation_cost(NodeId id, int core, int rank_in_assembly,
+                                     double t) {
+  const DagNode& n = dag_->node(id);
+  const TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  const Rank& r = ranks_[static_cast<std::size_t>(n.rank)];
+  const int local = local_core(core);
+  const Cluster& cluster = r.topo->cluster_of_core(local);
+
+  CostQuery q;
+  q.place = ts.place;
+  q.rank = rank_in_assembly;
+  q.core = local;
+  q.cluster = &cluster;
+  if (r.scenario != nullptr) {
+    q.speed = r.scenario->speed(local, t);
+    q.bw_share =
+        r.scenario->bandwidth_share(r.topo->cluster_index_of(local), t);
+  } else {
+    q.speed = cluster.base_speed;
+    q.bw_share = 1.0;
+  }
+
+  const TaskTypeInfo& info = registry_->info(n.type);
+  double cost = info.cost(n.params, q);
+  if (options_.noise) {
+    cost *= lognormal_noise(registry_->noise_sigma(n.type, cost));
+  }
+  return std::max(cost, 1e-9);
+}
+
+void SimEngine::start_participation(int core, const Participation& p, double t) {
+  CoreState& cs = cores_[static_cast<std::size_t>(core)];
+  DAS_CHECK_MSG(!cs.busy, "core double-booked: a participation started while "
+                          "another is still running");
+  TaskState& ts = tasks_[static_cast<std::size_t>(p.task)];
+  if (ts.arrivals == 0) ts.first_arrival = t;
+  ts.arrivals++;
+  const double cost = participation_cost(p.task, core, p.rank_in_assembly, t);
+  ts.max_cost = std::max(ts.max_cost, cost);
+  const int rank = rank_of_core(core);
+  ranks_[static_cast<std::size_t>(rank)].stats->record_busy(
+      local_core(core), static_cast<std::int64_t>(cost * 1e9));
+  if (options_.timeline != nullptr) {
+    const DagNode& n = dag_->node(p.task);
+    options_.timeline->record(core, t, cost, registry_->info(n.type).name,
+                              n.priority, ts.place.width);
+  }
+  cs.active = true;
+  cs.busy = true;
+  events_.push(t + cost, Event{Ev::kDone, core, p.task, -1, cost});
+}
+
+bool SimEngine::try_steal(int core, double t) {
+  const int rank = rank_of_core(core);
+  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
+  std::vector<int> victims;
+  for (int c = 0; c < r.topo->num_cores(); ++c) {
+    const int gc = global_core(rank, c);
+    if (gc != core && !cores_[static_cast<std::size_t>(gc)].wsq.empty())
+      victims.push_back(gc);
+  }
+  if (victims.empty()) return false;
+  const int victim =
+      victims[static_cast<std::size_t>(rng_.below(victims.size()))];
+  CoreState& vs = cores_[static_cast<std::size_t>(victim)];
+  const NodeId id = vs.wsq.front();  // thieves take the oldest task
+  vs.wsq.erase(vs.wsq.begin());
+
+  const DagNode& n = dag_->node(id);
+  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  const ExecutionPlace place =
+      ts.has_fixed_place
+          ? ts.place
+          : r.policy->on_execute(n.type, n.priority, local_core(core));
+  // Mark the thief active first (one pending wake), then distribute after
+  // the steal round-trip.
+  cores_[static_cast<std::size_t>(core)].active = true;
+  events_.push(t + options_.steal_latency_s + options_.dispatch_overhead_s,
+               Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
+  distribute(id, place, rank, t + options_.steal_latency_s);
+  return true;
+}
+
+void SimEngine::handle_wake(int core, double t) {
+  CoreState& cs = cores_[static_cast<std::size_t>(core)];
+  const int rank = rank_of_core(core);
+  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
+
+  // 1. Assembly queue first: committed work.
+  if (!cs.aq.empty()) {
+    const Participation p = cs.aq.front();
+    cs.aq.erase(cs.aq.begin());
+    start_participation(core, p, t);
+    return;
+  }
+  // 2. Steal-exempt inbox: high-priority tasks with fixed places.
+  if (!cs.inbox.empty()) {
+    const NodeId id = cs.inbox.front();
+    cs.inbox.erase(cs.inbox.begin());
+    const TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+    DAS_ASSERT(ts.has_fixed_place);
+    // Mark THIS core active (single pending wake) before distribute() tries
+    // to activate the participants — otherwise the distributor would get a
+    // second wake event and could double-book itself.
+    cs.active = true;
+    events_.push(t + options_.dispatch_overhead_s,
+                 Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
+    distribute(id, ts.place, rank, t);
+    return;
+  }
+  // 3. Own WSQ (LIFO end).
+  if (!cs.wsq.empty()) {
+    const NodeId id = cs.wsq.back();
+    cs.wsq.pop_back();
+    const DagNode& n = dag_->node(id);
+    const TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+    const ExecutionPlace place =
+        ts.has_fixed_place
+            ? ts.place
+            : r.policy->on_execute(n.type, n.priority, local_core(core));
+    cs.active = true;  // see the inbox branch: one pending wake only
+    events_.push(t + options_.dispatch_overhead_s,
+                 Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
+    distribute(id, place, rank, t);
+    return;
+  }
+  // 4. Steal from a random victim within the rank.
+  if (try_steal(core, t)) return;
+  // 5. Nothing anywhere: go idle. A future push will re-activate us.
+}
+
+void SimEngine::handle_done(const Event& e, double t) {
+  const NodeId id = e.task;
+  const DagNode& n = dag_->node(id);
+  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  Rank& r = ranks_[static_cast<std::size_t>(n.rank)];
+
+  ts.departures++;
+  DAS_ASSERT(ts.departures <= ts.place.width);
+  if (ts.departures == ts.place.width) {
+    // Last finisher: train the PTT and release successors (paper Fig. 3
+    // step 8). The PTT learns the task's intrinsic duration at this place —
+    // the slowest participant's busy time, which is what the paper's leader
+    // core observes — NOT the assembly span: the span includes arrival skew
+    // (participants queueing behind other work), which would make wide
+    // places look slow for reasons that have nothing to do with the place.
+    const double span = t - ts.first_arrival;
+    r.policy->record_sample(n.type, ts.place, ts.max_cost);
+    const int place_id = r.topo->place_id(ts.place);
+    r.stats->record_task_at(n.priority, place_id, span, n.phase);
+    ts.completion = t;
+    completed_++;
+    for (const DagEdge& edge : n.successors) {
+      events_.push(t + edge.delay_s,
+                   Event{Ev::kRelease, -1, edge.to, e.core, 0.0});
+    }
+  }
+
+  // The participant core looks for new work after the completion
+  // bookkeeping (see SimOptions::completion_overhead_s).
+  CoreState& cs = cores_[static_cast<std::size_t>(e.core)];
+  DAS_ASSERT(cs.busy);
+  cs.busy = false;
+  cs.active = true;
+  events_.push(t + options_.completion_overhead_s,
+               Event{Ev::kWake, e.core, kInvalidNode, -1, 0.0});
+}
+
+void SimEngine::handle_release(const Event& e, double t) {
+  TaskState& ts = tasks_[static_cast<std::size_t>(e.task)];
+  DAS_ASSERT(ts.preds > 0);
+  if (--ts.preds == 0) make_ready(e.task, e.from_core, t);
+}
+
+}  // namespace das::sim

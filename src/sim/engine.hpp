@@ -1,0 +1,171 @@
+#pragma once
+// Discrete-event execution engine.
+//
+// Simulates the XiTAO-style runtime of paper §4.1.2 — per-worker
+// work-stealing queue (WSQ), steal-exempt priority inbox, FIFO assembly
+// queue (AQ), moldable assemblies — in deterministic virtual time. Task
+// durations come from the task type's analytic cost model evaluated against
+// the SpeedScenario at the participant's start instant, optionally perturbed
+// by lognormal measurement noise.
+//
+// The engine drives the *same* PolicyEngine and Ptt code as the real-thread
+// runtime, so scheduling behaviour (searches, exploration, steal-exemption)
+// is shared, not re-implemented. It exists because the paper's figures
+// depend on relative core speeds that the build machine does not have: in
+// virtual time the TX2's asymmetry, the DVFS square wave and the co-runner
+// interference are exact, and every figure regenerates bit-identically from
+// a seed.
+//
+// Multi-rank mode: each rank (MPI-process analogue) has its own topology,
+// scenario, policy, PTT and stats; work stealing never crosses ranks; DAG
+// edges between ranks carry a network delay (DagEdge::delay_s).
+
+#include <memory>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/policy.hpp"
+#include "core/ptt.hpp"
+#include "core/task_type.hpp"
+#include "platform/speed_model.hpp"
+#include "platform/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/stats.hpp"
+#include "trace/timeline.hpp"
+#include "util/rng.hpp"
+
+namespace das::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 42;
+  double dispatch_overhead_s = 1e-6;  ///< dequeue -> assembly insertion cost
+  double steal_latency_s = 2e-6;      ///< successful steal round-trip
+  /// Bookkeeping a finishing participant performs (PTT update, waking the
+  /// dependents) before it looks for new work. This matters: it gives a
+  /// just-released high-priority assembly time to reach the finisher's AQ,
+  /// so the finisher joins it instead of grabbing a low-priority child from
+  /// its own WSQ first (priority inversion).
+  double completion_overhead_s = 2e-6;
+  /// Idle workers back off (XiTAO-style sleep between failed steal sweeps),
+  /// so a task pushed while a core sleeps is noticed only after this delay.
+  /// Busy cores re-examine their queues immediately on completion.
+  double idle_wake_delay_s = 200e-6;
+  bool noise = true;                  ///< lognormal measurement noise
+  int stats_phases = 1;               ///< phase dimension of ExecutionStats
+  PolicyOptions policy_options{};
+  UpdateRatio ptt_ratio{};
+  /// Optional execution timeline (Chrome trace export); not owned.
+  Timeline* timeline = nullptr;
+};
+
+/// One scheduling domain (a machine node). `scenario` may be null.
+struct RankSpec {
+  const Topology* topo = nullptr;
+  const SpeedScenario* scenario = nullptr;
+};
+
+class SimEngine {
+ public:
+  SimEngine(std::vector<RankSpec> ranks, Policy policy,
+            const TaskTypeRegistry& registry, SimOptions options = {});
+  /// Single-rank convenience.
+  SimEngine(const Topology& topo, Policy policy, const TaskTypeRegistry& registry,
+            SimOptions options = {}, const SpeedScenario* scenario = nullptr);
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+  ~SimEngine();
+
+  /// Executes every task of `dag` and returns the run's makespan in virtual
+  /// seconds. May be called repeatedly: the virtual clock, the PTTs and the
+  /// stats accumulate across runs (iterative applications keep their learned
+  /// model, exactly like a persistent runtime).
+  double run(const Dag& dag);
+
+  double now() const { return now_; }
+  int num_ranks() const { return static_cast<int>(ranks_.size()); }
+
+  ExecutionStats& stats(int rank = 0);
+  const ExecutionStats& stats(int rank = 0) const;
+  PolicyEngine& policy(int rank = 0);
+  PttStore& ptt(int rank = 0);
+
+  /// Virtual completion time of a node of the most recent run().
+  double completion_time(NodeId id) const;
+
+ private:
+  enum class Ev : std::uint8_t { kWake, kDone, kRelease, kRoot };
+  struct Event {
+    Ev kind;
+    int core = -1;    // global core id (kWake, kDone)
+    NodeId task = kInvalidNode;
+    int from_core = -1;  // releasing core (kRelease)
+    double cost = 0.0;   // participation busy time (kDone)
+  };
+
+  struct Participation {
+    NodeId task;
+    int rank_in_assembly;
+  };
+
+  struct CoreState {
+    std::vector<NodeId> inbox;          // steal-exempt FIFO (pop front)
+    std::vector<NodeId> wsq;            // owner pops back, thieves pop front
+    std::vector<Participation> aq;      // FIFO (pop front)
+    bool active = false;                // has a pending kWake/kDone event
+    bool busy = false;                  // mid-participation (invariant check)
+  };
+
+  struct TaskState {
+    int preds = 0;
+    bool has_fixed_place = false;
+    ExecutionPlace place{};
+    int arrivals = 0;
+    int departures = 0;
+    double first_arrival = 0.0;
+    double max_cost = 0.0;  ///< slowest participant's busy time
+    double completion = -1.0;
+  };
+
+  struct Rank {
+    const Topology* topo;
+    const SpeedScenario* scenario;
+    std::unique_ptr<PttStore> ptt;
+    std::unique_ptr<PolicyEngine> policy;
+    std::unique_ptr<ExecutionStats> stats;
+    int first_core = 0;  // global core id of this rank's core 0
+  };
+
+  int global_core(int rank, int local) const { return ranks_[static_cast<std::size_t>(rank)].first_core + local; }
+  int rank_of_core(int core) const;
+  int local_core(int core) const;
+
+  /// `direct` models an explicit wake signal to the target worker (used for
+  /// steal-exempt placements): no backoff-sleep jitter is added.
+  void activate(int core, double at, bool direct = false);
+  void handle_wake(int core, double t);
+  void handle_done(const Event& e, double t);
+  void handle_release(const Event& e, double t);
+  void make_ready(NodeId id, int waking_core, double t);
+  void distribute(NodeId id, const ExecutionPlace& place, int rank, double t);
+  void start_participation(int core, const Participation& p, double t);
+  bool try_steal(int core, double t);
+  double participation_cost(NodeId id, int core, int rank_in_assembly, double t);
+  double lognormal_noise(double sigma);
+
+  std::vector<Rank> ranks_;
+  std::vector<int> rank_of_core_;  // global core -> rank index
+  Policy policy_kind_;
+  const TaskTypeRegistry* registry_;
+  SimOptions options_;
+  Xoshiro256 rng_;
+  EventQueue<Event> events_;
+  double now_ = 0.0;
+
+  const Dag* dag_ = nullptr;  // valid during run()
+  std::vector<TaskState> tasks_;
+  std::vector<CoreState> cores_;
+  std::int64_t completed_ = 0;
+};
+
+}  // namespace das::sim

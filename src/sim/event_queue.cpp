@@ -1,0 +1,11 @@
+#include "sim/event_queue.hpp"
+
+// EventQueue is a header-only template; this translation unit anchors the
+// sim object library and provides an explicit instantiation used by tests to
+// keep template bloat out of every including TU.
+
+namespace das::sim {
+
+template class EventQueue<int>;
+
+}  // namespace das::sim

@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic event queue for the discrete-event engine.
+//
+// Events are ordered by (time, insertion sequence): ties in virtual time are
+// resolved FIFO, so a simulation is a pure function of (DAG, topology,
+// scenario, seed) — the property the determinism tests pin down.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace das::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Item {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(double time, Payload payload) {
+    DAS_ASSERT(time >= 0.0);
+    heap_.push_back(Item{time, seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), After{});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const Item& top() const {
+    DAS_ASSERT(!heap_.empty());
+    return heap_.front();
+  }
+
+  Item pop() {
+    DAS_ASSERT(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    return item;
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  // std::push_heap builds a max-heap; After makes the *earliest* event the
+  // max element.
+  struct After {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Item> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace das::sim

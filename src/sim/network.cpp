@@ -1,0 +1,18 @@
+#include "sim/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace das::sim {
+
+double NetworkModel::delay(double bytes) const {
+  DAS_CHECK(latency_s >= 0.0 && bw_gbs > 0.0);
+  DAS_CHECK(bytes >= 0.0);
+  return latency_s + bytes / (bw_gbs * 1e9);
+}
+
+double NetworkModel::msg_rate(double bytes) const {
+  const double d = delay(bytes);
+  return d > 0.0 ? 1.0 / d : 0.0;
+}
+
+}  // namespace das::sim

@@ -1,0 +1,26 @@
+#include "trace/reporter.hpp"
+
+#include "util/format.hpp"
+
+namespace das {
+
+void print_priority_distribution(const ExecutionStats& stats, std::ostream& os,
+                                 const std::string& title) {
+  if (!title.empty()) os << title << '\n';
+  TextTable t({"place", "share"});
+  for (const auto& [place, share] : stats.distribution(Priority::kHigh))
+    t.row().add(to_string(place)).add(fmt_percent(share));
+  t.print(os);
+}
+
+void print_core_worktime(const ExecutionStats& stats, std::ostream& os,
+                         const std::string& title) {
+  if (!title.empty()) os << title << '\n';
+  TextTable t({"core", "busy_s"});
+  for (int c = 0; c < stats.topology().num_cores(); ++c)
+    t.row().add("C" + std::to_string(c)).add(stats.busy_s(c), 2);
+  t.row().add("total").add(stats.total_busy_s(), 2);
+  t.print(os);
+}
+
+}  // namespace das

@@ -1,0 +1,19 @@
+#pragma once
+// Console reporting of ExecutionStats in the layout of the paper's figures.
+
+#include <ostream>
+#include <string>
+
+#include "trace/stats.hpp"
+
+namespace das {
+
+/// Fig. 5 style: "place  share" rows for high-priority tasks.
+void print_priority_distribution(const ExecutionStats& stats, std::ostream& os,
+                                 const std::string& title = {});
+
+/// Fig. 6 style: per-core busy time plus the total.
+void print_core_worktime(const ExecutionStats& stats, std::ostream& os,
+                         const std::string& title = {});
+
+}  // namespace das

@@ -1,0 +1,44 @@
+#include "trace/timeline.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+void Timeline::record(int core, double start_s, double duration_s,
+                      std::string name, Priority priority, int width) {
+  DAS_CHECK(core >= 0);
+  DAS_CHECK(duration_s >= 0.0);
+  std::lock_guard<Spinlock> g(lock_);
+  intervals_.push_back(
+      Interval{core, start_s, duration_s, std::move(name), priority, width});
+}
+
+std::size_t Timeline::size() const {
+  std::lock_guard<Spinlock> g(lock_);
+  return intervals_.size();
+}
+
+void Timeline::clear() {
+  std::lock_guard<Spinlock> g(lock_);
+  intervals_.clear();
+}
+
+void Timeline::write_chrome_json(std::ostream& os) const {
+  std::lock_guard<Spinlock> g(lock_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Interval& iv : intervals_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << iv.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << iv.core << ",\"ts\":" << iv.start_s * 1e6
+       << ",\"dur\":" << iv.duration_s * 1e6 << ",\"args\":{\"critical\":"
+       << (iv.priority == Priority::kHigh ? "true" : "false")
+       << ",\"width\":" << iv.width << "}}";
+  }
+  os << "]}";
+}
+
+}  // namespace das

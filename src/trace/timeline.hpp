@@ -1,0 +1,47 @@
+#pragma once
+// Execution timeline export in the Chrome trace-event format
+// (chrome://tracing, Perfetto, speedscope). Each task participation becomes
+// a complete ("X") event on its core's row, so moldable assemblies show up
+// as aligned bars across the participating cores and interference windows
+// are visible as stretched bars.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/task_type.hpp"
+#include "util/spinlock.hpp"
+
+namespace das {
+
+class Timeline {
+ public:
+  /// Records one participation: `core` (global id), start and duration in
+  /// seconds, the task type's name, priority and assembly width.
+  void record(int core, double start_s, double duration_s, std::string name,
+              Priority priority, int width);
+
+  std::size_t size() const;
+  void clear();
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]}. Timestamps in
+  /// microseconds; one "thread" per core; high-priority tasks carry a
+  /// "critical" argument so they can be coloured/filtered.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Interval {
+    int core;
+    double start_s;
+    double duration_s;
+    std::string name;
+    Priority priority;
+    int width;
+  };
+
+  mutable Spinlock lock_;  // the real-thread engine records concurrently
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace das

@@ -1,0 +1,38 @@
+#pragma once
+// Cache-line constants and padding helpers.
+//
+// The PTT (core/ptt.hpp) requires that per-core rows occupy distinct cache
+// lines so that a worker mostly touches the line indexed by its own core id
+// (paper §4.1.1). These helpers centralise the layout arithmetic.
+
+#include <cstddef>
+#include <new>
+
+namespace das {
+
+// Fixed at 64 bytes (x86-64 / most AArch64). Using
+// std::hardware_destructive_interference_size would make the PTT layout part
+// of the ABI vary with compiler tuning flags (gcc warns about exactly this).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Round `n` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Wraps a T in its own cache line to prevent false sharing between
+/// neighbouring array elements (e.g. per-worker counters).
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+  explicit CachePadded(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace das

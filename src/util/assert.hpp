@@ -1,0 +1,48 @@
+#pragma once
+// Checked preconditions for the das library.
+//
+// DAS_CHECK is always on (cold paths: construction, configuration, API
+// boundaries) and throws, so tests can assert misuse. DAS_ASSERT compiles to
+// the standard assert and is meant for hot paths (queue operations, event
+// dispatch).
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace das {
+
+/// Thrown when a DAS_CHECK precondition fails.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "DAS_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace das
+
+#define DAS_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) ::das::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define DAS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream das_check_os_;                                 \
+      das_check_os_ << msg;                                             \
+      ::das::detail::check_failed(#expr, __FILE__, __LINE__, das_check_os_.str()); \
+    }                                                                   \
+  } while (0)
+
+#define DAS_ASSERT(expr) assert(expr)

@@ -1,0 +1,80 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  DAS_CHECK(!header_.empty());
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  DAS_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  DAS_CHECK_MSG(rows_.back().size() < header_.size(), "row has more cells than header");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(double v, int precision) {
+  return add(fmt_double(v, precision));
+}
+
+TextTable& TextTable::add(std::int64_t v) {
+  return add(std::to_string(v));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[c])) << s;
+      if (c + 1 < header_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace das

@@ -1,0 +1,44 @@
+#pragma once
+// Console table and CSV rendering used by the benchmark harnesses to print
+// the paper's tables/series in a stable, diff-friendly layout.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace das {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so benchmark output is stable across runs of the
+/// deterministic engine.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_* calls fill it left to right.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add(double v, int precision = 1);
+  TextTable& add(std::int64_t v);
+  TextTable& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  TextTable& add(std::size_t v) { return add(static_cast<std::int64_t>(v)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (no alignment, comma-separated, header first).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing-zero stripping).
+std::string fmt_double(double v, int precision = 1);
+
+/// Formats a fraction as a percentage string, e.g. 0.425 -> "42.5%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace das

@@ -1,0 +1,56 @@
+#pragma once
+// Test-and-test-and-set spinlock with exponential-ish backoff.
+//
+// Used where critical sections are a handful of instructions (assembly-queue
+// push/pop, stats accumulation) and a futex round-trip would dominate.
+// Satisfies Lockable so it composes with std::lock_guard.
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace das {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin read-only until the lock looks free; bounded pause burst keeps
+      // the coherence traffic low without parking the thread.
+      int spins = 1;
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < spins; ++i) cpu_relax();
+        if (spins < 64) spins <<= 1;
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace das

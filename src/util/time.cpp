@@ -1,0 +1,18 @@
+#include "util/time.hpp"
+
+#include "util/spinlock.hpp"  // cpu_relax
+
+namespace das {
+
+void busy_wait_ns(std::int64_t ns) {
+  if (ns <= 0) return;
+  const std::int64_t deadline = now_ns() + ns;
+  // Check the clock in bursts: reading steady_clock costs ~20 ns, so a burst
+  // of pauses between reads keeps the overhead below 1% for waits >= 2 us
+  // while staying accurate to well under a microsecond.
+  while (now_ns() < deadline) {
+    for (int i = 0; i < 8; ++i) cpu_relax();
+  }
+}
+
+}  // namespace das

@@ -1,0 +1,41 @@
+#pragma once
+// Nanosecond wall-clock helpers and calibrated busy-waiting.
+//
+// The threaded engine (src/rt) emulates slow cores by *extending* the wall
+// time of each task participation (see platform/throttle.hpp); that requires
+// a busy-wait that neither yields (a yield would free the core, which a
+// genuinely slow core would not do) nor drifts.
+
+#include <chrono>
+#include <cstdint>
+
+namespace das {
+
+using Clock = std::chrono::steady_clock;
+
+/// Monotonic now() in nanoseconds.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+inline double ns_to_s(std::int64_t ns) { return static_cast<double>(ns) * 1e-9; }
+inline std::int64_t s_to_ns(double s) { return static_cast<std::int64_t>(s * 1e9); }
+
+/// Busy-wait for `ns` nanoseconds without yielding the core.
+void busy_wait_ns(std::int64_t ns);
+
+/// RAII stopwatch measuring elapsed ns.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  std::int64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_s() const { return ns_to_s(elapsed_ns()); }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace das

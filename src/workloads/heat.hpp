@@ -1,0 +1,81 @@
+#pragma once
+// Distributed 2D Heat (iterative Jacobi stencil) — paper §4.2.2 / Fig. 10.
+//
+// The global grid is split into row bands, one per rank. Each iteration a
+// rank (1) exchanges its boundary rows with its neighbours — the paper
+// encapsulates these MPI calls into dedicated tasks marked HIGH priority —
+// and (2) sweeps its band with moldable low-priority compute tasks.
+//
+// Two variants:
+//   HeatReal   — actual numerics over das::net (one Runtime per rank);
+//                validated against the serial reference sweep.
+//   make_heat_sim_dag — a multi-rank DAG for the DES with cross-rank edges
+//                carrying network delays; regenerates the paper's Fig. 10
+//                at full 4-node x 20-core scale.
+
+#include <memory>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "net/comm.hpp"
+
+namespace das::workloads {
+
+struct HeatConfig {
+  int rows = 512;            ///< global interior rows (split across ranks)
+  int cols = 512;
+  int ranks = 4;
+  int iterations = 32;
+  int tasks_per_rank = 8;    ///< compute tasks per rank per iteration
+  double net_latency_s = 30e-6;
+  double net_bw_gbs = 5.0;
+};
+
+/// DES DAG spanning `cfg.ranks` scheduling domains. Compute tasks carry
+/// stencil cost-model parameters; boundary-exchange tasks are high-priority
+/// `comm_type` tasks; cross-rank dependencies carry the wire delay
+/// latency + bytes/bandwidth. Node phases are the iteration index.
+Dag make_heat_sim_dag(const HeatConfig& cfg, TaskTypeId heat_compute_type,
+                      TaskTypeId comm_type);
+
+/// Real distributed Heat: owns one rank's band (+ ghost rows) and builds
+/// per-iteration DAGs whose closures do the actual exchange and sweep.
+class HeatRank {
+ public:
+  HeatRank(const HeatConfig& cfg, net::Comm& comm, TaskTypeId heat_compute_type,
+           TaskTypeId comm_type);
+
+  int band_rows() const { return band_rows_; }
+  /// Iteration DAG: one high-priority exchange task followed by
+  /// `tasks_per_rank` moldable band-sweep tasks. Caller runs it, then calls
+  /// advance() to flip the buffers.
+  Dag make_iteration_dag(int phase);
+  void advance();
+
+  /// The rank's interior values (band_rows x cols), for validation.
+  std::vector<double> interior() const;
+
+ private:
+  void exchange_ghosts(const ExecContext& ctx);
+  void sweep(int task_index, const ExecContext& ctx);
+  double* row(std::vector<double>& g, int r) { return g.data() + static_cast<std::size_t>(r) * cols_; }
+
+  const HeatConfig cfg_;
+  net::Comm* comm_;
+  TaskTypeId compute_type_;
+  TaskTypeId comm_type_;
+  int band_rows_ = 0;  // interior rows owned by this rank
+  int cols_ = 0;
+  // band_rows + 2 ghost rows; cur -> next each iteration.
+  std::vector<double> cur_;
+  std::vector<double> next_;
+};
+
+/// Serial reference: `iterations` Jacobi sweeps over a (rows+2) x cols grid
+/// with fixed boundary values (top/bottom ghost rows start at `hot`/0).
+std::vector<double> heat_serial_reference(const HeatConfig& cfg, double hot);
+
+/// Initial interior value used by both the distributed and serial versions.
+double heat_initial_value(int global_row, int col);
+
+}  // namespace das::workloads

@@ -1,0 +1,53 @@
+#include "workloads/interference.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "kernels/copy.hpp"
+#include "kernels/matmul.hpp"
+#include "platform/affinity.hpp"
+#include "util/assert.hpp"
+
+namespace das::workloads {
+
+CoRunner::CoRunner(Config cfg) : cfg_(cfg) {
+  DAS_CHECK(cfg_.tile >= 4);
+}
+
+CoRunner::~CoRunner() { stop(); }
+
+void CoRunner::start() {
+  DAS_CHECK_MSG(!thread_.joinable(), "CoRunner already started");
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void CoRunner::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void CoRunner::loop() {
+  if (cfg_.pin_core >= 0) pin_current_thread(cfg_.pin_core);
+
+  if (cfg_.kind == Kind::kCompute) {
+    const std::size_t n = static_cast<std::size_t>(cfg_.tile);
+    std::vector<double> a(n * n, 1.0), b(n * n, 2.0), c(n * n, 0.0);
+    while (!stop_.load(std::memory_order_acquire)) {
+      kernels::matmul_reference(a.data(), b.data(), c.data(), cfg_.tile);
+      iters_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    constexpr std::size_t kStream = 1u << 20;  // 8 MiB of doubles
+    std::vector<double> src(kStream, 1.0), dst(kStream, 0.0);
+    while (!stop_.load(std::memory_order_acquire)) {
+      kernels::copy_partition(src.data(), dst.data(), kStream, 0, 1);
+      iters_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace das::workloads

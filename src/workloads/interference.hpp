@@ -1,0 +1,50 @@
+#pragma once
+// Co-running interference application for the real-thread engine.
+//
+// The paper's interference scenario pins a single chain of matmul (CPU
+// interference) or copy (memory interference) tasks to one core of the
+// platform. In this library the *scheduler-visible* effect of interference
+// is produced by SpeedScenario (the throttle inflates task times on the
+// victim core); the CoRunner below additionally provides the literal
+// competing computation for environments where thread pinning is available,
+// so the two mechanisms can be cross-checked (tests/integration).
+
+#include <atomic>
+#include <thread>
+
+namespace das::workloads {
+
+class CoRunner {
+ public:
+  enum class Kind { kCompute, kMemory };
+
+  struct Config {
+    Kind kind = Kind::kCompute;
+    int pin_core = -1;  ///< OS cpu to pin to; -1 = unpinned
+    int tile = 64;      ///< matmul tile (compute) — memory kind streams 8 MiB
+  };
+
+  explicit CoRunner(Config cfg);
+  ~CoRunner();
+
+  CoRunner(const CoRunner&) = delete;
+  CoRunner& operator=(const CoRunner&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Work-loop iterations completed so far (shows the co-runner made
+  /// progress — the paper's interference persists for the whole run).
+  std::uint64_t iterations() const { return iters_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+
+  Config cfg_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> iters_{0};
+  std::thread thread_;
+};
+
+}  // namespace das::workloads

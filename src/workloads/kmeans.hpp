@@ -1,0 +1,100 @@
+#pragma once
+// K-means clustering lowered to a dynamic task DAG (paper §4.2.2, Fig. 9).
+//
+// Each iteration is one DAG: the point set is split into chunks of uneven
+// size ("loop partitions mapped to dynamically scheduled tasks"); the large
+// chunks — the paper's "task containing the largest work unit" — are marked
+// high priority so the criticality-aware schedulers steer them around
+// interference. A reduction task combines the per-chunk partial sums into
+// the new centroids and gates the next iteration.
+//
+// The same chunking drives both engines: the real-thread engine executes
+// work closures that compute actual assignments/centroids (validated against
+// the serial reference); the DES variant carries only the cost-model
+// parameters (p0 = points, p1 = dims, p2 = k).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace das::workloads {
+
+struct KMeansConfig {
+  int points = 60000;
+  int dims = 8;
+  int k = 8;
+  int chunks = 64;            ///< map tasks per iteration
+  double big_chunk_weight = 3.0;  ///< big chunks carry this x the small share
+  int big_chunk_fraction_den = 4; ///< chunks/den chunks are "big" (high prio)
+  int max_width = 16;         ///< accumulator slots per chunk (>= max topology width)
+  std::uint64_t seed = 123;
+};
+
+class KMeans {
+ public:
+  KMeans(KMeansConfig cfg, TaskTypeId map_type, TaskTypeId reduce_type);
+
+  const KMeansConfig& config() const { return cfg_; }
+  int num_big_chunks() const { return num_big_; }
+  int chunk_begin(int chunk) const;
+  int chunk_size(int chunk) const;
+
+  const std::vector<double>& points() const { return points_; }
+  const std::vector<double>& centroids() const { return centroids_; }
+  /// Re-seeds centroids to the first k points (deterministic start).
+  void reset_centroids();
+
+  /// Iteration DAG with real work closures (bound to this object — the
+  /// object must outlive the run). `phase` tags the stats.
+  Dag make_real_iteration_dag(int phase);
+  /// Iteration DAG with cost-model parameters only (DES).
+  Dag make_sim_iteration_dag(int phase) const;
+
+  /// One serial reference iteration over `centroids` (same update rule).
+  void serial_iteration(std::vector<double>& centroids) const;
+  /// Sum of squared distances of every point to its nearest centroid.
+  double inertia() const;
+
+ private:
+  void map_chunk(int chunk, const ExecContext& ctx);
+  void reduce_all(const ExecContext& ctx);
+  double* slot(int chunk, int rank) { return partials_.data() + slot_stride_ * (static_cast<std::size_t>(chunk) * static_cast<std::size_t>(cfg_.max_width) + static_cast<std::size_t>(rank)); }
+  const double* slot(int chunk, int rank) const { return partials_.data() + slot_stride_ * (static_cast<std::size_t>(chunk) * static_cast<std::size_t>(cfg_.max_width) + static_cast<std::size_t>(rank)); }
+
+  KMeansConfig cfg_;
+  TaskTypeId map_type_;
+  TaskTypeId reduce_type_;
+  int num_big_ = 0;
+  std::vector<int> chunk_begin_;   // size chunks+1
+  std::vector<double> points_;     // points x dims
+  std::vector<double> centroids_;  // k x dims
+  // Per (chunk, width-slot) partial accumulators: k counts + k*dims sums.
+  std::size_t slot_stride_ = 0;
+  std::vector<double> partials_;
+};
+
+/// Gaussian blobs around k well-separated centers (deterministic).
+std::vector<double> generate_blobs(int points, int dims, int k,
+                                   std::uint64_t seed);
+
+/// Builds K-means iteration DAGs for the DES *without* materialising the
+/// point set (the cost models only need chunk sizes), so the paper-scale
+/// Fig. 9 experiment can use hundreds of millions of virtual points.
+class KMeansSimBuilder {
+ public:
+  KMeansSimBuilder(KMeansConfig cfg, TaskTypeId map_type, TaskTypeId reduce_type);
+  const KMeansConfig& config() const { return cfg_; }
+  int num_big_chunks() const { return num_big_; }
+  int chunk_size(int chunk) const;
+  Dag make_iteration_dag(int phase) const;
+
+ private:
+  KMeansConfig cfg_;
+  TaskTypeId map_type_;
+  TaskTypeId reduce_type_;
+  int num_big_ = 0;
+  std::vector<int> chunk_begin_;
+};
+
+}  // namespace das::workloads

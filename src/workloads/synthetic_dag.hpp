@@ -1,0 +1,34 @@
+#pragma once
+// Synthetic layered DAG generator (paper §4.2.2).
+//
+// The DAG has L = total_tasks / parallelism layers of `parallelism` tasks of
+// one kernel type. In each layer exactly one task (index 0) is marked
+// critical (high priority); executing it releases the next layer's tasks.
+// Non-critical tasks gate nothing — they only have to finish by the end.
+// By construction DAG parallelism = total tasks / longest path = parallelism.
+
+#include "core/dag.hpp"
+
+namespace das::workloads {
+
+struct SyntheticDagSpec {
+  TaskTypeId type = kInvalidTaskType;
+  int parallelism = 2;    ///< tasks per layer (the paper sweeps 2..6)
+  int total_tasks = 320;  ///< rounded down to a multiple of parallelism
+  TaskParams params{};    ///< cost-model parameters shared by every task
+  WorkFn work{};          ///< optional shared work closure (real engine)
+};
+
+Dag make_synthetic_dag(const SyntheticDagSpec& spec);
+
+/// Paper defaults: MatMul 64x64 tiles / 32000 tasks, Copy 1024x1024 doubles
+/// / 10000 tasks, Stencil 1024x1024 grid / 20000 tasks. `scale` in (0, 1]
+/// shrinks the task count for quick runs while keeping per-task parameters.
+SyntheticDagSpec paper_matmul_spec(TaskTypeId matmul, int parallelism,
+                                   double scale = 1.0, int tile = 64);
+SyntheticDagSpec paper_copy_spec(TaskTypeId copy, int parallelism,
+                                 double scale = 1.0);
+SyntheticDagSpec paper_stencil_spec(TaskTypeId stencil, int parallelism,
+                                    double scale = 1.0);
+
+}  // namespace das::workloads

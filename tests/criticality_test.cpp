@@ -1,0 +1,163 @@
+// Tests for automatic criticality inference: bottom/top levels (unit and
+// cost-weighted), critical-path marking, fanout marking, and recovery of the
+// synthetic generator's ground-truth marks.
+
+#include <gtest/gtest.h>
+
+#include "core/criticality.hpp"
+#include "util/assert.hpp"
+#include "kernels/registry.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+namespace das {
+namespace {
+
+constexpr TaskTypeId kT = 0;
+
+TEST(Criticality, BottomAndTopLevelsOnAChain) {
+  Dag d;
+  NodeId prev = kInvalidNode;
+  for (int i = 0; i < 5; ++i) {
+    const NodeId n = d.add_node(kT);
+    if (prev != kInvalidNode) d.add_edge(prev, n);
+    prev = n;
+  }
+  const auto bottom = bottom_levels(d);
+  const auto top = top_levels(d);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(bottom[static_cast<std::size_t>(i)], 5.0 - i);
+    EXPECT_DOUBLE_EQ(top[static_cast<std::size_t>(i)], i + 1.0);
+  }
+}
+
+TEST(Criticality, DiamondMarksLongestBranchOnly) {
+  //      a
+  //    /   \      upper branch b-c (longer), lower branch d
+  //   b     d
+  //   |     |
+  //   c     |
+  //    \   /
+  //      e
+  Dag dag;
+  const NodeId a = dag.add_node(kT);
+  const NodeId b = dag.add_node(kT);
+  const NodeId c = dag.add_node(kT);
+  const NodeId d = dag.add_node(kT);
+  const NodeId e = dag.add_node(kT);
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  dag.add_edge(c, e);
+  dag.add_edge(a, d);
+  dag.add_edge(d, e);
+
+  const int marked = infer_criticality(dag);
+  EXPECT_EQ(marked, 4);  // a, b, c, e — the length-4 path
+  EXPECT_EQ(dag.node(a).priority, Priority::kHigh);
+  EXPECT_EQ(dag.node(b).priority, Priority::kHigh);
+  EXPECT_EQ(dag.node(c).priority, Priority::kHigh);
+  EXPECT_EQ(dag.node(e).priority, Priority::kHigh);
+  EXPECT_EQ(dag.node(d).priority, Priority::kLow);
+}
+
+TEST(Criticality, CostWeightsFlipTheCriticalBranch) {
+  // Same diamond, but the "short" branch carries one expensive task. Use
+  // matmul's cost model: tile 96 >> 2x tile 16.
+  TaskTypeRegistry reg;
+  const auto ids = kernels::register_paper_kernels(reg);
+  const Topology topo = Topology::tx2();
+
+  Dag dag;
+  TaskParams small;
+  small.p0 = 16;
+  TaskParams big;
+  big.p0 = 96;
+  const NodeId a = dag.add_node(ids.matmul, Priority::kLow, small);
+  const NodeId b = dag.add_node(ids.matmul, Priority::kLow, small);
+  const NodeId c = dag.add_node(ids.matmul, Priority::kLow, small);
+  const NodeId d = dag.add_node(ids.matmul, Priority::kLow, big);
+  const NodeId e = dag.add_node(ids.matmul, Priority::kLow, small);
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  dag.add_edge(c, e);
+  dag.add_edge(a, d);
+  dag.add_edge(d, e);
+
+  // Unit weights: the two-node branch b-c wins (it is longer in nodes).
+  infer_criticality(dag);
+  EXPECT_EQ(dag.node(d).priority, Priority::kLow);
+
+  // Cost weights: the expensive single task d dominates.
+  CriticalityOptions opts;
+  opts.registry = &reg;
+  opts.reference_cluster = &topo.cluster(0);
+  infer_criticality(dag, opts);
+  EXPECT_EQ(dag.node(d).priority, Priority::kHigh);
+  EXPECT_EQ(dag.node(b).priority, Priority::kLow);
+  EXPECT_EQ(dag.node(c).priority, Priority::kLow);
+}
+
+TEST(Criticality, FanoutMarking) {
+  Dag dag;
+  const NodeId hub = dag.add_node(kT);
+  for (int i = 0; i < 6; ++i) {
+    const NodeId leaf = dag.add_node(kT);
+    dag.add_edge(hub, leaf);
+  }
+  // Long chain elsewhere so the hub is NOT on the critical path.
+  NodeId prev = dag.add_node(kT);
+  for (int i = 0; i < 5; ++i) {
+    const NodeId n = dag.add_node(kT);
+    dag.add_edge(prev, n);
+    prev = n;
+  }
+
+  CriticalityOptions opts;
+  opts.mark_critical_path = false;
+  opts.fanout_threshold = 4;
+  const int marked = infer_criticality(dag, opts);
+  EXPECT_EQ(marked, 1);
+  EXPECT_EQ(dag.node(hub).priority, Priority::kHigh);
+}
+
+class RecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryTest, RecoversSyntheticGeneratorMarks) {
+  const int P = GetParam();
+  workloads::SyntheticDagSpec spec;
+  spec.type = kT;
+  spec.parallelism = P;
+  spec.total_tasks = 30 * P;
+  Dag dag = workloads::make_synthetic_dag(spec);
+
+  // Record the generator's ground truth, then erase it.
+  std::vector<Priority> truth;
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    truth.push_back(dag.node(i).priority);
+    dag.node(i).priority = Priority::kLow;
+  }
+
+  infer_criticality(dag);
+
+  // Every generator-critical node must be recovered. (The last layer's
+  // non-critical tasks also sit on maximal paths — the chain gates them — so
+  // inference may mark a superset there; everything before the final layer
+  // must match exactly.)
+  const int last_layer_start = dag.num_nodes() - P;
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    if (truth[static_cast<std::size_t>(i)] == Priority::kHigh) {
+      EXPECT_EQ(dag.node(i).priority, Priority::kHigh) << "node " << i;
+    } else if (i < last_layer_start) {
+      EXPECT_EQ(dag.node(i).priority, Priority::kLow) << "node " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, RecoveryTest, ::testing::Values(2, 4, 6));
+
+TEST(Criticality, EmptyDagRejected) {
+  Dag dag;
+  EXPECT_THROW(infer_criticality(dag), PreconditionError);
+}
+
+}  // namespace
+}  // namespace das

@@ -1,0 +1,212 @@
+// Integration tests: miniature versions of the paper's experiments asserting
+// the *qualitative* results the evaluation section reports — dynamic
+// asymmetry schedulers beat random work stealing and fixed-asymmetry
+// scheduling under interference (Fig. 4), adapt to DVFS (Fig. 7), steer
+// critical tasks away from perturbed cores (Fig. 5), and the cross-engine
+// agreement between the DES and the real-thread runtime.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kernels/registry.hpp"
+#include "rt/runtime.hpp"
+#include "sim/engine.hpp"
+#include "workloads/heat.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+namespace das {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : topo_(Topology::tx2()) {
+    ids_ = kernels::register_paper_kernels(registry_);
+  }
+
+  /// DES throughput (tasks/s of virtual time) of `policy` under `scenario`.
+  double sim_throughput(Policy policy, const SpeedScenario* scenario,
+                        const workloads::SyntheticDagSpec& spec,
+                        std::uint64_t seed = 42) {
+    Dag dag = workloads::make_synthetic_dag(spec);
+    sim::SimOptions opts;
+    opts.seed = seed;
+    sim::SimEngine eng(topo_, policy, registry_, opts, scenario);
+    const double makespan = eng.run(dag);
+    return dag.num_nodes() / makespan;
+  }
+
+  Topology topo_;
+  TaskTypeRegistry registry_;
+  kernels::PaperKernelIds ids_;
+};
+
+TEST_F(IntegrationTest, Fig4Shape_DynamicBeatsFixedBeatsRandomUnderInterference) {
+  SpeedScenario scenario(topo_);
+  scenario.add_cpu_corunner(0);
+  const auto spec = workloads::paper_matmul_spec(ids_.matmul, 2, /*scale=*/0.1);
+
+  std::map<Policy, double> tp;
+  for (Policy p : all_policies()) tp[p] = sim_throughput(p, &scenario, spec);
+
+  // The paper's ordering at low parallelism with a perturbed fast core:
+  // dynamic schedulers on top, fixed-asymmetry in the middle, RWS last.
+  EXPECT_GT(tp[Policy::kDamC], tp[Policy::kFa]);
+  EXPECT_GT(tp[Policy::kDamP], tp[Policy::kFa]);
+  EXPECT_GT(tp[Policy::kDa], tp[Policy::kFa]);
+  EXPECT_GT(tp[Policy::kFa], tp[Policy::kRws]);
+  // Headline: DAM-C well above RWS (paper: up to 3.5x at full scale).
+  EXPECT_GT(tp[Policy::kDamC], 1.5 * tp[Policy::kRws]);
+}
+
+TEST_F(IntegrationTest, Fig4Shape_RwsCatchesUpAtHigherParallelism) {
+  SpeedScenario scenario(topo_);
+  scenario.add_cpu_corunner(0);
+  const double rws_p2 = sim_throughput(
+      Policy::kRws, &scenario, workloads::paper_matmul_spec(ids_.matmul, 2, 0.05));
+  const double rws_p6 = sim_throughput(
+      Policy::kRws, &scenario, workloads::paper_matmul_spec(ids_.matmul, 6, 0.05));
+  // RWS throughput grows roughly with DAG parallelism (paper Fig. 4a).
+  EXPECT_GT(rws_p6, 1.8 * rws_p2);
+
+  const double dam_p2 = sim_throughput(
+      Policy::kDamC, &scenario, workloads::paper_matmul_spec(ids_.matmul, 2, 0.05));
+  const double dam_p6 = sim_throughput(
+      Policy::kDamC, &scenario, workloads::paper_matmul_spec(ids_.matmul, 6, 0.05));
+  // DAM-C is already near its peak at low parallelism: the relative gain
+  // from P=2 to P=6 is far smaller than for RWS.
+  EXPECT_LT(dam_p6 / dam_p2, rws_p6 / rws_p2);
+}
+
+TEST_F(IntegrationTest, Fig5Shape_DynamicSchedulersEvacuatePerturbedCore) {
+  SpeedScenario scenario(topo_);
+  scenario.add_cpu_corunner(0);
+  const auto spec = workloads::paper_matmul_spec(ids_.matmul, 2, 0.1);
+
+  for (Policy p : {Policy::kDa, Policy::kDamC, Policy::kDamP}) {
+    Dag dag = workloads::make_synthetic_dag(spec);
+    sim::SimEngine eng(topo_, p, registry_, {}, &scenario);
+    eng.run(dag);
+    // Fraction of high-priority tasks on the perturbed core 0 (any width).
+    double on_core0 = 0.0, on_core1 = 0.0;
+    for (const auto& [place, share] : eng.stats().distribution(Priority::kHigh)) {
+      if (place.leader == 0) on_core0 += share;
+      if (place.leader == 1) on_core1 += share;
+    }
+    EXPECT_LT(on_core0, 0.15) << policy_name(p) << " kept criticals on the"
+                                 " interfered core (paper Fig. 5: ~2%)";
+    EXPECT_GT(on_core1, 0.5) << policy_name(p) << " should favour the clean"
+                                " Denver core (paper Fig. 5: >= 92%)";
+  }
+
+  // FA, by contrast, keeps hammering core 0 with half the criticals.
+  Dag dag = workloads::make_synthetic_dag(spec);
+  sim::SimEngine eng(topo_, Policy::kFa, registry_, {}, &scenario);
+  eng.run(dag);
+  double fa_core0 = 0.0;
+  for (const auto& [place, share] : eng.stats().distribution(Priority::kHigh))
+    if (place.leader == 0) fa_core0 += share;
+  EXPECT_NEAR(fa_core0, 0.5, 0.02);
+}
+
+TEST_F(IntegrationTest, Fig6Shape_FaOverloadsPerturbedCoreRwsBalances) {
+  SpeedScenario scenario(topo_);
+  scenario.add_cpu_corunner(0);
+  const auto spec = workloads::paper_matmul_spec(ids_.matmul, 2, 0.1);
+
+  Dag dag_fa = workloads::make_synthetic_dag(spec);
+  sim::SimEngine fa(topo_, Policy::kFa, registry_, {}, &scenario);
+  fa.run(dag_fa);
+  Dag dag_dam = workloads::make_synthetic_dag(spec);
+  sim::SimEngine dam(topo_, Policy::kDamC, registry_, {}, &scenario);
+  dam.run(dag_dam);
+  // FA's core-0 busy time dominates its other denver core (it executes the
+  // same number of criticals at half speed); DAM-C mostly avoids core 0.
+  EXPECT_GT(fa.stats().busy_s(0), 1.3 * dam.stats().busy_s(0));
+}
+
+TEST_F(IntegrationTest, Fig7Shape_DynamicSchedulersRideThroughDvfs) {
+  SpeedScenario scenario(topo_);
+  // The paper's square wave is 5 s + 5 s; this scaled-down workload runs
+  // ~0.8 s of virtual time, so the period is scaled too (the wave SHAPE is
+  // what matters — the run must span full hi/lo cycles).
+  scenario.add_dvfs(DvfsSchedule{.cluster = 0, .period_s = 1.0, .duty_hi = 0.5,
+                                 .hi = 1.0, .lo = 345.0 / 2035.0});
+  const auto spec = workloads::paper_copy_spec(ids_.copy, 3, 0.15);
+
+  std::map<Policy, double> tp;
+  for (Policy p : {Policy::kRws, Policy::kRwsmC, Policy::kFa, Policy::kDamC})
+    tp[p] = sim_throughput(p, &scenario, spec);
+
+  EXPECT_GT(tp[Policy::kDamC], tp[Policy::kRws]);
+  EXPECT_GT(tp[Policy::kDamC], tp[Policy::kRwsmC]);
+  EXPECT_GT(tp[Policy::kDamC], tp[Policy::kFa]);
+}
+
+TEST_F(IntegrationTest, Fig10Shape_DistributedHeatPrefersMoldableSchedulers) {
+  // Large bands (millisecond tasks) and enough iterations to amortise the
+  // PTT's explore-every-place start-up, as in the paper's minutes-long runs.
+  workloads::HeatConfig cfg;
+  cfg.rows = 2048;
+  cfg.cols = 8192;
+  cfg.ranks = 4;
+  cfg.iterations = 40;
+  cfg.tasks_per_rank = 8;
+
+  const Topology node_topo = Topology::haswell20();
+  SpeedScenario perturbed(node_topo);
+  perturbed.add_interference(
+      InterferenceEvent{.cores = {0, 1, 2, 3, 4}, .cpu_share = 0.5});
+
+  std::map<Policy, double> tp;
+  for (Policy p : {Policy::kRws, Policy::kRwsmC, Policy::kDa, Policy::kDamC}) {
+    Dag dag = workloads::make_heat_sim_dag(cfg, ids_.heat_compute, ids_.comm);
+    std::vector<sim::RankSpec> ranks(4, sim::RankSpec{&node_topo, nullptr});
+    ranks[0].scenario = &perturbed;  // interference on node 0, socket 0
+    sim::SimEngine eng(ranks, p, registry_);
+    const double makespan = eng.run(dag);
+    tp[p] = dag.num_nodes() / makespan;
+  }
+  // The paper's headline: DAM-C +76% over RWS. Moldability is the dominant
+  // effect in our substrate too.
+  EXPECT_GT(tp[Policy::kDamC], 1.3 * tp[Policy::kRws]);
+  EXPECT_GT(tp[Policy::kRwsmC], 1.2 * tp[Policy::kRws]);
+  // DA (criticality steering without moldability) stays in RWS's
+  // neighbourhood here — see EXPERIMENTS.md for the documented deviation
+  // from the paper's +52%.
+  EXPECT_GT(tp[Policy::kDa], 0.8 * tp[Policy::kRws]);
+}
+
+TEST_F(IntegrationTest, CrossEngine_RealRuntimeAgreesWithDesOrdering) {
+  // Small matmul DAG with emulated interference on core 0: both engines must
+  // rank DAM-C above RWS. (Absolute numbers differ: the DES charges model
+  // costs, the runtime executes real kernels plus the throttle.)
+  SpeedScenario scenario(topo_);
+  scenario.add_cpu_corunner(0);
+
+  workloads::SyntheticDagSpec spec;
+  spec.type = ids_.matmul;
+  spec.parallelism = 2;
+  spec.total_tasks = 400;
+  spec.params.p0 = 48;
+
+  const double sim_rws = sim_throughput(Policy::kRws, &scenario, spec);
+  const double sim_dam = sim_throughput(Policy::kDamC, &scenario, spec);
+
+  auto rt_throughput = [&](Policy p) {
+    Dag dag = workloads::make_synthetic_dag(spec);  // cost-model fallback work
+    rt::RtOptions opts;
+    opts.scenario = &scenario;
+    rt::Runtime rt(topo_, p, registry_, opts);
+    const double elapsed = rt.run(dag);
+    return dag.num_nodes() / elapsed;
+  };
+  const double rt_rws = rt_throughput(Policy::kRws);
+  const double rt_dam = rt_throughput(Policy::kDamC);
+
+  EXPECT_GT(sim_dam, sim_rws);
+  EXPECT_GT(rt_dam, rt_rws);
+}
+
+}  // namespace
+}  // namespace das

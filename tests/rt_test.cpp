@@ -1,0 +1,215 @@
+// Tests for the real-thread runtime: conservation, dependency ordering,
+// moldable cooperative execution, steal-exemption of high-priority tasks,
+// multi-run reuse, randomised stress DAGs, and throttle-based asymmetry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "rt/runtime.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+namespace das::rt {
+namespace {
+
+class RtTest : public ::testing::Test {
+ protected:
+  RtTest() : topo_(Topology::tx2()) {
+    ids_ = kernels::register_paper_kernels(registry_);
+  }
+
+  Topology topo_;
+  TaskTypeRegistry registry_;
+  kernels::PaperKernelIds ids_;
+};
+
+TEST_F(RtTest, EveryWorkClosureRunsExactlyOnce) {
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> executed(kTasks);
+  Dag dag;
+  for (int i = 0; i < kTasks; ++i) {
+    dag.add_node(ids_.matmul, Priority::kLow, {},
+                 [&executed, i](const ExecContext& ctx) {
+                   if (ctx.rank == 0)
+                     executed[static_cast<std::size_t>(i)].fetch_add(1);
+                 });
+  }
+  // Random layered dependencies.
+  Xoshiro256 rng(5);
+  for (int i = 1; i < kTasks; ++i) {
+    const int preds = static_cast<int>(rng.below(3));
+    for (int p = 0; p < preds; ++p)
+      dag.add_edge(static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(i))), i);
+  }
+  ASSERT_TRUE(dag.is_acyclic());
+
+  Runtime rt(topo_, Policy::kRws, registry_);
+  rt.run(dag);
+  for (int i = 0; i < kTasks; ++i)
+    EXPECT_EQ(executed[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  EXPECT_EQ(rt.stats().tasks_total(), kTasks);
+}
+
+TEST_F(RtTest, DependenciesNeverInverted) {
+  // Each task stores a completion ticket; successors must observe all
+  // predecessors' tickets already set.
+  constexpr int kTasks = 300;
+  std::vector<std::atomic<bool>> done(kTasks);
+  std::atomic<int> violations{0};
+  Dag dag;
+  std::vector<std::vector<NodeId>> preds(kTasks);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < kTasks; ++i) {
+    std::vector<NodeId> my_preds;
+    if (i > 0) {
+      const int n = 1 + static_cast<int>(rng.below(2));
+      for (int p = 0; p < n; ++p)
+        my_preds.push_back(static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(i))));
+    }
+    preds[static_cast<std::size_t>(i)] = my_preds;
+    dag.add_node(ids_.matmul, Priority::kLow, {},
+                 [&, i](const ExecContext& ctx) {
+                   if (ctx.rank != 0) return;
+                   for (NodeId p : preds[static_cast<std::size_t>(i)])
+                     if (!done[static_cast<std::size_t>(p)].load(std::memory_order_acquire))
+                       violations.fetch_add(1);
+                   done[static_cast<std::size_t>(i)].store(true, std::memory_order_release);
+                 });
+    for (NodeId p : my_preds) dag.add_edge(p, i);
+  }
+  Runtime rt(topo_, Policy::kDamC, registry_);
+  rt.run(dag);
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_F(RtTest, MoldableAssemblyCoversAllRanks) {
+  // Force a fixed wide place by pre-seeding the PTT so DAM-P sends the
+  // high-priority task to (2,4); verify all 4 ranks participate.
+  std::atomic<std::uint32_t> rank_mask{0};
+  std::atomic<int> width_seen{0};
+  Dag dag;
+  dag.add_node(ids_.matmul, Priority::kHigh, {},
+               [&](const ExecContext& ctx) {
+                 rank_mask.fetch_or(1u << ctx.rank);
+                 width_seen.store(ctx.width);
+                 EXPECT_EQ(ctx.leader, 2);
+                 EXPECT_GE(ctx.core, 2);
+                 EXPECT_LE(ctx.core, 5);
+               });
+  Runtime rt(topo_, Policy::kDamP, registry_);
+  rt.ptt().table(ids_.matmul).fill(1.0);
+  for (int i = 0; i < 64; ++i)
+    rt.ptt().table(ids_.matmul).update(ExecutionPlace{2, 4}, 0.0001);
+  rt.run(dag);
+  EXPECT_EQ(width_seen.load(), 4);
+  EXPECT_EQ(rank_mask.load(), 0b1111u);
+  EXPECT_EQ(rt.stats().tasks_at(Priority::kHigh, topo_.place_id({2, 4})), 1);
+}
+
+TEST_F(RtTest, HighPriorityExecutesOnDenverUnderFa) {
+  workloads::SyntheticDagSpec spec;
+  spec.type = ids_.matmul;
+  spec.parallelism = 2;
+  spec.total_tasks = 200;
+  spec.work = [](const ExecContext&) { busy_wait_ns(20000); };
+  Dag dag = workloads::make_synthetic_dag(spec);
+  Runtime rt(topo_, Policy::kFa, registry_);
+  rt.run(dag);
+  // Every high-priority task ran at a width-1 denver place.
+  std::int64_t high_total = rt.stats().tasks_with_priority(Priority::kHigh);
+  EXPECT_EQ(high_total, 100);
+  EXPECT_EQ(rt.stats().tasks_at(Priority::kHigh, topo_.place_id({0, 1})) +
+                rt.stats().tasks_at(Priority::kHigh, topo_.place_id({1, 1})),
+            high_total);
+}
+
+TEST_F(RtTest, RunIsRepeatableAndAccumulates) {
+  Runtime rt(topo_, Policy::kDamC, registry_);
+  for (int iter = 0; iter < 5; ++iter) {
+    workloads::SyntheticDagSpec spec;
+    spec.type = ids_.matmul;
+    spec.parallelism = 3;
+    spec.total_tasks = 60;
+    spec.work = [](const ExecContext&) { busy_wait_ns(5000); };
+    Dag dag = workloads::make_synthetic_dag(spec);
+    const double elapsed = rt.run(dag);
+    EXPECT_GT(elapsed, 0.0);
+  }
+  EXPECT_EQ(rt.stats().tasks_total(), 5 * 60);
+}
+
+TEST_F(RtTest, CostModelFallbackExecutesWorklessNodes) {
+  Dag dag;
+  TaskParams p;
+  p.p0 = 16;
+  dag.add_node(ids_.matmul, Priority::kLow, p);  // no work closure
+  Runtime rt(topo_, Policy::kRws, registry_);
+  rt.run(dag);
+  EXPECT_EQ(rt.stats().tasks_total(), 1);
+  EXPECT_GT(rt.stats().total_busy_s(), 0.0);
+}
+
+TEST_F(RtTest, ThrottleStretchesEmulatedSlowCores) {
+  // One chain of tasks pinned by policy FA to denver; compare wall time with
+  // an emulation scenario that halves core speeds vs. without.
+  auto run_once = [&](const SpeedScenario* scenario) {
+    RtOptions opts;
+    opts.scenario = scenario;
+    Runtime rt(topo_, Policy::kFa, registry_, opts);
+    Dag dag;
+    NodeId prev = kInvalidNode;
+    for (int i = 0; i < 30; ++i) {
+      const NodeId n = dag.add_node(ids_.matmul, Priority::kHigh, {},
+                                    [](const ExecContext&) { busy_wait_ns(500000); });
+      if (prev != kInvalidNode) dag.add_edge(prev, n);
+      prev = n;
+    }
+    return rt.run(dag);
+  };
+  const double native = run_once(nullptr);
+  SpeedScenario slow(topo_);
+  slow.add_interference(InterferenceEvent{.cores = {0, 1}, .cpu_share = 0.5});
+  const double throttled = run_once(&slow);
+  // 30 x 0.5 ms chain at half speed ~ 2x; allow generous slack for CI noise.
+  EXPECT_GT(throttled, native * 1.5);
+}
+
+TEST_F(RtTest, StatsBusyTimeTracksWork) {
+  Dag dag;
+  for (int i = 0; i < 24; ++i)
+    dag.add_node(ids_.matmul, Priority::kLow, {},
+                 [](const ExecContext&) { busy_wait_ns(1000000); });
+  Runtime rt(topo_, Policy::kRws, registry_);
+  rt.run(dag);
+  // 24 ms of total work, distributed.
+  EXPECT_NEAR(rt.stats().total_busy_s(), 0.024, 0.012);
+}
+
+TEST_F(RtTest, RejectsMultiRankDag) {
+  Dag dag;
+  dag.add_node(ids_.matmul);
+  dag.node(0).rank = 1;
+  Runtime rt(topo_, Policy::kRws, registry_);
+  EXPECT_THROW(rt.run(dag), PreconditionError);
+}
+
+TEST_F(RtTest, StressManySmallTasksAllPolicies) {
+  for (Policy p : all_policies()) {
+    workloads::SyntheticDagSpec spec;
+    spec.type = ids_.matmul;
+    spec.parallelism = 6;
+    spec.total_tasks = 1200;
+    spec.work = [](const ExecContext&) { busy_wait_ns(2000); };
+    Dag dag = workloads::make_synthetic_dag(spec);
+    Runtime rt(topo_, p, registry_);
+    rt.run(dag);
+    EXPECT_EQ(rt.stats().tasks_total(), 1200) << policy_name(p);
+  }
+}
+
+}  // namespace
+}  // namespace das::rt

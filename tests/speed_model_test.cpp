@@ -1,0 +1,124 @@
+// Unit tests for the time-varying speed model: DVFS square wave, interference
+// windows, bandwidth shares, and the throttle emulator arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "platform/speed_model.hpp"
+#include "platform/throttle.hpp"
+#include "util/assert.hpp"
+
+namespace das {
+namespace {
+
+class SpeedModelTest : public ::testing::Test {
+ protected:
+  Topology topo_ = Topology::tx2();
+};
+
+TEST_F(SpeedModelTest, BaseSpeedsWithoutEvents) {
+  SpeedScenario s(topo_);
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.speed(0, 0.0), 1.0);    // denver
+  EXPECT_DOUBLE_EQ(s.speed(1, 123.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.speed(2, 0.0), 0.55);   // a57
+  EXPECT_DOUBLE_EQ(s.bandwidth_share(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.relative_speed(2, 0.0), 0.55);
+}
+
+TEST_F(SpeedModelTest, DvfsSquareWave) {
+  SpeedScenario s(topo_);
+  s.add_dvfs(DvfsSchedule{.cluster = 0, .period_s = 10.0, .duty_hi = 0.5,
+                          .hi = 1.0, .lo = 0.2, .phase_s = 0.0});
+  // HI during [0,5), LO during [5,10), repeating.
+  EXPECT_DOUBLE_EQ(s.speed(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.speed(0, 4.999), 1.0);
+  EXPECT_DOUBLE_EQ(s.speed(0, 5.0), 0.2);
+  EXPECT_DOUBLE_EQ(s.speed(0, 9.999), 0.2);
+  EXPECT_DOUBLE_EQ(s.speed(0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.speed(0, 15.5), 0.2);
+  // Other cluster untouched.
+  EXPECT_DOUBLE_EQ(s.speed(3, 7.0), 0.55);
+}
+
+TEST_F(SpeedModelTest, DvfsPhaseShift) {
+  SpeedScenario s(topo_);
+  s.add_dvfs(DvfsSchedule{.cluster = 0, .period_s = 10.0, .duty_hi = 0.5,
+                          .hi = 1.0, .lo = 0.2, .phase_s = 2.0});
+  EXPECT_DOUBLE_EQ(s.speed(0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.speed(0, 7.0), 0.2);
+  // Negative scenario time folds into the wave consistently.
+  EXPECT_DOUBLE_EQ(s.speed(0, 0.0), 0.2);  // t-phase = -2 -> pos = 8 -> LO
+}
+
+TEST_F(SpeedModelTest, InterferenceWindowAndCores) {
+  SpeedScenario s(topo_);
+  s.add_interference(InterferenceEvent{.cores = {0}, .t_start = 1.0,
+                                       .t_end = 3.0, .cpu_share = 0.5});
+  EXPECT_DOUBLE_EQ(s.speed(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.speed(0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.speed(0, 2.999), 0.5);
+  EXPECT_DOUBLE_EQ(s.speed(0, 3.0), 1.0);  // t_end exclusive
+  EXPECT_DOUBLE_EQ(s.speed(1, 2.0), 1.0);  // other core untouched
+}
+
+TEST_F(SpeedModelTest, EffectsCompose) {
+  SpeedScenario s(topo_);
+  s.add_dvfs(DvfsSchedule{.cluster = 0, .period_s = 10.0, .duty_hi = 0.5,
+                          .hi = 1.0, .lo = 0.5});
+  s.add_cpu_corunner(0);
+  // During the LO phase with interference: 1.0 * 0.5 (dvfs) * 0.5 (share).
+  EXPECT_DOUBLE_EQ(s.speed(0, 6.0), 0.25);
+}
+
+TEST_F(SpeedModelTest, MemCorunnerShrinksBandwidth) {
+  SpeedScenario s(topo_);
+  s.add_mem_corunner(0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.bandwidth_share(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.bandwidth_share(0, 2.0), 0.7);   // victim cluster
+  EXPECT_DOUBLE_EQ(s.bandwidth_share(1, 2.0), 0.85);  // other cluster
+  EXPECT_DOUBLE_EQ(s.speed(0, 2.0), 0.6);
+  EXPECT_DOUBLE_EQ(s.bandwidth_share(0, 5.0), 1.0);
+}
+
+TEST_F(SpeedModelTest, CpuCorunnerLeavesBandwidth) {
+  SpeedScenario s(topo_);
+  s.add_cpu_corunner(0);
+  EXPECT_DOUBLE_EQ(s.bandwidth_share(0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.speed(0, 10.0), 0.5);
+}
+
+TEST_F(SpeedModelTest, ValidationRejectsBadInputs) {
+  SpeedScenario s(topo_);
+  EXPECT_THROW(s.add_dvfs(DvfsSchedule{.cluster = 9}), PreconditionError);
+  EXPECT_THROW(s.add_interference(InterferenceEvent{.cores = {}}), PreconditionError);
+  EXPECT_THROW(s.add_interference(InterferenceEvent{.cores = {99}}), PreconditionError);
+  EXPECT_THROW(
+      s.add_interference(InterferenceEvent{.cores = {0}, .cpu_share = 0.0}),
+      PreconditionError);
+  EXPECT_THROW(
+      s.add_interference(InterferenceEvent{.cores = {0}, .t_start = 5.0, .t_end = 1.0}),
+      PreconditionError);
+}
+
+TEST_F(SpeedModelTest, EmulatorDeficitArithmetic) {
+  // A core at half speed owes exactly the work time again.
+  EXPECT_EQ(SpeedEmulator::deficit_ns(1000, 0.5), 1000);
+  EXPECT_EQ(SpeedEmulator::deficit_ns(1000, 1.0), 0);
+  EXPECT_EQ(SpeedEmulator::deficit_ns(1000, 2.0), 0);  // never negative
+  EXPECT_EQ(SpeedEmulator::deficit_ns(0, 0.5), 0);
+  EXPECT_EQ(SpeedEmulator::deficit_ns(900, 0.25), 2700);
+}
+
+TEST_F(SpeedModelTest, EmulatorMapsAbsoluteTimeToScenarioTime) {
+  SpeedScenario s(topo_);
+  s.add_cpu_corunner(0, /*t0=*/1.0, /*t1=*/2.0);
+  SpeedEmulator em(s, /*epoch_ns=*/1'000'000'000);
+  EXPECT_DOUBLE_EQ(em.scenario_time(1'000'000'000), 0.0);
+  EXPECT_DOUBLE_EQ(em.relative_speed(0, 1'000'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(em.relative_speed(0, 2'500'000'000), 0.5);  // t=1.5s
+  // A57 relative speed is its base ratio.
+  EXPECT_DOUBLE_EQ(em.relative_speed(2, 1'000'000'000), 0.55);
+}
+
+}  // namespace
+}  // namespace das

@@ -1,0 +1,74 @@
+// Tests for the Chrome trace-event timeline and its DES hook.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kernels/registry.hpp"
+#include "sim/engine.hpp"
+#include "trace/timeline.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+namespace das {
+namespace {
+
+TEST(Timeline, RecordsAndSerialises) {
+  Timeline tl;
+  tl.record(2, 0.001, 0.0005, "matmul", Priority::kHigh, 4);
+  tl.record(0, 0.0, 0.002, "copy", Priority::kLow, 1);
+  EXPECT_EQ(tl.size(), 2u);
+
+  std::ostringstream os;
+  tl.write_chrome_json(os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '}');
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"matmul\""), std::string::npos);
+  EXPECT_NE(s.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"critical\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"width\":4"), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+
+  tl.clear();
+  EXPECT_EQ(tl.size(), 0u);
+}
+
+TEST(Timeline, RejectsInvalidIntervals) {
+  Timeline tl;
+  EXPECT_THROW(tl.record(-1, 0.0, 1.0, "x", Priority::kLow, 1), PreconditionError);
+  EXPECT_THROW(tl.record(0, 0.0, -1.0, "x", Priority::kLow, 1), PreconditionError);
+}
+
+TEST(Timeline, DesRecordsOneIntervalPerParticipation) {
+  TaskTypeRegistry registry;
+  const auto ids = kernels::register_paper_kernels(registry);
+  const Topology topo = Topology::tx2();
+
+  workloads::SyntheticDagSpec spec;
+  spec.type = ids.matmul;
+  spec.parallelism = 2;
+  spec.total_tasks = 40;
+  spec.params.p0 = 64;
+  Dag dag = workloads::make_synthetic_dag(spec);
+
+  Timeline tl;
+  sim::SimOptions opts;
+  opts.timeline = &tl;
+  sim::SimEngine eng(topo, Policy::kDamC, registry, opts);
+  eng.run(dag);
+
+  // At least one interval per task (wider assemblies add more).
+  EXPECT_GE(tl.size(), static_cast<std::size_t>(dag.num_nodes()));
+
+  std::ostringstream os;
+  tl.write_chrome_json(os);
+  const std::string s = os.str();
+  // All six TX2 cores and both priorities appear over a full run.
+  EXPECT_NE(s.find("\"critical\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"critical\":false"), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"matmul\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace das

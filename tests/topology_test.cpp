@@ -1,0 +1,153 @@
+// Unit tests for the platform topology: presets, execution-place enumeration,
+// the width-alignment rule, local-search candidate sets, and validation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/topology.hpp"
+#include "util/assert.hpp"
+
+namespace das {
+namespace {
+
+TEST(Topology, Tx2Shape) {
+  const Topology t = Topology::tx2();
+  EXPECT_EQ(t.num_cores(), 6);
+  EXPECT_EQ(t.num_clusters(), 2);
+  EXPECT_EQ(t.cluster(0).name, "denver");
+  EXPECT_EQ(t.cluster(0).num_cores, 2);
+  EXPECT_EQ(t.cluster(1).num_cores, 4);
+  EXPECT_EQ(t.fastest_cluster(), 0);
+  EXPECT_DOUBLE_EQ(t.max_base_speed(), 1.0);
+  EXPECT_EQ(t.cluster_index_of(0), 0);
+  EXPECT_EQ(t.cluster_index_of(1), 0);
+  EXPECT_EQ(t.cluster_index_of(2), 1);
+  EXPECT_EQ(t.cluster_index_of(5), 1);
+}
+
+TEST(Topology, Tx2PlacesMatchPaperFigure2) {
+  const Topology t = Topology::tx2();
+  // Denver: (0,1) (0,2) (1,1); A57: (2,1) (2,2) (2,4) (3,1) (4,1) (4,2) (5,1)
+  EXPECT_EQ(t.num_places(), 10);
+  EXPECT_TRUE(t.is_valid_place({0, 1}));
+  EXPECT_TRUE(t.is_valid_place({0, 2}));
+  EXPECT_TRUE(t.is_valid_place({1, 1}));
+  EXPECT_TRUE(t.is_valid_place({2, 2}));
+  EXPECT_TRUE(t.is_valid_place({4, 2}));
+  EXPECT_TRUE(t.is_valid_place({2, 4}));
+  // Alignment rule (the paper's Fig. 5 never shows these):
+  EXPECT_FALSE(t.is_valid_place({1, 2}));  // unaligned in denver
+  EXPECT_FALSE(t.is_valid_place({3, 2}));  // unaligned in a57
+  EXPECT_FALSE(t.is_valid_place({5, 2}));
+  EXPECT_FALSE(t.is_valid_place({3, 4}));
+  EXPECT_FALSE(t.is_valid_place({2, 8}));  // width unsupported
+  EXPECT_FALSE(t.is_valid_place({-1, 1}));
+  EXPECT_FALSE(t.is_valid_place({6, 1}));
+}
+
+TEST(Topology, PlaceIdsAreDenseAndStable) {
+  const Topology t = Topology::tx2();
+  std::set<int> ids;
+  for (const ExecutionPlace& p : t.places()) {
+    const int id = t.place_id(p);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate place id " << id;
+    EXPECT_EQ(t.place_at(id), p);
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), t.num_places());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), t.num_places() - 1);
+}
+
+TEST(Topology, LocalPlacesKeepCoreInsidePlace) {
+  const Topology t = Topology::tx2();
+  for (int core = 0; core < t.num_cores(); ++core) {
+    for (const ExecutionPlace& p : t.local_places(core)) {
+      EXPECT_TRUE(t.is_valid_place(p));
+      EXPECT_LE(p.leader, core);
+      EXPECT_GT(p.leader + p.width, core) << "local place must contain the core";
+    }
+  }
+  // Core 3 of the A57 cluster: (3,1), (2,2), (2,4).
+  const auto& lp = t.local_places(3);
+  ASSERT_EQ(lp.size(), 3u);
+  EXPECT_EQ(lp[0], (ExecutionPlace{3, 1}));
+  EXPECT_EQ(lp[1], (ExecutionPlace{2, 2}));
+  EXPECT_EQ(lp[2], (ExecutionPlace{2, 4}));
+}
+
+TEST(Topology, LeaderForAlignsDown) {
+  const Topology t = Topology::tx2();
+  EXPECT_EQ(t.leader_for(3, 2), 2);
+  EXPECT_EQ(t.leader_for(5, 4), 2);
+  EXPECT_EQ(t.leader_for(1, 2), 0);
+  EXPECT_EQ(t.leader_for(4, 1), 4);
+}
+
+TEST(Topology, Width1PlacesCoverAllCores) {
+  const Topology t = Topology::haswell16();
+  const auto& w1 = t.width1_places();
+  ASSERT_EQ(static_cast<int>(w1.size()), t.num_cores());
+  for (int c = 0; c < t.num_cores(); ++c) {
+    EXPECT_EQ(w1[static_cast<std::size_t>(c)].leader, c);
+    EXPECT_EQ(w1[static_cast<std::size_t>(c)].width, 1);
+  }
+}
+
+TEST(Topology, Haswell16Shape) {
+  const Topology t = Topology::haswell16();
+  EXPECT_EQ(t.num_cores(), 16);
+  EXPECT_EQ(t.num_clusters(), 2);
+  EXPECT_TRUE(t.is_valid_place({0, 8}));
+  EXPECT_TRUE(t.is_valid_place({8, 8}));
+  EXPECT_TRUE(t.is_valid_place({8, 4}));
+  EXPECT_FALSE(t.is_valid_place({4, 8}));
+}
+
+TEST(Topology, Haswell20WidthEightOnlyAtSocketStart) {
+  const Topology t = Topology::haswell20();
+  EXPECT_EQ(t.num_cores(), 20);
+  EXPECT_TRUE(t.is_valid_place({0, 8}));
+  EXPECT_TRUE(t.is_valid_place({10, 8}));
+  // Offset 8 + width 8 = 16 > 10 cores: spills the socket.
+  EXPECT_FALSE(t.is_valid_place({8, 8}));
+  EXPECT_FALSE(t.is_valid_place({18, 8}));
+}
+
+TEST(Topology, HaswellClusterConcatenatesNodes) {
+  const Topology t = Topology::haswell_cluster(4);
+  EXPECT_EQ(t.num_cores(), 80);
+  EXPECT_EQ(t.num_clusters(), 8);
+  EXPECT_EQ(t.cluster(2).name, "n1.s0");
+  EXPECT_EQ(t.cluster(2).first_core, 20);
+}
+
+TEST(Topology, SymmetricPreset) {
+  const Topology t = Topology::symmetric(3, 4, 2.0);
+  EXPECT_EQ(t.num_cores(), 12);
+  EXPECT_DOUBLE_EQ(t.max_base_speed(), 2.0);
+  EXPECT_EQ(t.cluster(1).widths, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(Topology, RejectsMalformedClusters) {
+  // Non-contiguous tiling.
+  Cluster a{.name = "a", .first_core = 0, .num_cores = 2, .base_speed = 1.0, .widths = {1, 2}};
+  Cluster gap{.name = "b", .first_core = 3, .num_cores = 2, .base_speed = 1.0, .widths = {1, 2}};
+  EXPECT_THROW(Topology({a, gap}), PreconditionError);
+  // Missing width 1.
+  Cluster no1{.name = "c", .first_core = 0, .num_cores = 4, .base_speed = 1.0, .widths = {2, 4}};
+  EXPECT_THROW(Topology({no1}), PreconditionError);
+  // Non-power-of-two width.
+  Cluster w3{.name = "d", .first_core = 0, .num_cores = 4, .base_speed = 1.0, .widths = {1, 3}};
+  EXPECT_THROW(Topology({w3}), PreconditionError);
+  // Width larger than the cluster.
+  Cluster big{.name = "e", .first_core = 0, .num_cores = 2, .base_speed = 1.0, .widths = {1, 4}};
+  EXPECT_THROW(Topology({big}), PreconditionError);
+}
+
+TEST(Topology, PlaceToString) {
+  EXPECT_EQ(to_string(ExecutionPlace{2, 4}), "(C2,4)");
+}
+
+}  // namespace
+}  // namespace das

@@ -1,0 +1,124 @@
+// Tests for the two-level (cluster-cached) PTT search: agreement with the
+// flat brute-force arg-min, correct cache invalidation, and the rescan
+// savings the design exists for.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/two_level_search.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace das {
+namespace {
+
+ExecutionPlace brute_min(const Topology& topo, const Ptt& ptt,
+                         PolicyEngine::Objective obj) {
+  double best = std::numeric_limits<double>::infinity();
+  ExecutionPlace arg{0, 1};
+  for (int pid = 0; pid < topo.num_places(); ++pid) {
+    const ExecutionPlace& p = topo.place_at(pid);
+    const double v = ptt.value(pid);
+    const double key =
+        obj == PolicyEngine::Objective::kCost ? v * p.width : v;
+    if (key < best) {
+      best = key;
+      arg = p;
+    }
+  }
+  return arg;
+}
+
+class TwoLevelTest : public ::testing::TestWithParam<PolicyEngine::Objective> {
+ protected:
+  TwoLevelTest() : topo_(Topology::haswell_cluster(2)), ptt_(topo_) {}
+  Topology topo_;
+  Ptt ptt_;
+};
+
+TEST_P(TwoLevelTest, MatchesBruteForceThroughRandomUpdates) {
+  TwoLevelSearch search(topo_);
+  Xoshiro256 rng(13);
+  for (int step = 0; step < 500; ++step) {
+    const int pid = static_cast<int>(rng.below(static_cast<std::uint64_t>(topo_.num_places())));
+    const ExecutionPlace p = topo_.place_at(pid);
+    ptt_.update(pid, 1e-4 * (1.0 + rng.uniform() * 10.0));
+    search.invalidate(p);
+    const ExecutionPlace got = search.find_min(ptt_, GetParam());
+    const ExecutionPlace want = brute_min(topo_, ptt_, GetParam());
+    // Keys must match (multiple places may share the same key).
+    const double got_v = ptt_.value(got);
+    const double want_v = ptt_.value(want);
+    if (GetParam() == PolicyEngine::Objective::kCost) {
+      ASSERT_DOUBLE_EQ(got_v * got.width, want_v * want.width) << "step " << step;
+    } else {
+      ASSERT_DOUBLE_EQ(got_v, want_v) << "step " << step;
+    }
+  }
+}
+
+TEST_P(TwoLevelTest, StaleWithoutInvalidation) {
+  TwoLevelSearch search(topo_);
+  ptt_.fill(1.0);
+  search.invalidate_all();
+  const ExecutionPlace before = search.find_min(ptt_, GetParam());
+  // Make some place clearly better but DON'T invalidate: the cache must
+  // (by design) keep the stale answer...
+  const ExecutionPlace improved{20, 1};
+  for (int i = 0; i < 64; ++i) ptt_.update(improved, 1e-6);
+  const ExecutionPlace stale = search.find_min(ptt_, GetParam());
+  EXPECT_EQ(stale, before);
+  // ...until notified.
+  search.invalidate(improved);
+  EXPECT_EQ(search.find_min(ptt_, GetParam()), improved);
+}
+
+TEST_P(TwoLevelTest, RescansOnlyDirtyClusters) {
+  TwoLevelSearch search(topo_);
+  ptt_.fill(1.0);
+  search.invalidate_all();
+  search.find_min(ptt_, GetParam());
+  const std::uint64_t after_full = search.rescans();
+  EXPECT_EQ(after_full, static_cast<std::uint64_t>(topo_.num_clusters()));
+
+  // A localised update dirties exactly one cluster.
+  ptt_.update(ExecutionPlace{0, 2}, 0.5);
+  search.invalidate(ExecutionPlace{0, 2});
+  search.find_min(ptt_, GetParam());
+  EXPECT_EQ(search.rescans(), after_full + 1);
+
+  // A clean search rescans nothing.
+  search.find_min(ptt_, GetParam());
+  EXPECT_EQ(search.rescans(), after_full + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, TwoLevelTest,
+                         ::testing::Values(PolicyEngine::Objective::kCost,
+                                           PolicyEngine::Objective::kTime),
+                         [](const auto& info) {
+                           return info.param == PolicyEngine::Objective::kCost
+                                      ? "Cost"
+                                      : "Time";
+                         });
+
+TEST(TwoLevelSearchBasics, UnexploredEntriesWinLikeTheFlatSearch) {
+  const Topology topo = Topology::tx2();
+  Ptt ptt(topo);
+  TwoLevelSearch search(topo);
+  // Everything explored except (2,4): the zero entry must win.
+  for (int pid = 0; pid < topo.num_places(); ++pid)
+    if (topo.place_at(pid) != ExecutionPlace{2, 4}) ptt.update(pid, 1.0);
+  search.invalidate_all();
+  EXPECT_EQ(search.find_min(ptt, PolicyEngine::Objective::kTime),
+            (ExecutionPlace{2, 4}));
+}
+
+TEST(TwoLevelSearchBasics, InvalidPlaceRejected) {
+  const Topology topo = Topology::tx2();
+  TwoLevelSearch search(topo);
+  EXPECT_THROW(search.invalidate(ExecutionPlace{3, 2}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace das

@@ -1,0 +1,169 @@
+// Unit tests for src/util: RNG determinism and distribution sanity, spinlock
+// mutual exclusion, cache-line padding, busy-wait accuracy, table formatting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+#include "util/time.hpp"
+
+namespace das {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, SplitMixExpandsDistinctWords) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+TEST(Spinlock, ProvidesMutualExclusion) {
+  Spinlock lock;
+  std::int64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<Spinlock> g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(Spinlock, TryLockReflectsState) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Aligned, CachePaddedSeparatesNeighbours) {
+  CachePadded<int> arr[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&arr[0]);
+  const auto b = reinterpret_cast<std::uintptr_t>(&arr[1]);
+  EXPECT_GE(b - a, kCacheLine);
+  EXPECT_EQ(a % kCacheLine, 0u);
+}
+
+TEST(Aligned, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+}
+
+TEST(Time, BusyWaitIsAccurateEnough) {
+  const std::int64_t want = 2'000'000;  // 2 ms
+  const std::int64_t t0 = now_ns();
+  busy_wait_ns(want);
+  const std::int64_t took = now_ns() - t0;
+  EXPECT_GE(took, want);
+  EXPECT_LT(took, want * 3);  // generous: CI machines stall
+}
+
+TEST(Time, BusyWaitZeroOrNegativeReturnsImmediately) {
+  const std::int64_t t0 = now_ns();
+  busy_wait_ns(0);
+  busy_wait_ns(-100);
+  EXPECT_LT(now_ns() - t0, 1'000'000);
+}
+
+TEST(Format, TableAlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.row().add("a").add(1.25, 2);
+  t.row().add("long-name").add(std::int64_t{42});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+}
+
+TEST(Format, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.row().add("x").add(std::int64_t{1});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Format, RowRequiredBeforeAdd) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add("x"), PreconditionError);
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.425), "42.5%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Assert, CheckThrowsWithMessage) {
+  try {
+    DAS_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace das

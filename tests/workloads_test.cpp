@@ -1,0 +1,225 @@
+// Tests for the application workloads: K-means (parallel == serial reference,
+// convergence on separable blobs) and distributed Heat (real distributed run
+// == serial Jacobi reference; DES DAG structure).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "net/world.hpp"
+#include "rt/runtime.hpp"
+#include "util/spinlock.hpp"
+#include "workloads/heat.hpp"
+#include "workloads/interference.hpp"
+#include "workloads/kmeans.hpp"
+
+namespace das::workloads {
+namespace {
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  WorkloadsTest() : topo_(Topology::tx2()) {
+    ids_ = kernels::register_paper_kernels(registry_);
+  }
+
+  Topology topo_;
+  TaskTypeRegistry registry_;
+  kernels::PaperKernelIds ids_;
+};
+
+TEST_F(WorkloadsTest, BlobsAreDeterministic) {
+  const auto a = generate_blobs(100, 4, 3, 9);
+  const auto b = generate_blobs(100, 4, 3, 9);
+  EXPECT_EQ(a, b);
+  const auto c = generate_blobs(100, 4, 3, 10);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(WorkloadsTest, KMeansChunksPartitionThePoints) {
+  KMeansConfig cfg;
+  cfg.points = 1003;
+  cfg.chunks = 16;
+  KMeans km(cfg, ids_.kmeans_map, ids_.kmeans_reduce);
+  int covered = 0;
+  for (int c = 0; c < cfg.chunks; ++c) {
+    EXPECT_GE(km.chunk_size(c), 1);
+    covered += km.chunk_size(c);
+  }
+  EXPECT_EQ(covered, cfg.points);
+  EXPECT_EQ(km.chunk_begin(0), 0);
+  EXPECT_EQ(km.chunk_begin(cfg.chunks), cfg.points);
+  // Big chunks are bigger than small ones.
+  EXPECT_GT(km.chunk_size(0), km.chunk_size(cfg.chunks - 1));
+  EXPECT_EQ(km.num_big_chunks(), cfg.chunks / cfg.big_chunk_fraction_den);
+}
+
+TEST_F(WorkloadsTest, KMeansIterationDagShape) {
+  KMeansConfig cfg;
+  cfg.points = 500;
+  cfg.chunks = 8;
+  KMeans km(cfg, ids_.kmeans_map, ids_.kmeans_reduce);
+  const Dag dag = km.make_sim_iteration_dag(3);
+  EXPECT_EQ(dag.num_nodes(), cfg.chunks + 1);
+  EXPECT_TRUE(dag.is_acyclic());
+  int high = 0;
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    EXPECT_EQ(dag.node(i).phase, 3);
+    if (dag.node(i).priority == Priority::kHigh) ++high;
+  }
+  EXPECT_EQ(high, km.num_big_chunks());
+  // The reduce node is the single sink with cfg.chunks predecessors.
+  const DagNode& reduce = dag.node(dag.num_nodes() - 1);
+  EXPECT_EQ(reduce.num_predecessors, cfg.chunks);
+  EXPECT_TRUE(reduce.successors.empty());
+}
+
+TEST_F(WorkloadsTest, KMeansParallelMatchesSerialReference) {
+  KMeansConfig cfg;
+  cfg.points = 4000;
+  cfg.dims = 4;
+  cfg.k = 5;
+  cfg.chunks = 12;
+  cfg.seed = 21;
+  KMeans km(cfg, ids_.kmeans_map, ids_.kmeans_reduce);
+  std::vector<double> serial(km.centroids());
+
+  rt::Runtime rt(topo_, Policy::kDamC, registry_);
+  for (int iter = 0; iter < 5; ++iter) {
+    Dag dag = km.make_real_iteration_dag(0);
+    rt.run(dag);
+    km.serial_iteration(serial);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      ASSERT_NEAR(km.centroids()[i], serial[i], 1e-9)
+          << "iteration " << iter << " component " << i;
+  }
+}
+
+TEST_F(WorkloadsTest, KMeansConvergesOnSeparableBlobs) {
+  KMeansConfig cfg;
+  cfg.points = 4000;
+  cfg.dims = 3;
+  cfg.k = 4;
+  cfg.chunks = 8;
+  KMeans km(cfg, ids_.kmeans_map, ids_.kmeans_reduce);
+  rt::Runtime rt(topo_, Policy::kRwsmC, registry_);
+  const double inertia_before = km.inertia();
+  for (int iter = 0; iter < 12; ++iter) {
+    Dag dag = km.make_real_iteration_dag(0);
+    rt.run(dag);
+  }
+  const double inertia_after = km.inertia();
+  // Lloyd iterations never increase inertia (tiny slack for FP noise)...
+  EXPECT_LE(inertia_after, inertia_before * (1.0 + 1e-9));
+  // ...and well-separated blobs with noise variance 1/3 per dim converge to
+  // a mean squared distance of about dims/3 per point.
+  EXPECT_LT(inertia_after / cfg.points, cfg.dims);
+}
+
+TEST_F(WorkloadsTest, HeatSimDagStructure) {
+  HeatConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 32;
+  cfg.ranks = 4;
+  cfg.iterations = 3;
+  cfg.tasks_per_rank = 4;
+  const Dag dag = make_heat_sim_dag(cfg, ids_.heat_compute, ids_.comm);
+  EXPECT_TRUE(dag.is_acyclic());
+  // Per iteration: 4 ranks x 4 compute + 6 comm tasks (2 interior ranks x 2 +
+  // 2 edge ranks x 1).
+  EXPECT_EQ(dag.num_nodes(), 3 * (4 * 4 + 6));
+  int comm_high = 0;
+  bool found_delayed_edge = false;
+  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+    const DagNode& n = dag.node(i);
+    EXPECT_GE(n.rank, 0);
+    EXPECT_LT(n.rank, 4);
+    if (n.type == ids_.comm) {
+      EXPECT_EQ(n.priority, Priority::kHigh) << "comm tasks are critical";
+      ++comm_high;
+    }
+    for (const DagEdge& e : n.successors)
+      if (e.delay_s > 0.0) {
+        found_delayed_edge = true;
+        EXPECT_NE(dag.node(e.to).rank, n.rank)
+            << "only cross-rank edges carry wire delays";
+      }
+  }
+  EXPECT_EQ(comm_high, 3 * 6);
+  EXPECT_TRUE(found_delayed_edge);
+}
+
+TEST_F(WorkloadsTest, HeatInitialValueDeterministic) {
+  EXPECT_DOUBLE_EQ(heat_initial_value(3, 5), heat_initial_value(3, 5));
+  EXPECT_GE(heat_initial_value(12, 7), 0.0);
+  EXPECT_LT(heat_initial_value(12, 7), 1.0);
+}
+
+TEST_F(WorkloadsTest, DistributedHeatMatchesSerialReference) {
+  HeatConfig cfg;
+  cfg.rows = 48;
+  cfg.cols = 24;
+  cfg.ranks = 3;
+  cfg.iterations = 10;
+  cfg.tasks_per_rank = 4;
+
+  const std::vector<double> reference = heat_serial_reference(cfg, 100.0);
+
+  net::World world(cfg.ranks);
+  std::vector<std::vector<double>> interiors(static_cast<std::size_t>(cfg.ranks));
+  Spinlock lock;
+  world.run([&](net::Comm& comm) {
+    // Each rank runs its own small runtime (2 clusters x 2 cores keeps the
+    // total thread count modest: 3 ranks x 4 workers).
+    const Topology rank_topo = Topology::symmetric(2, 2);
+    TaskTypeRegistry reg;
+    const auto ids = kernels::register_paper_kernels(reg);
+    rt::Runtime rt(rank_topo, Policy::kDamC, reg);
+    HeatRank heat(cfg, comm, ids.heat_compute, ids.comm);
+    for (int it = 0; it < cfg.iterations; ++it) {
+      Dag dag = heat.make_iteration_dag(0);
+      rt.run(dag);
+      heat.advance();
+    }
+    std::lock_guard<Spinlock> g(lock);
+    interiors[static_cast<std::size_t>(comm.rank())] = heat.interior();
+  });
+
+  const int band = cfg.rows / cfg.ranks;
+  for (int r = 0; r < cfg.ranks; ++r) {
+    const auto& got = interiors[static_cast<std::size_t>(r)];
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(band) * cfg.cols);
+    for (int row = 0; row < band; ++row) {
+      for (int col = 0; col < cfg.cols; ++col) {
+        const double want =
+            reference[static_cast<std::size_t>(r * band + row) * cfg.cols + col];
+        ASSERT_NEAR(got[static_cast<std::size_t>(row) * cfg.cols + col], want, 1e-12)
+            << "rank " << r << " row " << row << " col " << col;
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadsTest, CoRunnerMakesProgressAndStops) {
+  CoRunner co(CoRunner::Config{.kind = CoRunner::Kind::kCompute, .pin_core = -1, .tile = 32});
+  co.start();
+  while (co.iterations() < 3) cpu_relax();
+  EXPECT_TRUE(co.running());
+  co.stop();
+  EXPECT_FALSE(co.running());
+  const auto after = co.iterations();
+  EXPECT_GE(after, 3u);
+}
+
+TEST_F(WorkloadsTest, MemoryCoRunnerRuns) {
+  CoRunner co(CoRunner::Config{.kind = CoRunner::Kind::kMemory});
+  co.start();
+  while (co.iterations() < 2) cpu_relax();
+  co.stop();
+  EXPECT_GE(co.iterations(), 2u);
+}
+
+}  // namespace
+}  // namespace das::workloads

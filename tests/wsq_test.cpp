@@ -1,0 +1,111 @@
+// Tests for the Chase-Lev work-stealing deque: LIFO owner order, FIFO steal
+// order, growth, and a linearisability-style stress test (every pushed item
+// is popped or stolen exactly once).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "rt/wsq.hpp"
+
+namespace das::rt {
+namespace {
+
+TEST(WsDeque, OwnerLifoOrder) {
+  WsDeque<int> q;
+  int items[3] = {1, 2, 3};
+  q.push_bottom(&items[0]);
+  q.push_bottom(&items[1]);
+  q.push_bottom(&items[2]);
+  EXPECT_EQ(q.size_estimate(), 3);
+  EXPECT_EQ(q.pop_bottom(), &items[2]);
+  EXPECT_EQ(q.pop_bottom(), &items[1]);
+  EXPECT_EQ(q.pop_bottom(), &items[0]);
+  EXPECT_EQ(q.pop_bottom(), nullptr);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WsDeque, ThiefFifoOrder) {
+  WsDeque<int> q;
+  int items[3] = {1, 2, 3};
+  for (auto& i : items) q.push_bottom(&i);
+  EXPECT_EQ(q.steal_top(), &items[0]);
+  EXPECT_EQ(q.steal_top(), &items[1]);
+  EXPECT_EQ(q.steal_top(), &items[2]);
+  EXPECT_EQ(q.steal_top(), nullptr);
+}
+
+TEST(WsDeque, OwnerAndThiefMeetInTheMiddle) {
+  WsDeque<int> q;
+  int items[4] = {0, 1, 2, 3};
+  for (auto& i : items) q.push_bottom(&i);
+  EXPECT_EQ(q.steal_top(), &items[0]);
+  EXPECT_EQ(q.pop_bottom(), &items[3]);
+  EXPECT_EQ(q.steal_top(), &items[1]);
+  EXPECT_EQ(q.pop_bottom(), &items[2]);
+  EXPECT_EQ(q.pop_bottom(), nullptr);
+  EXPECT_EQ(q.steal_top(), nullptr);
+}
+
+TEST(WsDeque, GrowsBeyondInitialCapacity) {
+  WsDeque<int> q(/*initial_capacity=*/4);
+  std::vector<int> items(1000);
+  for (auto& i : items) q.push_bottom(&i);
+  EXPECT_EQ(q.size_estimate(), 1000);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(q.pop_bottom(), &items[static_cast<std::size_t>(i)]);
+}
+
+TEST(WsDeque, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(WsDeque<int>(3), PreconditionError);
+  EXPECT_THROW(WsDeque<int>(1), PreconditionError);
+}
+
+TEST(WsDequeStress, EveryItemConsumedExactlyOnce) {
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 6;
+  WsDeque<int> q(8);  // small start: forces growth under contention
+  std::vector<int> items(kItems);
+  for (int i = 0; i < kItems; ++i) items[static_cast<std::size_t>(i)] = i;
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<int*>> stolen(kThieves);
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* v = q.steal_top()) stolen[static_cast<std::size_t>(t)].push_back(v);
+      }
+      // Final drain so nothing is stranded.
+      while (int* v = q.steal_top()) stolen[static_cast<std::size_t>(t)].push_back(v);
+    });
+  }
+
+  std::vector<int*> popped;
+  // Owner interleaves pushes and pops.
+  for (int i = 0; i < kItems; ++i) {
+    q.push_bottom(&items[static_cast<std::size_t>(i)]);
+    if ((i & 3) == 0) {
+      if (int* v = q.pop_bottom()) popped.push_back(v);
+    }
+  }
+  while (int* v = q.pop_bottom()) popped.push_back(v);
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  std::set<int*> seen(popped.begin(), popped.end());
+  std::size_t total = popped.size();
+  for (const auto& sv : stolen) {
+    total += sv.size();
+    for (int* v : sv) {
+      EXPECT_TRUE(seen.insert(v).second) << "item consumed twice";
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kItems));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kItems));
+}
+
+}  // namespace
+}  // namespace das::rt
