@@ -1,6 +1,7 @@
 // Ablation bench for the design choices DESIGN.md §6 calls out. Each
 // ablation runs the Fig. 4 MatMul P=2 configuration (co-runner on core 0)
-// unless stated otherwise, and reports throughput deltas.
+// unless stated otherwise, and reports throughput deltas. Runs through the
+// das::Executor facade (--backend=sim|rt).
 //
 //   A: steal-exemption of high-priority tasks ON (paper) vs OFF
 //   B: cold PTT (zero-init exploration, paper) vs warm PTT (pre-trained by
@@ -23,39 +24,37 @@ using namespace das::bench;
 namespace {
 
 double run(const Bench& b, Policy policy, const workloads::SyntheticDagSpec& spec,
-           const SpeedScenario* scenario, sim::SimOptions opts,
+           const SpeedScenario* scenario, ExecutorConfig opts,
            bool warm_ptt = false) {
-  sim::SimEngine eng(b.topo, policy, b.registry, opts, scenario);
+  auto exec = b.make(policy, scenario, opts);
   if (warm_ptt) {
     // Pre-train on a clean run of the same DAG shape (no interference).
-    Dag warmup = workloads::make_synthetic_dag(spec);
-    sim::SimEngine trainer(b.topo, policy, b.registry, opts, scenario);
-    (void)trainer;  // train in-place instead: run a prefix DAG on `eng`
     workloads::SyntheticDagSpec prefix = spec;
     prefix.total_tasks = spec.parallelism * 50;
     Dag pre = workloads::make_synthetic_dag(prefix);
-    eng.run(pre);
-    eng.stats().reset();
+    exec->run(pre);
+    exec->stats().reset();
   }
   Dag dag = workloads::make_synthetic_dag(spec);
-  const double t0 = eng.now();
-  eng.run(dag);
-  return dag.num_nodes() / (eng.now() - t0);
+  const double t0 = exec->now();
+  exec->run(dag);
+  return dag.num_nodes() / (exec->now() - t0);
 }
 
 }  // namespace
 
-int main() {
-  Bench b;
+int main(int argc, char** argv) {
+  Bench b(argc, argv);
+  print_backend(b);
   SpeedScenario corunner(b.topo);
   corunner.add_cpu_corunner(0);
-  const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, 0.5);
+  const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, 0.5 * b.scale);
 
   print_title("Ablation A: steal-exemption of high-priority tasks (DAM-C)");
   {
     TextTable t({"variant", "tasks/s"});
-    sim::SimOptions on = Bench::make_options();
-    sim::SimOptions off = Bench::make_options();
+    ExecutorConfig on = b.make_config();
+    ExecutorConfig off = b.make_config();
     off.policy_options.steal_exempt_high_priority = false;
     t.row().add("steal-exempt (paper)").add(run(b, Policy::kDamC, spec, &corunner, on), 0);
     t.row().add("stealable criticals").add(run(b, Policy::kDamC, spec, &corunner, off), 0);
@@ -65,7 +64,7 @@ int main() {
   print_title("Ablation B: cold vs warm PTT (DAM-C)");
   {
     TextTable t({"variant", "tasks/s"});
-    const sim::SimOptions opts = Bench::make_options();
+    const ExecutorConfig opts = b.make_config();
     t.row().add("cold (zero-init, paper)").add(run(b, Policy::kDamC, spec, &corunner, opts), 0);
     t.row().add("warm (50-layer pre-train)").add(run(b, Policy::kDamC, spec, &corunner, opts, true), 0);
     t.print(std::cout);
@@ -75,8 +74,8 @@ int main() {
   {
     TextTable t({"policy", "re-mold (paper)", "width frozen at wake-up"});
     for (Policy p : {Policy::kRwsmC, Policy::kDamC}) {
-      sim::SimOptions on = Bench::make_options();
-      sim::SimOptions off = Bench::make_options();
+      ExecutorConfig on = b.make_config();
+      ExecutorConfig off = b.make_config();
       off.policy_options.remold_on_dequeue = false;
       t.row()
           .add(policy_name(p))
@@ -89,8 +88,8 @@ int main() {
   print_title("Ablation D: tie-breaking in the min-searches (DAM-P)");
   {
     TextTable t({"variant", "tasks/s"});
-    sim::SimOptions rr = Bench::make_options();
-    sim::SimOptions rnd = Bench::make_options();
+    ExecutorConfig rr = b.make_config();
+    ExecutorConfig rnd = b.make_config();
     rnd.policy_options.random_tie_break = true;
     t.row().add("round-robin (deterministic)").add(run(b, Policy::kDamP, spec, &corunner, rr), 0);
     t.row().add("random").add(run(b, Policy::kDamP, spec, &corunner, rnd), 0);
@@ -101,10 +100,10 @@ int main() {
   {
     // P=2: the release-bound regime where decision quality shows (cf. the
     // Fig. 8 bench).
-    const auto noisy = workloads::paper_matmul_spec(b.ids.matmul, 2, 0.5, 32);
+    const auto noisy = workloads::paper_matmul_spec(b.ids.matmul, 2, 0.5 * b.scale, 32);
     TextTable t({"update ratio", "tasks/s"});
     for (int num : {1, 5}) {
-      sim::SimOptions opts = Bench::make_options();
+      ExecutorConfig opts = b.make_config();
       opts.ptt_ratio = UpdateRatio{num, 5};
       t.row()
           .add(num == 1 ? "1/5 (paper)" : "5/5 (last sample only)")
@@ -123,10 +122,8 @@ int main() {
     auto run_variant = [&](const char* label, auto&& mutate) {
       Dag dag = workloads::make_synthetic_dag(spec);
       mutate(dag);
-      sim::SimEngine eng(b.topo, Policy::kDamC, b.registry,
-                         Bench::make_options(), &corunner);
-      const double makespan = eng.run(dag);
-      t.row().add(label).add(dag.num_nodes() / makespan, 0);
+      const RunResult r = b.make(Policy::kDamC, &corunner, b.make_config())->run(dag);
+      t.row().add(label).add(r.tasks_per_s, 0);
     };
     run_variant("user marks (generator)", [](Dag&) {});
     run_variant("inferred (critical path)", [](Dag& dag) {

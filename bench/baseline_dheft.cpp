@@ -3,7 +3,8 @@
 // Fig. 4 MatMul configuration. dHEFT discovers per-core execution times at
 // runtime and places every task for earliest finish, but is neither
 // criticality-aware nor moldable — the paper's §6 argues exactly these two
-// limitations; this bench quantifies them.
+// limitations; this bench quantifies them. Runs through the das::Executor
+// facade (--backend=sim|rt).
 
 #include <iostream>
 
@@ -12,20 +13,22 @@
 using namespace das;
 using namespace das::bench;
 
-int main() {
-  Bench b;
+int main(int argc, char** argv) {
+  Bench b(argc, argv);
+  print_backend(b);
   SpeedScenario scenario(b.topo);
   scenario.add_cpu_corunner(0);
 
+  const std::vector<Policy> policies = b.policies(
+      {Policy::kRws, Policy::kFa, Policy::kDheft, Policy::kDa, Policy::kDamC});
   print_title("Baseline: dHEFT vs the paper's schedulers — MatMul, co-runner "
               "on core 0, tasks/s");
-  TextTable t({"parallelism", "RWS", "FA", "dHEFT", "DA", "DAM-C"});
+  TextTable t(policy_header("parallelism", policies));
   for (int P = 2; P <= 6; ++P) {
-    const auto spec = workloads::paper_matmul_spec(b.ids.matmul, P);
+    const auto spec = workloads::paper_matmul_spec(b.ids.matmul, P, b.scale);
     t.row().add(std::int64_t{P});
-    for (Policy p : {Policy::kRws, Policy::kFa, Policy::kDheft, Policy::kDa,
-                     Policy::kDamC}) {
-      t.add(b.throughput(p, spec, &scenario), 0);
+    for (Policy p : policies) {
+      t.add(b.throughput(p, spec, &scenario).tasks_per_s, 0);
     }
   }
   t.print(std::cout);

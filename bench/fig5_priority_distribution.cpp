@@ -1,6 +1,7 @@
 // Reproduces the paper's Figure 5: distribution of high-priority (critical)
 // tasks over execution places for each scheduler — MatMul synthetic DAG,
-// DAG parallelism 2, co-running application on (Denver) core 0.
+// DAG parallelism 2, co-running application on (Denver) core 0. Runs through
+// the das::Executor facade (--backend=sim|rt).
 //
 // Paper reference points: RWS spreads criticals nearly uniformly; FA splits
 // 50/50 over the two Denver cores regardless of the interference; FAM-C adds
@@ -15,19 +16,20 @@
 using namespace das;
 using namespace das::bench;
 
-int main() {
-  Bench b;
+int main(int argc, char** argv) {
+  Bench b(argc, argv);
+  print_backend(b);
   SpeedScenario scenario(b.topo);
   scenario.add_cpu_corunner(0);
-  const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2);
+  const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale);
 
-  for (Policy p : all_policies()) {
+  for (Policy p : b.policies()) {
     Dag dag = workloads::make_synthetic_dag(spec);
-    sim::SimEngine eng(b.topo, p, b.registry, Bench::make_options(), &scenario);
-    eng.run(dag);
+    auto exec = b.make(p, &scenario, b.make_config());
+    exec->run(dag);
     print_title(std::string("Fig. 5: priority-task distribution — ") +
                 policy_name(p));
-    print_priority_distribution(eng.stats(), std::cout);
+    print_priority_distribution(exec->stats(), std::cout);
   }
   return 0;
 }

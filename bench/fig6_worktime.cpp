@@ -1,6 +1,7 @@
 // Reproduces the paper's Figure 6: cumulative kernel work time per core
 // (excluding runtime activity and idleness) for each scheduler, while the
 // co-running application occupies Denver core 0 — MatMul DAG, parallelism 2.
+// Runs through the das::Executor facade (--backend=sim|rt).
 //
 // Paper reference points: FA shows the highest core-0 execution time (it
 // keeps assigning criticals to the perturbed core, which then runs them at
@@ -10,16 +11,16 @@
 #include <iostream>
 
 #include "../bench/support.hpp"
-#include "trace/reporter.hpp"
 
 using namespace das;
 using namespace das::bench;
 
-int main() {
-  Bench b;
+int main(int argc, char** argv) {
+  Bench b(argc, argv);
+  print_backend(b);
   SpeedScenario scenario(b.topo);
   scenario.add_cpu_corunner(0);
-  const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2);
+  const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale);
 
   print_title("Fig. 6: per-core work time [s], MatMul P=2, co-runner on core 0");
   std::vector<std::string> header{"scheduler"};
@@ -29,14 +30,15 @@ int main() {
   header.emplace_back("makespan");
   TextTable t(header);
 
-  for (Policy p : all_policies()) {
+  for (Policy p : b.policies()) {
     Dag dag = workloads::make_synthetic_dag(spec);
-    sim::SimEngine eng(b.topo, p, b.registry, Bench::make_options(), &scenario);
-    const double makespan = eng.run(dag);
+    const RunResult r = b.make(p, &scenario, b.make_config())->run(dag);
+    const StatsSnapshot& s = r.stats[0];
     t.row().add(policy_name(p));
-    for (int c = 0; c < b.topo.num_cores(); ++c) t.add(eng.stats().busy_s(c), 2);
-    t.add(eng.stats().total_busy_s(), 2);
-    t.add(makespan, 2);
+    for (int c = 0; c < b.topo.num_cores(); ++c)
+      t.add(s.busy_s[static_cast<std::size_t>(c)], 2);
+    t.add(s.total_busy_s, 2);
+    t.add(r.makespan_s, 2);
   }
   t.print(std::cout);
   return 0;

@@ -1,7 +1,8 @@
 // Reproduces the paper's Figure 7: throughput under DVFS interference — the
 // Denver cluster alternates between its highest and lowest frequency
 // (2035 <-> 345 MHz) on a square wave — MatMul / Copy / Stencil synthetic
-// DAGs, DAG parallelism 2..6, all seven schedulers.
+// DAGs, DAG parallelism 2..6, all seven schedulers. Runs through the
+// das::Executor facade (--backend=sim|rt).
 //
 // The paper toggles every 5 s. Our simulated kernels complete the DAGs
 // faster than the TX2 did, so the period is scaled (2.5 s + 2.5 s) to keep
@@ -28,37 +29,44 @@ void run_kernel(const Bench& b, const std::string& name,
   scenario.add_dvfs(DvfsSchedule{.cluster = 0, .period_s = 5.0, .duty_hi = 0.5,
                                  .hi = 1.0, .lo = 345.0 / 2035.0});
 
+  const std::vector<Policy> policies = b.policies();
   print_title("Fig. 7: " + name + " — Denver DVFS square wave, tasks/s");
-  TextTable t(policy_header("parallelism"));
+  TextTable t(policy_header("parallelism", policies));
   std::map<Policy, double> avg;
   for (int P = 2; P <= 6; ++P) {
     workloads::SyntheticDagSpec spec = base;
     spec.parallelism = P;
     t.row().add(std::int64_t{P});
-    for (Policy p : all_policies()) {
-      const double tp = b.throughput(p, spec, &scenario);
+    for (Policy p : policies) {
+      const double tp = b.throughput(p, spec, &scenario).tasks_per_s;
       avg[p] += tp / 5.0;
       t.add(tp, 0);
     }
   }
   t.print(std::cout);
-  std::cout << "DAM-C average speedup vs RWS: "
-            << fmt_double(avg[Policy::kDamC] / avg[Policy::kRws], 2)
-            << "x   vs RWSM-C: "
-            << fmt_double(avg[Policy::kDamC] / avg[Policy::kRwsmC], 2)
-            << "x   vs FA: +"
-            << fmt_percent(avg[Policy::kDamC] / avg[Policy::kFa] - 1.0, 0)
-            << "   vs FAM-C: +"
-            << fmt_percent(avg[Policy::kDamC] / avg[Policy::kFamC] - 1.0, 0)
-            << "\n";
+  if (avg.count(Policy::kDamC) && avg.count(Policy::kRws) &&
+      avg.count(Policy::kRwsmC) && avg.count(Policy::kFa) &&
+      avg.count(Policy::kFamC)) {
+    std::cout << "DAM-C average speedup vs RWS: "
+              << fmt_double(avg[Policy::kDamC] / avg[Policy::kRws], 2)
+              << "x   vs RWSM-C: "
+              << fmt_double(avg[Policy::kDamC] / avg[Policy::kRwsmC], 2)
+              << "x   vs FA: +"
+              << fmt_percent(avg[Policy::kDamC] / avg[Policy::kFa] - 1.0, 0)
+              << "   vs FAM-C: +"
+              << fmt_percent(avg[Policy::kDamC] / avg[Policy::kFamC] - 1.0, 0)
+              << "\n";
+  }
 }
 
 }  // namespace
 
-int main() {
-  Bench b;
-  run_kernel(b, "MatMul", workloads::paper_matmul_spec(b.ids.matmul, 2));
-  run_kernel(b, "Copy", workloads::paper_copy_spec(b.ids.copy, 2));
-  run_kernel(b, "Stencil", workloads::paper_stencil_spec(b.ids.stencil, 2));
+int main(int argc, char** argv) {
+  Bench b(argc, argv);
+  print_backend(b);
+  run_kernel(b, "MatMul", workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale));
+  run_kernel(b, "Copy", workloads::paper_copy_spec(b.ids.copy, 2, b.scale));
+  run_kernel(b, "Stencil",
+             workloads::paper_stencil_spec(b.ids.stencil, 2, b.scale));
   return 0;
 }

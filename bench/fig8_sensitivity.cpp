@@ -1,6 +1,7 @@
 // Reproduces the paper's Figure 8: sensitivity of throughput to the PTT's
 // weighted-update ratio (new-sample weight 1/5 .. 5/5) across MatMul tile
 // sizes 32 / 64 / 80 / 96, under the core-0 co-runner, scheduler DAM-C.
+// Runs through the das::Executor facade (--backend=sim|rt).
 //
 // Paper reference points: the ratio only matters for tile 32 (short tasks,
 // noisy measurements; strongest smoothing 1/5 wins by ~36% over the worst);
@@ -15,8 +16,9 @@
 using namespace das;
 using namespace das::bench;
 
-int main() {
-  Bench b;
+int main(int argc, char** argv) {
+  Bench b(argc, argv);
+  print_backend(b);
   SpeedScenario scenario(b.topo);
   scenario.add_cpu_corunner(0);
 
@@ -31,10 +33,10 @@ int main() {
       // gates a layer, so decision quality (and thus the smoothing ratio)
       // is visible in throughput.
       workloads::SyntheticDagSpec spec =
-          workloads::paper_matmul_spec(b.ids.matmul, 2, 1.0, tile);
-      sim::SimOptions opts = Bench::make_options();
-      opts.ptt_ratio = UpdateRatio{num, 5};
-      const double tp = b.throughput(Policy::kDamC, spec, &scenario, opts);
+          workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale, tile);
+      ExecutorConfig cfg = b.make_config();
+      cfg.ptt_ratio = UpdateRatio{num, 5};
+      const double tp = b.throughput(Policy::kDamC, spec, &scenario, cfg).tasks_per_s;
       best = std::max(best, tp);
       worst = std::min(worst, tp);
       t.add(tp, 0);

@@ -1,6 +1,8 @@
 // Reproduces the paper's Figure 9: K-means clustering on a 16-core Haswell
 // (2 sockets x 8 cores), 100 iterations, with a co-running application on
-// socket 0 during iterations 20..70.
+// socket 0 during iterations 20..70. Runs through the das::Executor facade
+// (--backend=sim|rt; the engine-agnostic now() clock drives the
+// interference-window boundaries on either backend).
 //
 //   (a) per-iteration execution time for RWS / DAM-C / DAM-P — the dynamic
 //       schedulers ride through the interference window, RWS inflates;
@@ -10,11 +12,12 @@
 //
 // The interference window boundaries are discovered at run time (the paper
 // starts the co-runner "a few iterations after the start"): the scenario is
-// opened when iteration 20 begins and closed after iteration 70, in virtual
-// time.
+// opened when iteration 20 begins and closed after iteration 70, on the
+// executor's clock.
 
 #include <iostream>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "../bench/support.hpp"
@@ -31,12 +34,14 @@ constexpr int kInterfEnd = 70;
 
 struct Result {
   std::vector<double> iter_time;
-  std::unique_ptr<sim::SimEngine> engine;  // keeps stats alive
+  std::unique_ptr<Executor> exec;  // keeps stats alive
 };
 
 Result run_policy(const Bench& b, const Topology& topo, Policy policy) {
   workloads::KMeansConfig cfg;
-  cfg.points = 100'000'000;  // virtual points: DES only needs chunk sizes
+  // Virtual points: the DES only needs chunk sizes. Scaled so rt runs
+  // (cost-model fallback busy-waits) stay tractable.
+  cfg.points = std::max(1'000'000, static_cast<int>(100'000'000 * b.scale));
   cfg.dims = 8;
   cfg.k = 8;
   cfg.chunks = 256;
@@ -47,50 +52,51 @@ Result run_policy(const Bench& b, const Topology& topo, Policy policy) {
   cfg.big_chunk_weight = 8.0;
   workloads::KMeansSimBuilder km(cfg, b.ids.kmeans_map, b.ids.kmeans_reduce);
 
-  auto scenario = std::make_unique<SpeedScenario>(topo);
-  sim::SimOptions opts = Bench::make_options();
+  ExecutorConfig opts = b.make_config();
   opts.stats_phases = kIterations;
 
-  Result r;
-  // The engine keeps a pointer to the scenario; keep it alive via a static
+  // The executor keeps a pointer to the scenario; keep it alive via a static
   // store (one per policy run is fine for a bench binary).
   static std::vector<std::unique_ptr<SpeedScenario>> scenarios;
-  scenarios.push_back(std::move(scenario));
+  scenarios.push_back(std::make_unique<SpeedScenario>(topo));
   SpeedScenario* sc = scenarios.back().get();
-  r.engine = std::make_unique<sim::SimEngine>(topo, policy, b.registry, opts, sc);
+
+  Result r;
+  r.exec = b.make(policy, sc, opts, &topo);
 
   for (int it = 0; it < kIterations; ++it) {
     if (it == kInterfStart) {
       // Co-runner lands on all of socket 0 (cores 0..7).
       sc->add_interference(InterferenceEvent{.cores = {0, 1, 2, 3, 4, 5, 6, 7},
-                                             .t_start = r.engine->now(),
+                                             .t_start = r.exec->now(),
                                              .cpu_share = 0.5});
     }
-    if (it == kInterfEnd) sc->close_open_interference(r.engine->now());
+    if (it == kInterfEnd) sc->close_open_interference(r.exec->now());
     Dag dag = km.make_iteration_dag(it);
-    r.iter_time.push_back(r.engine->run(dag));
+    r.iter_time.push_back(r.exec->run(dag).makespan_s);
   }
   return r;
 }
 
 }  // namespace
 
-int main() {
-  Bench b;
+int main(int argc, char** argv) {
+  Bench b(argc, argv);
+  print_backend(b);
   const Topology topo = Topology::haswell16();
 
+  const std::vector<Policy> policies =
+      b.policies({Policy::kRws, Policy::kDamC, Policy::kDamP});
   std::map<Policy, Result> results;
-  for (Policy p : {Policy::kRws, Policy::kDamC, Policy::kDamP})
-    results[p] = run_policy(b, topo, p);
+  for (Policy p : policies) results[p] = run_policy(b, topo, p);
 
   print_title("Fig. 9(a): K-means per-iteration time [s] (interference on "
               "socket 0 during iterations 20-70)");
-  TextTable t({"iter", "RWS", "DAM-C", "DAM-P"});
+  TextTable t(policy_header("iter", policies));
   for (int it = 0; it < kIterations; it += 2) {
     t.row().add(std::int64_t{it});
-    t.add(results[Policy::kRws].iter_time[static_cast<std::size_t>(it)], 3);
-    t.add(results[Policy::kDamC].iter_time[static_cast<std::size_t>(it)], 3);
-    t.add(results[Policy::kDamP].iter_time[static_cast<std::size_t>(it)], 3);
+    for (Policy p : policies)
+      t.add(results[p].iter_time[static_cast<std::size_t>(it)], 3);
   }
   t.print(std::cout);
 
@@ -101,7 +107,7 @@ int main() {
     return sum / (to - from);
   };
   std::cout << "\nmean iteration time inside the interference window [s]:\n";
-  for (Policy p : {Policy::kRws, Policy::kDamC, Policy::kDamP})
+  for (Policy p : policies)
     std::cout << "  " << policy_name(p) << ": "
               << fmt_double(window_mean(p, kInterfStart, kInterfEnd), 3)
               << "  (before window: "
@@ -110,7 +116,8 @@ int main() {
   // (b, c): execution-place selection traces. Print the top places by task
   // count inside the window, every 5 iterations.
   for (Policy p : {Policy::kRws, Policy::kDamP}) {
-    const ExecutionStats& stats = results[p].engine->stats();
+    if (!results.count(p)) continue;
+    const ExecutionStats& stats = results[p].exec->stats();
     // Rank places by their in-window counts.
     std::vector<std::pair<std::int64_t, int>> totals;
     for (int pid = 0; pid < topo.num_places(); ++pid) {

@@ -1,58 +1,132 @@
 #pragma once
 // Shared plumbing for the figure-reproduction benches: a registered kernel
-// set, canonical scenarios, and a one-call throughput runner. Every bench is
-// deterministic from kFigureSeed.
+// set, canonical scenarios, the common command-line flags, and a one-call
+// structured-throughput runner routed through the das::Executor facade.
+// Every bench is deterministic from kFigureSeed on the sim backend.
+//
+// Common flags (parsed by Bench(argc, argv)):
+//   --backend=sim|rt     engine selection (default: sim — the figures are
+//                        regenerated in deterministic virtual time)
+//   --policy=NAME[,..]   restrict to a subset of the Table-1 schedulers
+//                        (e.g. --policy=RWS,DAM-C); default: the bench's set
+//   --scale=F            workload scale factor in (0, 1]; defaults to 1.0 on
+//                        sim and 0.02 on rt (real-thread runs execute real
+//                        busy-work — full paper scale takes minutes)
+//   --seed=N             RNG seed (default: kFigureSeed = 2020)
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "kernels/registry.hpp"
 #include "platform/speed_model.hpp"
-#include "sim/engine.hpp"
+#include "util/cli.hpp"
 #include "util/format.hpp"
 #include "workloads/synthetic_dag.hpp"
 
 namespace das::bench {
 
 inline constexpr std::uint64_t kFigureSeed = 2020;  // ICPP'20
+inline constexpr double kRtDefaultScale = 0.02;
 
 struct Bench {
   Bench() : topo(Topology::tx2()) {
     ids = kernels::register_paper_kernels(registry);
   }
 
-  /// Runs `spec` on the TX2 model under `scenario` with `policy`; returns
-  /// tasks per (virtual) second.
-  double throughput(Policy policy, const workloads::SyntheticDagSpec& spec,
-                    const SpeedScenario* scenario,
-                    sim::SimOptions opts = make_options()) const {
-    Dag dag = workloads::make_synthetic_dag(spec);
-    sim::SimEngine eng(topo, policy, registry, opts, scenario);
-    const double makespan = eng.run(dag);
-    return dag.num_nodes() / makespan;
+  /// Parses the common bench flags (see the header comment).
+  Bench(int argc, char* const* argv) : Bench() {
+    cli::Flags flags(argc, argv);
+    if (flags.has("help")) {
+      std::cout << "flags: --backend=sim|rt --policy=NAME[,NAME...] "
+                   "--scale=F --seed=N\n";
+      std::exit(0);
+    }
+    cli::require_no_positionals(flags);
+    flags.require_known({"backend", "policy", "scale", "seed", "help"});
+    backend = backend_flag(flags, backend);
+    scale_explicit = flags.has("scale");
+    scale = flags.get_double("scale",
+                             backend == Backend::kRt ? kRtDefaultScale : 1.0);
+    if (!(scale > 0.0 && scale <= 1.0)) cli::die("--scale must be in (0, 1]");
+    seed = flags.get_u64("seed", kFigureSeed);
+    if (flags.has("policy")) {
+      for (const std::string& name : cli::split(flags.get("policy"), ',')) {
+        const auto p = parse_policy(name);
+        if (!p) cli::die("unknown policy '" + name + "'");
+        policy_filter.push_back(*p);
+      }
+    }
   }
 
-  static sim::SimOptions make_options() {
-    sim::SimOptions o;
-    o.seed = kFigureSeed;
-    return o;
+  /// The canonical config every bench starts from (one place instead of a
+  /// per-bench SimOptions/RtOptions copy).
+  ExecutorConfig make_config() const {
+    ExecutorConfig cfg;
+    cfg.seed = seed;
+    return cfg;
   }
 
+  /// Executor for `policy` on this bench's backend; `topology` defaults to
+  /// the TX2 model. `cfg.scenario` is overwritten with `scenario`.
+  std::unique_ptr<Executor> make(Policy policy, const SpeedScenario* scenario,
+                                 ExecutorConfig cfg,
+                                 const Topology* topology = nullptr) const {
+    cfg.scenario = scenario;
+    return make_executor(backend, topology ? *topology : topo, policy, registry,
+                         cfg);
+  }
+
+  /// Runs `spec` under `scenario` with `policy` through the facade and
+  /// returns the structured result (use .tasks_per_s for the figures).
+  /// Callers that need non-default options should start from make_config().
+  RunResult throughput(Policy policy, const workloads::SyntheticDagSpec& spec,
+                       const SpeedScenario* scenario, ExecutorConfig cfg) const {
+    const Dag dag = workloads::make_synthetic_dag(spec);
+    return make(policy, scenario, cfg)->run(dag);
+  }
+  RunResult throughput(Policy policy, const workloads::SyntheticDagSpec& spec,
+                       const SpeedScenario* scenario) const {
+    return throughput(policy, spec, scenario, make_config());
+  }
+
+  /// The schedulers this bench run iterates: an explicit --policy list is
+  /// honoured verbatim (every policy runs on every backend); otherwise the
+  /// bench's own `defaults`, or Table-1 order when those are empty too.
+  std::vector<Policy> policies(std::vector<Policy> defaults = {}) const {
+    if (!policy_filter.empty()) return policy_filter;
+    return defaults.empty() ? all_policies() : defaults;
+  }
+
+  Backend backend = Backend::kSim;
+  double scale = 1.0;
+  bool scale_explicit = false;  ///< --scale was given on the command line
+  std::uint64_t seed = kFigureSeed;
+  std::vector<Policy> policy_filter;
   Topology topo;
   TaskTypeRegistry registry;
   kernels::PaperKernelIds ids;
 };
 
 /// Header used by the per-figure tables: one column per scheduler.
-inline std::vector<std::string> policy_header(const std::string& first) {
+inline std::vector<std::string> policy_header(const std::string& first,
+                                              const std::vector<Policy>& ps) {
   std::vector<std::string> h{first};
-  for (Policy p : all_policies()) h.emplace_back(policy_name(p));
+  for (Policy p : ps) h.emplace_back(policy_name(p));
   return h;
 }
 
 inline void print_title(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Standard run banner so every bench states which engine produced its
+/// numbers (virtual seconds on sim, wall seconds on rt).
+inline void print_backend(const Bench& b) {
+  std::cout << "backend: " << backend_name(b.backend) << "  (scale "
+            << fmt_double(b.scale, 3) << ", seed " << b.seed << ")\n";
 }
 
 }  // namespace das::bench

@@ -1,18 +1,35 @@
 // Reproduces the paper's Table 1: "Features summary of all evaluated
 // schedulers" — printed from the live policy introspection so the table can
-// never drift from the implementation.
+// never drift from the implementation. Accepts the common --policy= filter
+// (e.g. --policy=DAM-C,DAM-P); there is no engine to run, so --backend= is
+// accepted and ignored.
 
 #include <iostream>
 
 #include "core/policy.hpp"
+#include "exec/executor.hpp"
+#include "util/cli.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace das;
+  cli::Flags flags(argc, argv);
+  cli::require_no_positionals(flags);
+  flags.require_known({"policy", "backend"});
+  std::vector<Policy> policies = all_policies();
+  if (flags.has("policy")) {
+    policies.clear();
+    for (const std::string& name : cli::split(flags.get("policy"), ',')) {
+      const auto p = parse_policy(name);
+      if (!p) cli::die("unknown policy '" + name + "'");
+      policies.push_back(*p);
+    }
+  }
+
   std::cout << "Table 1: Features summary of all evaluated schedulers\n\n";
   TextTable t({"Name", "[A]symmetry awareness", "[M]oldability",
                "Priority placement", "uses PTT"});
-  for (Policy p : all_policies()) {
+  for (Policy p : policies) {
     const PolicyTraits tr = policy_traits(p);
     t.row()
         .add(policy_name(p))

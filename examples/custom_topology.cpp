@@ -2,17 +2,27 @@
 // hardware (paper §3: "without prior assumptions about the underlying
 // architecture"), so a custom topology — here a three-class machine with
 // big, medium and little clusters — works out of the box. The example runs
-// the same workload under every scheduler and prints the comparison, then
-// shows how the PTT ranked the places.
+// the same workload under every scheduler through the das::Executor facade
+// (--backend=sim by default; --backend=rt executes the cost-model fallback
+// on real threads) and prints the comparison, then shows how the PTT ranked
+// the places.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "exec/executor.hpp"
 #include "kernels/registry.hpp"
-#include "sim/engine.hpp"
+#include "util/cli.hpp"
 #include "workloads/synthetic_dag.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace das;
+
+  cli::Flags flags(argc, argv);
+  cli::require_no_positionals(flags);
+  flags.require_known({"backend"});
+  const Backend backend = backend_flag(flags, Backend::kSim);
 
   // 2 big + 2 medium + 4 little cores, each cluster with its own L2.
   Cluster big{.name = "big", .first_core = 0, .num_cores = 2,
@@ -26,8 +36,10 @@ int main() {
                  .l1_kb = 32, .l2_kb = 1024, .mem_bw_gbs = 15,
                  .stream_fit = 0.5};
   const Topology topo({big, mid, little});
-  std::printf("custom topology: %d cores, %d clusters, %d execution places\n",
-              topo.num_cores(), topo.num_clusters(), topo.num_places());
+  std::printf("custom topology: %d cores, %d clusters, %d execution places "
+              "(backend: %s)\n",
+              topo.num_cores(), topo.num_clusters(), topo.num_places(),
+              backend_name(backend));
 
   // Interference hits the big cluster; the medium cores become the best
   // hosts for critical tasks — something only the dynamic schedulers find.
@@ -38,25 +50,24 @@ int main() {
   scenario.add_cpu_corunner(1);
 
   std::printf("\n%-8s %12s   %s\n", "policy", "tasks/s", "criticals mostly at");
-  sim::SimEngine* last = nullptr;
-  std::unique_ptr<sim::SimEngine> engines[7];
-  int i = 0;
+  Executor* last = nullptr;
+  std::vector<std::unique_ptr<Executor>> executors;
   for (Policy p : all_policies()) {
     workloads::SyntheticDagSpec spec = workloads::paper_matmul_spec(ids.matmul, 2, 0.1);
-    engines[i] = std::make_unique<sim::SimEngine>(topo, p, registry,
-                                                  sim::SimOptions{}, &scenario);
-    sim::SimEngine& eng = *engines[i++];
+    ExecutorConfig config;
+    config.scenario = &scenario;
+    executors.push_back(make_executor(backend, topo, p, registry, config));
+    Executor& exec = *executors.back();
     Dag dag = workloads::make_synthetic_dag(spec);
-    const double makespan = eng.run(dag);
-    const auto dist = eng.stats().distribution(Priority::kHigh);
-    std::printf("%-8s %12.0f   %s %.0f%%\n", policy_name(p),
-                dag.num_nodes() / makespan,
+    const RunResult r = exec.run(dag);
+    const auto& dist = r.stats[0].high_distribution;
+    std::printf("%-8s %12.0f   %s %.0f%%\n", policy_name(p), r.tasks_per_s,
                 dist.empty() ? "-" : to_string(dist[0].first).c_str(),
                 dist.empty() ? 0.0 : dist[0].second * 100.0);
-    last = &eng;
+    last = &exec;
   }
 
-  std::printf("\nPTT ranking learned by %s:\n", policy_name(last->policy(0).policy()));
+  std::printf("\nPTT ranking learned by %s:\n", policy_name(last->policy_kind()));
   const Ptt& ptt = last->ptt().table(ids.matmul);
   for (const ExecutionPlace& p : topo.places()) {
     if (ptt.samples(p) == 0) continue;

@@ -5,16 +5,26 @@
 // few tasks (the weighted 1:4 update needs ~3 measurements, §4.1.1) and
 // re-steering.
 //
-// Runs on the deterministic DES so the printed trace is reproducible.
+// Runs through the das::Executor facade. The default backend is the
+// deterministic DES so the printed trace is reproducible; --backend=rt
+// watches the same adaptation on real threads (the throttle emulates the
+// square wave in wall time).
 
 #include <cstdio>
 
+#include "exec/executor.hpp"
 #include "kernels/registry.hpp"
-#include "sim/engine.hpp"
+#include "util/cli.hpp"
 #include "workloads/synthetic_dag.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace das;
+
+  cli::Flags flags(argc, argv);
+  cli::require_no_positionals(flags);
+  flags.require_known({"backend", "policy"});
+  const Backend backend = backend_flag(flags, Backend::kSim);
+  const Policy policy = policy_flag(flags, Policy::kDamP);
 
   TaskTypeRegistry registry;
   const auto ids = kernels::register_paper_kernels(registry);
@@ -27,12 +37,15 @@ int main() {
                                  .hi = 1.0,
                                  .lo = 345.0 / 2035.0});
 
-  sim::SimOptions options;
-  options.seed = 7;
-  sim::SimEngine engine(topo, Policy::kDamP, registry, options, &scenario);
+  ExecutorConfig config;
+  config.seed = 7;
+  config.scenario = &scenario;
+  auto engine = make_executor(backend, topo, policy, registry, config);
 
   std::printf("DVFS square wave on the Denver cluster (0.4 s at 2035 MHz, "
-              "0.4 s at 345 MHz)\nscheduler: DAM-P; kernel: matmul 64x64\n\n");
+              "0.4 s at 345 MHz)\nscheduler: %s; backend: %s; kernel: "
+              "matmul 64x64\n\n",
+              policy_name(policy), backend_name(backend));
   std::printf("%-8s %-6s %-14s %-14s %-14s %s\n", "t [s]", "phase", "PTT(C1,1)",
               "PTT(C0,2)", "PTT(C2,4)", "criticals at");
 
@@ -40,19 +53,19 @@ int main() {
   for (int slice = 0; slice < 20; ++slice) {
     workloads::SyntheticDagSpec spec = workloads::paper_matmul_spec(ids.matmul, 2, 0.005);
     Dag dag = workloads::make_synthetic_dag(spec);
-    engine.stats().reset();
-    engine.run(dag);
+    engine->stats().reset();
+    engine->run(dag);
 
-    const Ptt& ptt = engine.ptt().table(ids.matmul);
-    const auto dist = engine.stats().distribution(Priority::kHigh);
-    const bool lo_phase = scenario.speed(0, engine.now()) < 0.5;
+    const Ptt& ptt = engine->ptt().table(ids.matmul);
+    const auto dist = engine->stats().distribution(Priority::kHigh);
+    const bool lo_phase = scenario.speed(0, engine->now()) < 0.5;
     char buf[64] = "-";
     if (!dist.empty()) {
       std::snprintf(buf, sizeof buf, "%s %.0f%%", to_string(dist[0].first).c_str(),
                     dist[0].second * 100.0);
     }
     std::printf("%-8.3f %-6s %10.0f us %11.0f us %11.0f us   %s\n",
-                engine.now(), lo_phase ? "LO" : "HI",
+                engine->now(), lo_phase ? "LO" : "HI",
                 ptt.value(ExecutionPlace{1, 1}) * 1e6,
                 ptt.value(ExecutionPlace{0, 2}) * 1e6,
                 ptt.value(ExecutionPlace{2, 4}) * 1e6, buf);

@@ -1,21 +1,32 @@
 // K-means clustering as a dynamic task DAG (the paper's §4.2.2 application),
-// executed on the real-thread runtime while a co-running application
-// perturbs half the machine mid-run — the paper's Fig. 9 scenario at
-// laptop scale.
+// executed through the das::Executor facade while a co-running application
+// perturbs half the machine mid-run — the paper's Fig. 9 scenario at laptop
+// scale.
 //
 // Each iteration is one DAG: uneven map chunks (the largest marked high
-// priority) feeding a reduction. The runtime persists across iterations, so
+// priority) feeding a reduction. The executor persists across iterations, so
 // the PTT keeps learning; when interference starts at iteration 10 the
-// dynamic scheduler reroutes within a few iterations.
+// dynamic scheduler reroutes within a few iterations. The interference
+// window is opened/closed on the executor's engine-agnostic now() clock, so
+// the same driver works on both backends:
+//   --backend=rt (default)  real closures, validated inertia descent
+//   --backend=sim           cost-model DAGs in deterministic virtual time
 
 #include <cstdio>
 
+#include "exec/executor.hpp"
 #include "kernels/registry.hpp"
-#include "rt/runtime.hpp"
+#include "util/cli.hpp"
 #include "workloads/kmeans.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace das;
+
+  cli::Flags flags(argc, argv);
+  cli::require_no_positionals(flags);
+  flags.require_known({"backend", "policy"});
+  const Backend backend = backend_flag(flags, Backend::kRt);
+  const Policy policy = policy_flag(flags, Policy::kDamP);
 
   TaskTypeRegistry registry;
   const auto ids = kernels::register_paper_kernels(registry);
@@ -29,17 +40,18 @@ int main() {
   workloads::KMeans km(cfg, ids.kmeans_map, ids.kmeans_reduce);
 
   SpeedScenario scenario(topo);
-  rt::RtOptions options;
-  options.scenario = &scenario;
-  rt::Runtime runtime(topo, Policy::kDamP, registry, options);
+  ExecutorConfig config;
+  config.scenario = &scenario;
+  auto runtime = make_executor(backend, topo, policy, registry, config);
+  const bool real = backend == Backend::kRt;
 
   constexpr int kIters = 30;
   constexpr int kInterfStart = 10, kInterfEnd = 20;
   std::printf("k-means: %d points, k=%d, %d chunks (%d high-priority), "
-              "%d workers\n",
+              "%d workers, backend %s\n",
               cfg.points, cfg.k, cfg.chunks, km.num_big_chunks(),
-              topo.num_cores());
-  std::printf("initial inertia/point: %.3f\n", km.inertia() / cfg.points);
+              topo.num_cores(), backend_name(backend));
+  if (real) std::printf("initial inertia/point: %.3f\n", km.inertia() / cfg.points);
   std::printf("%-5s %-12s %s\n", "iter", "time [ms]", "note");
 
   for (int it = 0; it < kIters; ++it) {
@@ -49,23 +61,26 @@ int main() {
     // boundaries, like the paper's Fig. 9 co-runner.
     if (it == kInterfStart) {
       scenario.add_interference(InterferenceEvent{.cores = {0, 1, 2, 3},
-                                                  .t_start = runtime.scenario_now(),
+                                                  .t_start = runtime->now(),
                                                   .cpu_share = 0.5});
     }
     if (it == kInterfEnd) {
-      scenario.close_open_interference(runtime.scenario_now());
+      scenario.close_open_interference(runtime->now());
     }
 
-    Dag dag = km.make_real_iteration_dag(/*phase=*/0);
-    const double t = runtime.run(dag);
+    // The DES variant carries only cost-model parameters; the real variant
+    // binds closures that compute actual assignments/centroids.
+    Dag dag = real ? km.make_real_iteration_dag(/*phase=*/0)
+                   : km.make_sim_iteration_dag(/*phase=*/0);
+    const RunResult r = runtime->run(dag);
     const char* note = "";
     if (it == kInterfStart) note = "<- interference on cores 0-3 begins";
     if (it == kInterfEnd) note = "<- interference ends";
-    std::printf("%-5d %-12.1f %s\n", it, t * 1e3, note);
+    std::printf("%-5d %-12.1f %s\n", it, r.makespan_s * 1e3, note);
   }
 
-  std::printf("final inertia/point: %.3f\n", km.inertia() / cfg.points);
+  if (real) std::printf("final inertia/point: %.3f\n", km.inertia() / cfg.points);
   std::printf("total tasks executed: %lld\n",
-              static_cast<long long>(runtime.stats().tasks_total()));
+              static_cast<long long>(runtime->stats().tasks_total()));
   return 0;
 }

@@ -1,8 +1,21 @@
-// Quickstart: build a task DAG with priorities and moldable work, run it on
-// the real-thread runtime with the DAM-C scheduler, and inspect what the
-// scheduler learned.
+// Quickstart: the das::Executor facade in one file.
 //
-//   cmake --build build && ./build/examples/quickstart
+// Build a task DAG with priorities and moldable work, pick an engine with
+// ONE enum (or the --backend flag), run it with the DAM-C scheduler, and
+// inspect what the scheduler learned:
+//
+//   cmake --build build
+//   ./build/examples/quickstart                   # real threads (default)
+//   ./build/examples/quickstart --backend=sim     # deterministic DES
+//   ./build/examples/quickstart --policy=RWS      # any Table-1 name
+//
+// Everything below the `make_executor` call is backend-agnostic: the same
+// Dag, the same stats queries, the same PTT introspection work on the
+// real-thread runtime (which executes the matmul closures and emulates
+// asymmetry by throttling) and on the discrete-event simulator (which
+// charges the kernels' analytic cost models in virtual time). That is the
+// paper's central claim — one policy object drives both engines — made
+// concrete.
 //
 // The DAG mirrors the paper's Fig. 1: layers of tasks where one task per
 // layer is critical (it releases the next layer). The platform is the
@@ -12,17 +25,25 @@
 
 #include <cstdio>
 
+#include "exec/executor.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/workspace.hpp"
-#include "rt/runtime.hpp"
 #include "trace/reporter.hpp"
+#include "util/cli.hpp"
 #include "workloads/synthetic_dag.hpp"
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace das;
+
+  // 0. Flags: engine and scheduler are run-time choices, not code.
+  cli::Flags flags(argc, argv);
+  cli::require_no_positionals(flags);
+  flags.require_known({"backend", "policy"});
+  const Backend backend = backend_flag(flags, Backend::kRt);
+  const Policy policy = policy_flag(flags, Policy::kDamC);
 
   // 1. Task types: register the paper kernels (matmul/copy/stencil/...).
   TaskTypeRegistry registry;
@@ -35,7 +56,8 @@ int main() {
 
   // 3. Work: a moldable matmul task. Participants of an assembly split the
   //    rows of C by their rank; buffers come from a pool sized for the
-  //    maximum concurrency (one assembly per core).
+  //    maximum concurrency (one assembly per core). The closure runs on the
+  //    real-thread backend; the DES charges the matmul cost model instead.
   constexpr int kTile = 48;
   kernels::WorkspacePool pool(topo.num_cores() * 3,
                               static_cast<std::size_t>(kTile) * kTile);
@@ -60,24 +82,26 @@ int main() {
   std::printf("DAG: %d tasks, parallelism %.1f\n", dag.num_nodes(),
               dag.dag_parallelism());
 
-  // 5. Run under the dynamic asymmetry scheduler (DAM-C).
-  rt::RtOptions options;
-  options.scenario = &scenario;
-  rt::Runtime runtime(topo, Policy::kDamC, registry, options);
-  const double seconds = runtime.run(dag);
-  std::printf("executed %lld tasks in %.3f s (%.0f tasks/s)\n\n",
-              static_cast<long long>(runtime.stats().tasks_total()), seconds,
-              runtime.stats().tasks_total() / seconds);
+  // 5. Run through the facade. ExecutorConfig carries the shared options
+  //    (seed, scenario, policy tunables); run() returns a structured result.
+  ExecutorConfig config;
+  config.scenario = &scenario;
+  auto executor = make_executor(backend, topo, policy, registry, config);
+  const RunResult result = executor->run(dag);
+  std::printf("[%s/%s] executed %lld tasks in %.3f s (%.0f tasks/s)\n\n",
+              backend_name(result.backend), policy_name(result.policy),
+              static_cast<long long>(result.stats[0].tasks_total),
+              result.makespan_s, result.tasks_per_s);
 
   // 6. Where did the critical tasks go? (Core 0 hosts the co-runner.)
-  print_priority_distribution(runtime.stats(), std::cout,
+  print_priority_distribution(executor->stats(), std::cout,
                               "critical-task placement:");
   std::cout << '\n';
-  print_core_worktime(runtime.stats(), std::cout, "per-core busy time:");
+  print_core_worktime(executor->stats(), std::cout, "per-core busy time:");
 
   // 7. The learned model: predicted matmul time per execution place.
   std::printf("\nPTT (task type 'matmul'):\n");
-  const Ptt& ptt = runtime.ptt().table(ids.matmul);
+  const Ptt& ptt = executor->ptt().table(ids.matmul);
   for (const ExecutionPlace& p : topo.places()) {
     if (ptt.samples(p) == 0) continue;
     std::printf("  %-7s %8.1f us  (%llu samples)\n", to_string(p).c_str(),

@@ -29,10 +29,18 @@ const std::vector<Policy>& all_policies() {
   return kAll;
 }
 
+const std::vector<Policy>& all_known_policies() {
+  static const std::vector<Policy> kAll = [] {
+    std::vector<Policy> v = all_policies();
+    v.push_back(Policy::kDheft);
+    return v;
+  }();
+  return kAll;
+}
+
 std::optional<Policy> policy_from_name(const std::string& name) {
-  for (Policy p : all_policies())
+  for (Policy p : all_known_policies())
     if (name == policy_name(p)) return p;
-  if (name == policy_name(Policy::kDheft)) return Policy::kDheft;
   return std::nullopt;
 }
 

@@ -53,7 +53,11 @@ enum class Policy : std::uint8_t {
 const char* policy_name(Policy p);
 /// The paper's seven schedulers, in Table 1 order (excludes baselines).
 const std::vector<Policy>& all_policies();
-/// Parses "DAM-C" etc.; returns nullopt for unknown names.
+/// Every policy with a parseable name: Table 1 plus the baselines. The
+/// single source the name-lookup functions (and the facade's case-
+/// insensitive parse_policy) iterate.
+const std::vector<Policy>& all_known_policies();
+/// Parses "DAM-C" etc. (exact spelling); returns nullopt for unknown names.
 std::optional<Policy> policy_from_name(const std::string& name);
 
 /// Introspection used to print the paper's Table 1.

@@ -1,0 +1,202 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rt/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace das {
+
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kRt: return "rt";
+  }
+  return "?";
+}
+
+const std::vector<Backend>& all_backends() {
+  static const std::vector<Backend> kAll = {Backend::kSim, Backend::kRt};
+  return kAll;
+}
+
+std::optional<Backend> parse_backend(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "sim" || n == "des") return Backend::kSim;
+  if (n == "rt" || n == "real") return Backend::kRt;
+  return std::nullopt;
+}
+
+std::optional<Policy> parse_policy(const std::string& name) {
+  const std::string n = lower(name);
+  for (Policy p : all_known_policies())
+    if (n == lower(policy_name(p))) return p;
+  return std::nullopt;
+}
+
+Backend backend_flag(const cli::Flags& flags, Backend def) {
+  if (!flags.has("backend")) return def;
+  const auto b = parse_backend(flags.get("backend"));
+  if (!b) cli::die("unknown backend '" + flags.get("backend") + "' (sim|rt)");
+  return *b;
+}
+
+Policy policy_flag(const cli::Flags& flags, Policy def) {
+  if (!flags.has("policy")) return def;
+  const auto p = parse_policy(flags.get("policy"));
+  if (!p) cli::die("unknown policy '" + flags.get("policy") + "'");
+  return *p;
+}
+
+RunResult Executor::run(const Dag& dag) {
+  RunResult r;
+  r.makespan_s = run_makespan(dag);
+  r.tasks = dag.num_nodes();
+  r.tasks_per_s = r.makespan_s > 0.0 ? dag.num_nodes() / r.makespan_s : 0.0;
+  r.backend = backend();
+  r.policy = policy_kind();
+  r.stats.reserve(static_cast<std::size_t>(num_ranks()));
+  for (int rank = 0; rank < num_ranks(); ++rank)
+    r.stats.push_back(stats(rank).snapshot());
+  r.timeline = timeline_;
+  return r;
+}
+
+namespace {
+
+rt::RtOptions to_rt_options(const ExecutorConfig& cfg) {
+  rt::RtOptions o;
+  o.seed = cfg.seed;
+  o.scenario = cfg.scenario;
+  o.policy_options = cfg.policy_options;
+  o.ptt_ratio = cfg.ptt_ratio;
+  o.stats_phases = cfg.stats_phases;
+  o.pin_threads = cfg.rt.pin_threads;
+  o.steal_attempts_per_round = cfg.rt.steal_attempts_per_round;
+  return o;
+}
+
+sim::SimOptions to_sim_options(const ExecutorConfig& cfg) {
+  sim::SimOptions o;
+  o.seed = cfg.seed;
+  o.policy_options = cfg.policy_options;
+  o.ptt_ratio = cfg.ptt_ratio;
+  o.stats_phases = cfg.stats_phases;
+  o.timeline = cfg.timeline;
+  o.dispatch_overhead_s = cfg.sim.dispatch_overhead_s;
+  o.steal_latency_s = cfg.sim.steal_latency_s;
+  o.completion_overhead_s = cfg.sim.completion_overhead_s;
+  o.idle_wake_delay_s = cfg.sim.idle_wake_delay_s;
+  o.noise = cfg.sim.noise;
+  return o;
+}
+
+class SimExecutor final : public Executor {
+ public:
+  SimExecutor(std::vector<sim::RankSpec> ranks, Policy policy,
+              const TaskTypeRegistry& registry, const ExecutorConfig& cfg)
+      : Executor(policy, cfg.timeline),
+        engine_(std::move(ranks), policy, registry, to_sim_options(cfg)) {}
+
+  Backend backend() const override { return Backend::kSim; }
+  int num_ranks() const override { return engine_.num_ranks(); }
+  const Topology& topology(int rank = 0) const override {
+    return engine_.stats(rank).topology();
+  }
+  double now() const override { return engine_.now(); }
+  ExecutionStats& stats(int rank = 0) override { return engine_.stats(rank); }
+  PolicyEngine& policy(int rank = 0) override { return engine_.policy(rank); }
+  PttStore& ptt(int rank = 0) override { return engine_.ptt(rank); }
+
+ protected:
+  double run_makespan(const Dag& dag) override { return engine_.run(dag); }
+
+ private:
+  sim::SimEngine engine_;
+};
+
+class RtExecutor final : public Executor {
+ public:
+  RtExecutor(const Topology& topo, Policy policy,
+             const TaskTypeRegistry& registry, const ExecutorConfig& cfg)
+      : Executor(policy, /*timeline=*/nullptr),  // rt records no timeline yet
+        runtime_(topo, policy, registry, to_rt_options(cfg)) {}
+
+  Backend backend() const override { return Backend::kRt; }
+  int num_ranks() const override { return 1; }
+  const Topology& topology(int rank = 0) const override {
+    DAS_CHECK(rank == 0);
+    return runtime_.topology();
+  }
+  double now() const override { return runtime_.scenario_now(); }
+  ExecutionStats& stats(int rank = 0) override {
+    DAS_CHECK(rank == 0);
+    return runtime_.stats();
+  }
+  PolicyEngine& policy(int rank = 0) override {
+    DAS_CHECK(rank == 0);
+    return runtime_.policy();
+  }
+  PttStore& ptt(int rank = 0) override {
+    DAS_CHECK(rank == 0);
+    return runtime_.ptt();
+  }
+
+ protected:
+  double run_makespan(const Dag& dag) override { return runtime_.run(dag); }
+
+ private:
+  rt::Runtime runtime_;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> make_executor(Backend backend, const Topology& topo,
+                                        Policy policy,
+                                        const TaskTypeRegistry& registry,
+                                        ExecutorConfig config) {
+  return make_executor(backend, {sim::RankSpec{&topo, config.scenario}}, policy,
+                       registry, std::move(config));
+}
+
+std::unique_ptr<Executor> make_executor(Backend backend,
+                                        std::vector<sim::RankSpec> ranks,
+                                        Policy policy,
+                                        const TaskTypeRegistry& registry,
+                                        ExecutorConfig config) {
+  DAS_CHECK_MSG(!ranks.empty(), "make_executor: at least one rank required");
+  // config.scenario is the fallback for every rank without its own scenario
+  // (so a driver migrating from the single-topology overload does not lose
+  // its interference scenario silently); a RankSpec scenario wins.
+  for (sim::RankSpec& r : ranks)
+    if (r.scenario == nullptr) r.scenario = config.scenario;
+  switch (backend) {
+    case Backend::kSim:
+      return std::make_unique<SimExecutor>(std::move(ranks), policy, registry,
+                                           config);
+    case Backend::kRt: {
+      DAS_CHECK_MSG(ranks.size() == 1,
+                    "Backend::kRt is single-domain; use net::World for real "
+                    "multi-rank runs");
+      ExecutorConfig cfg = std::move(config);
+      cfg.scenario = ranks[0].scenario;
+      return std::make_unique<RtExecutor>(*ranks[0].topo, policy, registry, cfg);
+    }
+  }
+  DAS_CHECK_MSG(false, "make_executor: unknown backend");
+  return nullptr;
+}
+
+}  // namespace das

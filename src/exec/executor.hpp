@@ -1,0 +1,177 @@
+#pragma once
+// Unified execution facade over the two engines (paper §4.1.2 / §4.2.3).
+//
+// The paper's central claim is that ONE scheduling policy object drives both
+// a real-thread XiTAO-style runtime and a deterministic discrete-event
+// simulator. This header makes that claim the public API: every driver
+// (bench, example, test) builds an engine through
+//
+//     auto exec = das::make_executor(Backend::kSim, topo, Policy::kDamC,
+//                                    registry, config);
+//     RunResult r = exec->run(dag);
+//
+// and can switch engines by flipping the Backend value — typically from a
+// `--backend=sim|rt` command-line flag (util/cli.hpp). ExecutorConfig holds
+// the options shared by both engines (seed, scenario, policy tunables, PTT
+// ratio, stats phases) plus per-backend sub-structs for the knobs only one
+// engine understands. run() returns a structured RunResult (makespan,
+// throughput, per-rank stats snapshot) instead of a bare double.
+//
+// Engine state persists across run() calls exactly like the underlying
+// engines: the PTT keeps learning, stats accumulate, and the clock
+// (virtual time for the DES, wall seconds since construction for the
+// real-thread runtime) advances monotonically — now() exposes it
+// engine-agnostically so drivers can open/close interference windows at
+// application-level boundaries on either backend (paper Fig. 9).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/policy.hpp"
+#include "core/ptt.hpp"
+#include "core/task_type.hpp"
+#include "platform/speed_model.hpp"
+#include "platform/topology.hpp"
+#include "rt/runtime.hpp"
+#include "sim/engine.hpp"
+#include "trace/stats.hpp"
+#include "trace/timeline.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace das {
+
+enum class Backend : std::uint8_t {
+  kSim = 0,  ///< deterministic discrete-event engine (src/sim)
+  kRt,       ///< real-thread work-stealing runtime (src/rt)
+};
+
+/// Canonical name: "sim" | "rt".
+const char* backend_name(Backend b);
+/// Both backends, in declaration order.
+const std::vector<Backend>& all_backends();
+/// Parses "sim" / "des" -> kSim, "rt" / "real" -> kRt (case-insensitive);
+/// nullopt for unknown names.
+std::optional<Backend> parse_backend(const std::string& name);
+
+/// Case-insensitive policy lookup over the Table-1 names ("RWS", "RWSM-C",
+/// "FA", "FAM-C", "DA", "DAM-C", "DAM-P") and the "dHEFT" baseline;
+/// nullopt for unknown names.
+std::optional<Policy> parse_policy(const std::string& name);
+
+/// Resolves the --backend= / --policy= flag against the registries above:
+/// returns `def` when the flag is absent, exits with a diagnostic on an
+/// unknown name. The one flag block every example/bench driver shares.
+Backend backend_flag(const cli::Flags& flags, Backend def);
+Policy policy_flag(const cli::Flags& flags, Policy def);
+
+/// Options shared by both engines, plus per-backend sub-structs. The
+/// defaults match the engines' standalone defaults, except that `seed`
+/// is the single documented kDefaultSeed for BOTH backends (the legacy
+/// entry points used to default to 7 for rt and 42 for sim).
+struct ExecutorConfig {
+  std::uint64_t seed = kDefaultSeed;
+  /// Dynamic-asymmetry emulation (DVFS waves, co-runners); null = clean
+  /// machine. The DES charges it in virtual time; the real runtime stretches
+  /// participations via the throttle. Not owned; must outlive the executor.
+  const SpeedScenario* scenario = nullptr;
+  PolicyOptions policy_options{};
+  UpdateRatio ptt_ratio{};
+  int stats_phases = 1;
+  /// Optional execution timeline (Chrome trace export); recorded by the DES
+  /// backend only. Not owned.
+  Timeline* timeline = nullptr;
+
+  // The per-backend defaults are read off the engines' own option structs
+  // so they can never drift from what a direct engine user would get (the
+  // divergent-defaults bug class the unified seed fixes).
+  struct Rt {
+    /// Best-effort pthread affinity.
+    bool pin_threads = ::das::rt::RtOptions{}.pin_threads;
+    /// Victims probed before backing off.
+    int steal_attempts_per_round = ::das::rt::RtOptions{}.steal_attempts_per_round;
+  } rt;
+
+  struct Sim {
+    double dispatch_overhead_s = ::das::sim::SimOptions{}.dispatch_overhead_s;
+    double steal_latency_s = ::das::sim::SimOptions{}.steal_latency_s;
+    double completion_overhead_s = ::das::sim::SimOptions{}.completion_overhead_s;
+    double idle_wake_delay_s = ::das::sim::SimOptions{}.idle_wake_delay_s;
+    /// Lognormal measurement noise.
+    bool noise = ::das::sim::SimOptions{}.noise;
+  } sim;
+};
+
+/// Structured result of one Executor::run() call.
+struct RunResult {
+  double makespan_s = 0.0;   ///< virtual (sim) or wall (rt) seconds
+  double tasks_per_s = 0.0;  ///< this run's tasks / makespan_s
+  std::int64_t tasks = 0;    ///< nodes executed in this run
+  Backend backend = Backend::kSim;
+  Policy policy = Policy::kRws;
+  /// One snapshot per rank (scheduling domain), taken after the run.
+  /// Counters accumulate across runs on the same executor.
+  std::vector<StatsSnapshot> stats;
+  /// The config's timeline, when the backend recorded into one; else null.
+  const Timeline* timeline = nullptr;
+};
+
+/// Engine-agnostic handle. Obtain via make_executor(); all engine state
+/// (workers, PTT, stats, clock) lives for the handle's lifetime.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Executes every task of `dag`. Callable repeatedly; the PTT keeps
+  /// learning and stats accumulate across runs (iterative applications keep
+  /// their learned model, like a persistent runtime).
+  RunResult run(const Dag& dag);
+
+  virtual Backend backend() const = 0;
+  Policy policy_kind() const { return policy_kind_; }
+  virtual int num_ranks() const = 0;
+  virtual const Topology& topology(int rank = 0) const = 0;
+  /// Seconds on the engine's scenario clock: virtual time for the DES, wall
+  /// seconds since construction for the real runtime. Drivers use it to
+  /// open/close SpeedScenario interference windows mid-experiment.
+  virtual double now() const = 0;
+
+  virtual ExecutionStats& stats(int rank = 0) = 0;
+  virtual PolicyEngine& policy(int rank = 0) = 0;
+  virtual PttStore& ptt(int rank = 0) = 0;
+
+ protected:
+  Executor(Policy policy, const Timeline* timeline)
+      : policy_kind_(policy), timeline_(timeline) {}
+  /// Engine-specific execution; returns the run's makespan in seconds.
+  virtual double run_makespan(const Dag& dag) = 0;
+
+ private:
+  Policy policy_kind_;
+  const Timeline* timeline_;
+};
+
+/// Single-domain factory: one topology, optional scenario in `config`.
+/// Both backends accept every config; fields the chosen backend does not
+/// understand are ignored (e.g. sim.* under Backend::kRt).
+std::unique_ptr<Executor> make_executor(Backend backend, const Topology& topo,
+                                        Policy policy,
+                                        const TaskTypeRegistry& registry,
+                                        ExecutorConfig config = {});
+
+/// Multi-domain factory (the distributed experiments): one RankSpec per
+/// scheduling domain. Backend::kRt accepts exactly one rank (the real
+/// runtime is single-domain; use net::World for real multi-rank runs).
+/// Ranks without their own scenario inherit config.scenario.
+std::unique_ptr<Executor> make_executor(Backend backend,
+                                        std::vector<sim::RankSpec> ranks,
+                                        Policy policy,
+                                        const TaskTypeRegistry& registry,
+                                        ExecutorConfig config = {});
+
+}  // namespace das

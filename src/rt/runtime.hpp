@@ -46,7 +46,7 @@
 namespace das::rt {
 
 struct RtOptions {
-  std::uint64_t seed = 7;
+  std::uint64_t seed = kDefaultSeed;  ///< shared default (util/rng.hpp)
   bool pin_threads = false;            ///< best-effort pthread affinity
   const SpeedScenario* scenario = nullptr;  ///< asymmetry emulation; null = off
   PolicyOptions policy_options{};

@@ -37,7 +37,7 @@
 namespace das::sim {
 
 struct SimOptions {
-  std::uint64_t seed = 42;
+  std::uint64_t seed = kDefaultSeed;  ///< shared default (util/rng.hpp)
   double dispatch_overhead_s = 1e-6;  ///< dequeue -> assembly insertion cost
   double steal_latency_s = 2e-6;      ///< successful steal round-trip
   /// Bookkeeping a finishing participant performs (PTT update, waking the

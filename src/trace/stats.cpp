@@ -108,6 +108,21 @@ std::vector<std::pair<ExecutionPlace, double>> ExecutionStats::distribution(
   return out;
 }
 
+StatsSnapshot ExecutionStats::snapshot() const {
+  StatsSnapshot s;
+  s.tasks_high = tasks_with_priority(Priority::kHigh);
+  s.tasks_low = tasks_with_priority(Priority::kLow);
+  s.tasks_total = s.tasks_high + s.tasks_low;
+  s.elapsed_s = elapsed_s_;
+  s.busy_s.resize(static_cast<std::size_t>(topo_->num_cores()));
+  for (int c = 0; c < topo_->num_cores(); ++c) {
+    s.busy_s[static_cast<std::size_t>(c)] = busy_s(c);
+    s.total_busy_s += s.busy_s[static_cast<std::size_t>(c)];
+  }
+  s.high_distribution = distribution(Priority::kHigh);
+  return s;
+}
+
 void ExecutionStats::reset() {
   for (int c = 0; c < topo_->num_cores(); ++c)
     busy_ns_[static_cast<std::size_t>(c)].value.store(0, std::memory_order_relaxed);

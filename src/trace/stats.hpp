@@ -22,6 +22,21 @@
 
 namespace das {
 
+/// Value-type copy of an ExecutionStats at one instant — what RunResult
+/// carries back to drivers so results stay inspectable after the engine
+/// (and its live ExecutionStats) is gone.
+struct StatsSnapshot {
+  std::int64_t tasks_total = 0;
+  std::int64_t tasks_high = 0;   ///< high-priority (critical) tasks
+  std::int64_t tasks_low = 0;
+  double elapsed_s = 0.0;        ///< engine-reported elapsed seconds
+  double total_busy_s = 0.0;
+  std::vector<double> busy_s;    ///< per-core kernel busy time, index = core
+  /// Fraction of high-priority tasks per execution place, descending share
+  /// (zero-count places omitted) — the paper's Fig. 5 data.
+  std::vector<std::pair<ExecutionPlace, double>> high_distribution;
+};
+
 class ExecutionStats {
  public:
   /// `num_phases` >= 1; phase 0 is used unless set_phase() is called.
@@ -66,6 +81,9 @@ class ExecutionStats {
   /// zero count omitted), ordered by descending share — the paper's Fig. 5
   /// pie-chart data.
   std::vector<std::pair<ExecutionPlace, double>> distribution(Priority p) const;
+
+  /// Copies the current counters into a value-type snapshot.
+  StatsSnapshot snapshot() const;
 
   /// Clears all counters (phases keep their dimension).
   void reset();

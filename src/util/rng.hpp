@@ -11,6 +11,13 @@
 
 namespace das {
 
+/// The single default seed shared by every engine entry point and the
+/// Executor facade. The legacy defaults diverged (RtOptions used 7,
+/// SimOptions 42), so "the same experiment" silently meant different random
+/// streams per backend; figure-reproduction benches still pin their own
+/// bench::kFigureSeed = 2020.
+inline constexpr std::uint64_t kDefaultSeed = 42;
+
 /// SplitMix64: used to expand a single seed into xoshiro's 4-word state.
 /// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
 /// generators" (OOPSLA'14); public-domain reference implementation.

@@ -9,9 +9,9 @@
 
 #include <map>
 
+#include "exec/executor.hpp"
 #include "kernels/registry.hpp"
-#include "rt/runtime.hpp"
-#include "sim/engine.hpp"
+#include "platform/affinity.hpp"
 #include "workloads/heat.hpp"
 #include "workloads/synthetic_dag.hpp"
 
@@ -24,16 +24,24 @@ class IntegrationTest : public ::testing::Test {
     ids_ = kernels::register_paper_kernels(registry_);
   }
 
-  /// DES throughput (tasks/s of virtual time) of `policy` under `scenario`.
+  /// Throughput of `policy` under `scenario` on `backend` (virtual tasks/s
+  /// for kSim, wall tasks/s for kRt), through the Executor facade.
+  double throughput(Backend backend, Policy policy,
+                    const SpeedScenario* scenario,
+                    const workloads::SyntheticDagSpec& spec,
+                    std::uint64_t seed = kDefaultSeed) {
+    Dag dag = workloads::make_synthetic_dag(spec);
+    ExecutorConfig config;
+    config.seed = seed;
+    config.scenario = scenario;
+    auto exec = make_executor(backend, topo_, policy, registry_, config);
+    return exec->run(dag).tasks_per_s;
+  }
+
   double sim_throughput(Policy policy, const SpeedScenario* scenario,
                         const workloads::SyntheticDagSpec& spec,
-                        std::uint64_t seed = 42) {
-    Dag dag = workloads::make_synthetic_dag(spec);
-    sim::SimOptions opts;
-    opts.seed = seed;
-    sim::SimEngine eng(topo_, policy, registry_, opts, scenario);
-    const double makespan = eng.run(dag);
-    return dag.num_nodes() / makespan;
+                        std::uint64_t seed = kDefaultSeed) {
+    return throughput(Backend::kSim, policy, scenario, spec, seed);
   }
 
   Topology topo_;
@@ -85,11 +93,13 @@ TEST_F(IntegrationTest, Fig5Shape_DynamicSchedulersEvacuatePerturbedCore) {
 
   for (Policy p : {Policy::kDa, Policy::kDamC, Policy::kDamP}) {
     Dag dag = workloads::make_synthetic_dag(spec);
-    sim::SimEngine eng(topo_, p, registry_, {}, &scenario);
-    eng.run(dag);
+    ExecutorConfig config;
+    config.scenario = &scenario;
+    auto eng = make_executor(Backend::kSim, topo_, p, registry_, config);
+    const RunResult r = eng->run(dag);
     // Fraction of high-priority tasks on the perturbed core 0 (any width).
     double on_core0 = 0.0, on_core1 = 0.0;
-    for (const auto& [place, share] : eng.stats().distribution(Priority::kHigh)) {
+    for (const auto& [place, share] : r.stats[0].high_distribution) {
       if (place.leader == 0) on_core0 += share;
       if (place.leader == 1) on_core1 += share;
     }
@@ -101,10 +111,12 @@ TEST_F(IntegrationTest, Fig5Shape_DynamicSchedulersEvacuatePerturbedCore) {
 
   // FA, by contrast, keeps hammering core 0 with half the criticals.
   Dag dag = workloads::make_synthetic_dag(spec);
-  sim::SimEngine eng(topo_, Policy::kFa, registry_, {}, &scenario);
-  eng.run(dag);
+  ExecutorConfig config;
+  config.scenario = &scenario;
+  auto eng = make_executor(Backend::kSim, topo_, Policy::kFa, registry_, config);
+  const RunResult r = eng->run(dag);
   double fa_core0 = 0.0;
-  for (const auto& [place, share] : eng.stats().distribution(Priority::kHigh))
+  for (const auto& [place, share] : r.stats[0].high_distribution)
     if (place.leader == 0) fa_core0 += share;
   EXPECT_NEAR(fa_core0, 0.5, 0.02);
 }
@@ -114,15 +126,19 @@ TEST_F(IntegrationTest, Fig6Shape_FaOverloadsPerturbedCoreRwsBalances) {
   scenario.add_cpu_corunner(0);
   const auto spec = workloads::paper_matmul_spec(ids_.matmul, 2, 0.1);
 
+  ExecutorConfig config;
+  config.scenario = &scenario;
   Dag dag_fa = workloads::make_synthetic_dag(spec);
-  sim::SimEngine fa(topo_, Policy::kFa, registry_, {}, &scenario);
-  fa.run(dag_fa);
+  const RunResult fa =
+      make_executor(Backend::kSim, topo_, Policy::kFa, registry_, config)
+          ->run(dag_fa);
   Dag dag_dam = workloads::make_synthetic_dag(spec);
-  sim::SimEngine dam(topo_, Policy::kDamC, registry_, {}, &scenario);
-  dam.run(dag_dam);
+  const RunResult dam =
+      make_executor(Backend::kSim, topo_, Policy::kDamC, registry_, config)
+          ->run(dag_dam);
   // FA's core-0 busy time dominates its other denver core (it executes the
   // same number of criticals at half speed); DAM-C mostly avoids core 0.
-  EXPECT_GT(fa.stats().busy_s(0), 1.3 * dam.stats().busy_s(0));
+  EXPECT_GT(fa.stats[0].busy_s[0], 1.3 * dam.stats[0].busy_s[0]);
 }
 
 TEST_F(IntegrationTest, Fig7Shape_DynamicSchedulersRideThroughDvfs) {
@@ -163,9 +179,8 @@ TEST_F(IntegrationTest, Fig10Shape_DistributedHeatPrefersMoldableSchedulers) {
     Dag dag = workloads::make_heat_sim_dag(cfg, ids_.heat_compute, ids_.comm);
     std::vector<sim::RankSpec> ranks(4, sim::RankSpec{&node_topo, nullptr});
     ranks[0].scenario = &perturbed;  // interference on node 0, socket 0
-    sim::SimEngine eng(ranks, p, registry_);
-    const double makespan = eng.run(dag);
-    tp[p] = dag.num_nodes() / makespan;
+    auto eng = make_executor(Backend::kSim, ranks, p, registry_);
+    tp[p] = eng->run(dag).tasks_per_s;
   }
   // The paper's headline: DAM-C +76% over RWS. Moldability is the dominant
   // effect in our substrate too.
@@ -178,9 +193,15 @@ TEST_F(IntegrationTest, Fig10Shape_DistributedHeatPrefersMoldableSchedulers) {
 }
 
 TEST_F(IntegrationTest, CrossEngine_RealRuntimeAgreesWithDesOrdering) {
-  // Small matmul DAG with emulated interference on core 0: both engines must
-  // rank DAM-C above RWS. (Absolute numbers differ: the DES charges model
-  // costs, the runtime executes real kernels plus the throttle.)
+  // Small matmul DAG with emulated interference on core 0: both backends,
+  // driven through the SAME facade call, must rank DAM-C above RWS.
+  // (Absolute numbers differ: the DES charges model costs, the runtime
+  // executes real kernels plus the throttle.)
+  if (allowed_cpu_count() < topo_.num_cores()) {
+    GTEST_SKIP() << "only " << allowed_cpu_count() << " CPUs for "
+                 << topo_.num_cores() << " workers — wall-clock ordering "
+                 << "is noise under oversubscription";
+  }
   SpeedScenario scenario(topo_);
   scenario.add_cpu_corunner(0);
 
@@ -192,17 +213,8 @@ TEST_F(IntegrationTest, CrossEngine_RealRuntimeAgreesWithDesOrdering) {
 
   const double sim_rws = sim_throughput(Policy::kRws, &scenario, spec);
   const double sim_dam = sim_throughput(Policy::kDamC, &scenario, spec);
-
-  auto rt_throughput = [&](Policy p) {
-    Dag dag = workloads::make_synthetic_dag(spec);  // cost-model fallback work
-    rt::RtOptions opts;
-    opts.scenario = &scenario;
-    rt::Runtime rt(topo_, p, registry_, opts);
-    const double elapsed = rt.run(dag);
-    return dag.num_nodes() / elapsed;
-  };
-  const double rt_rws = rt_throughput(Policy::kRws);
-  const double rt_dam = rt_throughput(Policy::kDamC);
+  const double rt_rws = throughput(Backend::kRt, Policy::kRws, &scenario, spec);
+  const double rt_dam = throughput(Backend::kRt, Policy::kDamC, &scenario, spec);
 
   EXPECT_GT(sim_dam, sim_rws);
   EXPECT_GT(rt_dam, rt_rws);

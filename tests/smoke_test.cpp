@@ -1,17 +1,16 @@
 // Build-level smoke test: every subsystem is constructible and a tiny DAG
-// executes end-to-end on both engines.
+// executes end-to-end on both engines through the das::Executor facade.
 
 #include <gtest/gtest.h>
 
+#include "exec/executor.hpp"
 #include "kernels/registry.hpp"
-#include "rt/runtime.hpp"
-#include "sim/engine.hpp"
 #include "workloads/synthetic_dag.hpp"
 
 namespace das {
 namespace {
 
-TEST(Smoke, TinyDagRunsOnBothEngines) {
+TEST(Smoke, TinyDagRunsOnBothBackends) {
   TaskTypeRegistry registry;
   const auto ids = kernels::register_paper_kernels(registry);
   const Topology topo = Topology::tx2();
@@ -23,15 +22,13 @@ TEST(Smoke, TinyDagRunsOnBothEngines) {
   spec.params.p0 = 16;  // small tiles: fast
   Dag dag = workloads::make_synthetic_dag(spec);
 
-  sim::SimEngine sim(topo, Policy::kDamC, registry);
-  const double makespan = sim.run(dag);
-  EXPECT_GT(makespan, 0.0);
-  EXPECT_EQ(sim.stats().tasks_total(), dag.num_nodes());
-
-  rt::Runtime rt(topo, Policy::kDamC, registry);
-  const double wall = rt.run(dag);
-  EXPECT_GT(wall, 0.0);
-  EXPECT_EQ(rt.stats().tasks_total(), dag.num_nodes());
+  for (Backend backend : all_backends()) {
+    auto exec = make_executor(backend, topo, Policy::kDamC, registry);
+    const RunResult result = exec->run(dag);
+    EXPECT_GT(result.makespan_s, 0.0) << backend_name(backend);
+    EXPECT_EQ(result.stats[0].tasks_total, dag.num_nodes())
+        << backend_name(backend);
+  }
 }
 
 }  // namespace
