@@ -23,7 +23,8 @@ using namespace das::bench;
 
 namespace {
 
-double run(const Bench& b, Policy policy, const workloads::SyntheticDagSpec& spec,
+double run(Bench& b, const std::string& label, Policy policy,
+           const workloads::SyntheticDagSpec& spec,
            const SpeedScenario* scenario, ExecutorConfig opts,
            bool warm_ptt = false) {
   auto exec = b.make(policy, scenario, opts);
@@ -37,17 +38,18 @@ double run(const Bench& b, Policy policy, const workloads::SyntheticDagSpec& spe
   }
   Dag dag = workloads::make_synthetic_dag(spec);
   const double t0 = exec->now();
-  exec->run(dag);
+  const RunResult r = exec->run(dag);
+  b.report(label, r);
   return dag.num_nodes() / (exec->now() - t0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "ablation_scheduler");
   print_backend(b);
-  SpeedScenario corunner(b.topo);
-  corunner.add_cpu_corunner(0);
+  const SpeedScenario corunner = b.make_scenario(
+      b.topo, [](SpeedScenario& s) { s.add_cpu_corunner(0); });
   const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, 0.5 * b.scale);
 
   print_title("Ablation A: steal-exemption of high-priority tasks (DAM-C)");
@@ -56,8 +58,8 @@ int main(int argc, char** argv) {
     ExecutorConfig on = b.make_config();
     ExecutorConfig off = b.make_config();
     off.policy_options.steal_exempt_high_priority = false;
-    t.row().add("steal-exempt (paper)").add(run(b, Policy::kDamC, spec, &corunner, on), 0);
-    t.row().add("stealable criticals").add(run(b, Policy::kDamC, spec, &corunner, off), 0);
+    t.row().add("steal-exempt (paper)").add(run(b, "A steal-exempt", Policy::kDamC, spec, &corunner, on), 0);
+    t.row().add("stealable criticals").add(run(b, "A stealable criticals", Policy::kDamC, spec, &corunner, off), 0);
     t.print(std::cout);
   }
 
@@ -65,8 +67,8 @@ int main(int argc, char** argv) {
   {
     TextTable t({"variant", "tasks/s"});
     const ExecutorConfig opts = b.make_config();
-    t.row().add("cold (zero-init, paper)").add(run(b, Policy::kDamC, spec, &corunner, opts), 0);
-    t.row().add("warm (50-layer pre-train)").add(run(b, Policy::kDamC, spec, &corunner, opts, true), 0);
+    t.row().add("cold (zero-init, paper)").add(run(b, "B cold PTT", Policy::kDamC, spec, &corunner, opts), 0);
+    t.row().add("warm (50-layer pre-train)").add(run(b, "B warm PTT", Policy::kDamC, spec, &corunner, opts, true), 0);
     t.print(std::cout);
   }
 
@@ -79,8 +81,8 @@ int main(int argc, char** argv) {
       off.policy_options.remold_on_dequeue = false;
       t.row()
           .add(policy_name(p))
-          .add(run(b, p, spec, &corunner, on), 0)
-          .add(run(b, p, spec, &corunner, off), 0);
+          .add(run(b, "C re-mold", p, spec, &corunner, on), 0)
+          .add(run(b, "C frozen width", p, spec, &corunner, off), 0);
     }
     t.print(std::cout);
   }
@@ -91,8 +93,8 @@ int main(int argc, char** argv) {
     ExecutorConfig rr = b.make_config();
     ExecutorConfig rnd = b.make_config();
     rnd.policy_options.random_tie_break = true;
-    t.row().add("round-robin (deterministic)").add(run(b, Policy::kDamP, spec, &corunner, rr), 0);
-    t.row().add("random").add(run(b, Policy::kDamP, spec, &corunner, rnd), 0);
+    t.row().add("round-robin (deterministic)").add(run(b, "D round-robin", Policy::kDamP, spec, &corunner, rr), 0);
+    t.row().add("random").add(run(b, "D random tie-break", Policy::kDamP, spec, &corunner, rnd), 0);
     t.print(std::cout);
   }
 
@@ -107,7 +109,9 @@ int main(int argc, char** argv) {
       opts.ptt_ratio = UpdateRatio{num, 5};
       t.row()
           .add(num == 1 ? "1/5 (paper)" : "5/5 (last sample only)")
-          .add(run(b, Policy::kDamC, noisy, &corunner, opts), 0);
+          .add(run(b, num == 1 ? "E ratio 1/5" : "E ratio 5/5", Policy::kDamC,
+                   noisy, &corunner, opts),
+               0);
     }
     t.print(std::cout);
   }
@@ -123,6 +127,7 @@ int main(int argc, char** argv) {
       Dag dag = workloads::make_synthetic_dag(spec);
       mutate(dag);
       const RunResult r = b.make(Policy::kDamC, &corunner, b.make_config())->run(dag);
+      b.report(std::string("F ") + label, r);
       t.row().add(label).add(r.tasks_per_s, 0);
     };
     run_variant("user marks (generator)", [](Dag&) {});
@@ -137,5 +142,5 @@ int main(int argc, char** argv) {
     });
     t.print(std::cout);
   }
-  return 0;
+  return b.finish();
 }

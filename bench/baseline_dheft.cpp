@@ -14,10 +14,10 @@ using namespace das;
 using namespace das::bench;
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "baseline_dheft");
   print_backend(b);
-  SpeedScenario scenario(b.topo);
-  scenario.add_cpu_corunner(0);
+  const SpeedScenario scenario = b.make_scenario(
+      b.topo, [](SpeedScenario& s) { s.add_cpu_corunner(0); });
 
   const std::vector<Policy> policies = b.policies(
       {Policy::kRws, Policy::kFa, Policy::kDheft, Policy::kDa, Policy::kDamC});
@@ -28,12 +28,14 @@ int main(int argc, char** argv) {
     const auto spec = workloads::paper_matmul_spec(b.ids.matmul, P, b.scale);
     t.row().add(std::int64_t{P});
     for (Policy p : policies) {
-      t.add(b.throughput(p, spec, &scenario).tasks_per_s, 0);
+      t.add(b.throughput("MatMul P=" + std::to_string(P), p, spec, &scenario)
+                .tasks_per_s,
+            0);
     }
   }
   t.print(std::cout);
   std::cout << "dHEFT adapts to the asymmetry (beats RWS/FA) but lacks\n"
                "criticality awareness and moldability — the gap to DA/DAM-C\n"
                "is the paper's contribution, isolated.\n";
-  return 0;
+  return b.finish();
 }

@@ -21,7 +21,7 @@ using namespace das;
 using namespace das::bench;
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "fig10_heat_distributed");
   if (b.backend == Backend::kRt) {
     std::cout << "note: the 4-node Heat experiment needs multiple scheduling "
                  "domains — DES-only; running --backend=sim\n";
@@ -39,6 +39,12 @@ int main(int argc, char** argv) {
   cfg.tasks_per_rank = 8;
 
   const Topology node_topo = Topology::haswell20();
+  // Default condition: interference on node 0 only. A --scenario override
+  // applies the named condition to EVERY node instead (the spec is built
+  // per rank by make_executor). Validate it against the node topology up
+  // front so a mismatch exits 2 instead of throwing out of make_executor.
+  if (b.scenario_override)
+    (void)build_scenario_or_exit(*b.scenario_override, node_topo);
   SpeedScenario perturbed(node_topo);
   perturbed.add_interference(
       InterferenceEvent{.cores = {0, 1, 2, 3, 4}, .cpu_share = 0.5});
@@ -52,16 +58,21 @@ int main(int argc, char** argv) {
     Dag dag = workloads::make_heat_sim_dag(cfg, b.ids.heat_compute, b.ids.comm);
     std::vector<sim::RankSpec> ranks(static_cast<std::size_t>(cfg.ranks),
                                      sim::RankSpec{&node_topo, nullptr});
-    ranks[0].scenario = &perturbed;
     ExecutorConfig opts = b.make_config();
+    if (b.scenario_override) {
+      opts.scenario_spec = b.scenario_override;
+    } else {
+      ranks[0].scenario = &perturbed;
+    }
     opts.stats_phases = cfg.iterations;
     auto exec = make_executor(b.backend, ranks, p, b.registry, opts);
     const RunResult r = exec->run(dag);
+    b.report("heat 4 nodes", r);
     if (p == Policy::kRws) rws_tp = r.tasks_per_s;
     // "-" when RWS is filtered out: a made-up baseline would read as parity.
     t.row().add(policy_name(p)).add(r.tasks_per_s, 0).add(
         (rws_tp > 0 ? fmt_double(r.tasks_per_s / rws_tp, 2) + "x" : "-"));
   }
   t.print(std::cout);
-  return 0;
+  return b.finish();
 }

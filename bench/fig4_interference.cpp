@@ -21,18 +21,24 @@ using namespace das::bench;
 
 namespace {
 
-void run_kernel(const Bench& b, const std::string& name,
+void run_kernel(Bench& b, const std::string& name,
                 const workloads::SyntheticDagSpec& base, bool memory_corunner) {
-  SpeedScenario scenario(b.topo);
-  if (memory_corunner) {
-    scenario.add_mem_corunner(0);
-  } else {
-    scenario.add_cpu_corunner(0);
-  }
+  const SpeedScenario scenario =
+      b.make_scenario(b.topo, [&](SpeedScenario& s) {
+        if (memory_corunner) {
+          s.add_mem_corunner(0);
+        } else {
+          s.add_cpu_corunner(0);
+        }
+      });
 
   const std::vector<Policy> policies = b.policies();
-  print_title("Fig. 4: " + name + " — co-runner on core 0 (" +
-              (memory_corunner ? "memory" : "CPU") + " interference), tasks/s");
+  const std::string condition =
+      b.scenario_override
+          ? "scenario " + b.scenario_name()
+          : std::string("co-runner on core 0 (") +
+                (memory_corunner ? "memory" : "CPU") + " interference)";
+  print_title("Fig. 4: " + name + " — " + condition + ", tasks/s");
   TextTable t(policy_header("parallelism", policies));
   std::map<Policy, std::map<int, double>> tp;
   for (int P = 2; P <= 6; ++P) {
@@ -40,7 +46,9 @@ void run_kernel(const Bench& b, const std::string& name,
     spec.parallelism = P;
     t.row().add(std::int64_t{P});
     for (Policy p : policies) {
-      tp[p][P] = b.throughput(p, spec, &scenario).tasks_per_s;
+      tp[p][P] = b.throughput(name + " P=" + std::to_string(P), p, spec,
+                              &scenario)
+                     .tasks_per_s;
       t.add(tp[p][P], 0);
     }
   }
@@ -65,7 +73,7 @@ void run_kernel(const Bench& b, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "fig4_interference");
   print_backend(b);
   // Paper-scale DAGs: 32000 MatMul / 10000 Copy / 20000 Stencil tasks.
   run_kernel(b, "Matrix Multiplication",
@@ -76,5 +84,5 @@ int main(int argc, char** argv) {
   run_kernel(b, "Stencil",
              workloads::paper_stencil_spec(b.ids.stencil, 2, b.scale),
              /*memory=*/false);
-  return 0;
+  return b.finish();
 }

@@ -17,19 +17,20 @@ using namespace das;
 using namespace das::bench;
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "fig5_priority_distribution");
   print_backend(b);
-  SpeedScenario scenario(b.topo);
-  scenario.add_cpu_corunner(0);
+  const SpeedScenario scenario = b.make_scenario(
+      b.topo, [](SpeedScenario& s) { s.add_cpu_corunner(0); });
   const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale);
 
   for (Policy p : b.policies()) {
     Dag dag = workloads::make_synthetic_dag(spec);
     auto exec = b.make(p, &scenario, b.make_config());
-    exec->run(dag);
+    const RunResult r = exec->run(dag);
+    b.report("priority distribution", r);
     print_title(std::string("Fig. 5: priority-task distribution — ") +
                 policy_name(p));
     print_priority_distribution(exec->stats(), std::cout);
   }
-  return 0;
+  return b.finish();
 }

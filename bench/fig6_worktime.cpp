@@ -16,16 +16,16 @@ using namespace das;
 using namespace das::bench;
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "fig6_worktime");
   print_backend(b);
-  SpeedScenario scenario(b.topo);
-  scenario.add_cpu_corunner(0);
+  const SpeedScenario scenario = b.make_scenario(
+      b.topo, [](SpeedScenario& s) { s.add_cpu_corunner(0); });
   const auto spec = workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale);
 
   print_title("Fig. 6: per-core work time [s], MatMul P=2, co-runner on core 0");
   std::vector<std::string> header{"scheduler"};
   for (int c = 0; c < b.topo.num_cores(); ++c)
-    header.push_back("C" + std::to_string(c));
+    header.push_back(fmt_indexed("C", c));
   header.emplace_back("total");
   header.emplace_back("makespan");
   TextTable t(header);
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   for (Policy p : b.policies()) {
     Dag dag = workloads::make_synthetic_dag(spec);
     const RunResult r = b.make(p, &scenario, b.make_config())->run(dag);
+    b.report("per-core work time", r);
     const StatsSnapshot& s = r.stats[0];
     t.row().add(policy_name(p));
     for (int c = 0; c < b.topo.num_cores(); ++c)
@@ -41,5 +42,5 @@ int main(int argc, char** argv) {
     t.add(r.makespan_s, 2);
   }
   t.print(std::cout);
-  return 0;
+  return b.finish();
 }

@@ -23,11 +23,12 @@ using namespace das::bench;
 
 namespace {
 
-void run_kernel(const Bench& b, const std::string& name,
+void run_kernel(Bench& b, const std::string& name,
                 const workloads::SyntheticDagSpec& base) {
-  SpeedScenario scenario(b.topo);
-  scenario.add_dvfs(DvfsSchedule{.cluster = 0, .period_s = 5.0, .duty_hi = 0.5,
-                                 .hi = 1.0, .lo = 345.0 / 2035.0});
+  const SpeedScenario scenario = b.make_scenario(b.topo, [](SpeedScenario& s) {
+    s.add_dvfs(DvfsSchedule{.cluster = 0, .period_s = 5.0, .duty_hi = 0.5,
+                            .hi = 1.0, .lo = 345.0 / 2035.0});
+  });
 
   const std::vector<Policy> policies = b.policies();
   print_title("Fig. 7: " + name + " — Denver DVFS square wave, tasks/s");
@@ -38,7 +39,9 @@ void run_kernel(const Bench& b, const std::string& name,
     spec.parallelism = P;
     t.row().add(std::int64_t{P});
     for (Policy p : policies) {
-      const double tp = b.throughput(p, spec, &scenario).tasks_per_s;
+      const double tp =
+          b.throughput(name + " P=" + std::to_string(P), p, spec, &scenario)
+              .tasks_per_s;
       avg[p] += tp / 5.0;
       t.add(tp, 0);
     }
@@ -62,11 +65,11 @@ void run_kernel(const Bench& b, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "fig7_dvfs");
   print_backend(b);
   run_kernel(b, "MatMul", workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale));
   run_kernel(b, "Copy", workloads::paper_copy_spec(b.ids.copy, 2, b.scale));
   run_kernel(b, "Stencil",
              workloads::paper_stencil_spec(b.ids.stencil, 2, b.scale));
-  return 0;
+  return b.finish();
 }

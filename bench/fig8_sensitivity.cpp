@@ -17,10 +17,10 @@ using namespace das;
 using namespace das::bench;
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "fig8_sensitivity");
   print_backend(b);
-  SpeedScenario scenario(b.topo);
-  scenario.add_cpu_corunner(0);
+  const SpeedScenario scenario = b.make_scenario(
+      b.topo, [](SpeedScenario& s) { s.add_cpu_corunner(0); });
 
   print_title("Fig. 8: MatMul throughput [tasks/s] vs tile size and PTT ratio "
               "(DAM-C, co-runner on core 0)");
@@ -36,7 +36,11 @@ int main(int argc, char** argv) {
           workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale, tile);
       ExecutorConfig cfg = b.make_config();
       cfg.ptt_ratio = UpdateRatio{num, 5};
-      const double tp = b.throughput(Policy::kDamC, spec, &scenario, cfg).tasks_per_s;
+      const double tp =
+          b.throughput("tile " + std::to_string(tile) + " ratio " +
+                           std::to_string(num) + "/5",
+                       Policy::kDamC, spec, &scenario, cfg)
+              .tasks_per_s;
       best = std::max(best, tp);
       worst = std::min(worst, tp);
       t.add(tp, 0);
@@ -44,5 +48,5 @@ int main(int argc, char** argv) {
     t.add(fmt_percent(1.0 - worst / best, 1));
   }
   t.print(std::cout);
-  return 0;
+  return b.finish();
 }

@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/policy.hpp"
 #include "core/ptt.hpp"
 #include "core/two_level_search.hpp"
@@ -148,4 +151,38 @@ BENCHMARK(BM_SpeedScenarioQuery);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): CI drives every bench with the
+// same flag set (--backend/--policy/--scenario/--scale/--seed/--json, see
+// bench/support.hpp). The micro benches have no engine, so the first five
+// are accepted and ignored; --json=PATH maps onto google-benchmark's native
+// JSON reporter so the artifact convention (BENCH_*.json) still holds.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool ignored = false;
+    for (const char* prefix : {"--backend=", "--policy=", "--scenario=",
+                               "--scale=", "--seed="})
+      ignored = ignored || arg.rfind(prefix, 0) == 0;
+    if (ignored) continue;
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      // Bare --json defaults to BENCH_<name>.json like the other benches.
+      const std::string path =
+          arg == "--json" ? "BENCH_micro_components.json" : arg.substr(7);
+      storage.push_back("--benchmark_out=" + path);
+      storage.push_back("--benchmark_out_format=json");
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  for (std::string& s : storage) args.push_back(s.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

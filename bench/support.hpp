@@ -1,51 +1,86 @@
 #pragma once
 // Shared plumbing for the figure-reproduction benches: a registered kernel
-// set, canonical scenarios, the common command-line flags, and a one-call
-// structured-throughput runner routed through the das::Executor facade.
+// set, scenario resolution, the common command-line flags, a one-call
+// structured-throughput runner routed through the das::Executor facade, and
+// the structured result reporter behind --json= (the canonical,
+// machine-readable bench output; the stdout tables are for humans).
 // Every bench is deterministic from kFigureSeed on the sim backend.
 //
-// Common flags (parsed by Bench(argc, argv)):
+// Common flags (parsed by Bench(argc, argv, name)):
 //   --backend=sim|rt     engine selection (default: sim — the figures are
 //                        regenerated in deterministic virtual time)
 //   --policy=NAME[,..]   restrict to a subset of the Table-1 schedulers
 //                        (e.g. --policy=RWS,DAM-C); default: the bench's set
+//   --scenario=N|FILE    override the bench's built-in platform condition
+//                        with a catalog scenario (clean, dvfs-wave,
+//                        interference-burst, ramp-down, random-churn,
+//                        phase-flip) or a JSON spec file (src/scenario)
+//   --json=PATH          write every run as a structured JSON record to
+//                        PATH (bare --json defaults to BENCH_<name>.json)
 //   --scale=F            workload scale factor in (0, 1]; defaults to 1.0 on
 //                        sim and 0.02 on rt (real-thread runs execute real
 //                        busy-work — full paper scale takes minutes)
 //   --seed=N             RNG seed (default: kFigureSeed = 2020)
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/executor.hpp"
 #include "kernels/registry.hpp"
 #include "platform/speed_model.hpp"
+#include "scenario/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "workloads/synthetic_dag.hpp"
 
 namespace das::bench {
 
 inline constexpr std::uint64_t kFigureSeed = 2020;  // ICPP'20
 inline constexpr double kRtDefaultScale = 0.02;
+inline constexpr int kResultSchemaVersion = 1;
+
+/// Converts one rank's stats snapshot into the JSON record shape documented
+/// in README.md ("JSON result schema").
+inline json::Value snapshot_to_json(const StatsSnapshot& s) {
+  json::Value rank = json::Value::object();
+  rank.set("tasks_total", s.tasks_total);
+  rank.set("tasks_high", s.tasks_high);
+  rank.set("tasks_low", s.tasks_low);
+  rank.set("elapsed_s", s.elapsed_s);
+  rank.set("total_busy_s", s.total_busy_s);
+  json::Value busy = json::Value::array();
+  for (double b : s.busy_s) busy.push_back(b);
+  rank.set("busy_s", std::move(busy));
+  json::Value dist = json::Value::array();
+  for (const auto& [place, share] : s.high_distribution) {
+    json::Value d = json::Value::object();
+    d.set("place", to_string(place));
+    d.set("share", share);
+    dist.push_back(std::move(d));
+  }
+  rank.set("high_distribution", std::move(dist));
+  return rank;
+}
 
 struct Bench {
-  Bench() : topo(Topology::tx2()) {
+  explicit Bench(std::string bench_name = "bench")
+      : name(std::move(bench_name)), topo(Topology::tx2()) {
     ids = kernels::register_paper_kernels(registry);
   }
 
   /// Parses the common bench flags (see the header comment).
-  Bench(int argc, char* const* argv) : Bench() {
+  Bench(int argc, char* const* argv, std::string bench_name)
+      : Bench(std::move(bench_name)) {
     cli::Flags flags(argc, argv);
-    if (flags.has("help")) {
-      std::cout << "flags: --backend=sim|rt --policy=NAME[,NAME...] "
-                   "--scale=F --seed=N\n";
-      std::exit(0);
-    }
+    cli::maybe_help(flags, cli::kCommonFlagsUsage);
     cli::require_no_positionals(flags);
-    flags.require_known({"backend", "policy", "scale", "seed", "help"});
+    flags.require_known(
+        {"backend", "policy", "scenario", "json", "scale", "seed", "help"});
     backend = backend_flag(flags, backend);
     scale_explicit = flags.has("scale");
     scale = flags.get_double("scale",
@@ -53,13 +88,44 @@ struct Bench {
     if (!(scale > 0.0 && scale <= 1.0)) cli::die("--scale must be in (0, 1]");
     seed = flags.get_u64("seed", kFigureSeed);
     if (flags.has("policy")) {
-      for (const std::string& name : cli::split(flags.get("policy"), ',')) {
-        const auto p = parse_policy(name);
-        if (!p) cli::die("unknown policy '" + name + "'");
+      for (const std::string& pname : cli::split(flags.get("policy"), ',')) {
+        const auto p = parse_policy(pname);
+        if (!p) cli::die("unknown policy '" + pname + "'");
         policy_filter.push_back(*p);
       }
     }
+    scenario_override = scenario_flag(flags);
+    if (flags.has("json")) {
+      json_path = flags.get("json");
+      if (json_path.empty()) json_path = "BENCH_" + name + ".json";
+      runs = json::Value::array();
+    }
   }
+
+  // --- scenarios ------------------------------------------------------------
+
+  /// The platform condition for a bench section: the --scenario override
+  /// when given, else the bench's built-in default (installed by
+  /// `fallback`). Benches own the returned value for the section's runs.
+  template <typename Fallback>
+  SpeedScenario make_scenario(const Topology& t, Fallback&& fallback) const {
+    // Topology-mismatch diagnostics (e.g. a spec naming cluster 7 on a
+    // 2-cluster machine) exit 2 like every other bad flag value.
+    if (scenario_override) return build_scenario_or_exit(*scenario_override, t);
+    SpeedScenario s(t);
+    fallback(s);
+    return s;
+  }
+
+  /// Name recorded in JSON output: the override's name, or "default" for
+  /// the bench's built-in hard-wired condition.
+  std::string scenario_name() const {
+    if (!scenario_override) return "default";
+    return scenario_override->name.empty() ? "<anonymous>"
+                                           : scenario_override->name;
+  }
+
+  // --- executors ------------------------------------------------------------
 
   /// The canonical config every bench starts from (one place instead of a
   /// per-bench SimOptions/RtOptions copy).
@@ -79,17 +145,22 @@ struct Bench {
                          cfg);
   }
 
-  /// Runs `spec` under `scenario` with `policy` through the facade and
-  /// returns the structured result (use .tasks_per_s for the figures).
-  /// Callers that need non-default options should start from make_config().
-  RunResult throughput(Policy policy, const workloads::SyntheticDagSpec& spec,
-                       const SpeedScenario* scenario, ExecutorConfig cfg) const {
+  /// Runs `spec` under `scenario` with `policy` through the facade, records
+  /// the run under `label` for --json=, and returns the structured result
+  /// (use .tasks_per_s for the figures). Callers that need non-default
+  /// options should start from make_config().
+  RunResult throughput(const std::string& label, Policy policy,
+                       const workloads::SyntheticDagSpec& spec,
+                       const SpeedScenario* scenario, ExecutorConfig cfg) {
     const Dag dag = workloads::make_synthetic_dag(spec);
-    return make(policy, scenario, cfg)->run(dag);
+    RunResult r = make(policy, scenario, cfg)->run(dag);
+    report(label, r);
+    return r;
   }
-  RunResult throughput(Policy policy, const workloads::SyntheticDagSpec& spec,
-                       const SpeedScenario* scenario) const {
-    return throughput(policy, spec, scenario, make_config());
+  RunResult throughput(const std::string& label, Policy policy,
+                       const workloads::SyntheticDagSpec& spec,
+                       const SpeedScenario* scenario) {
+    return throughput(label, policy, spec, scenario, make_config());
   }
 
   /// The schedulers this bench run iterates: an explicit --policy list is
@@ -100,11 +171,73 @@ struct Bench {
     return defaults.empty() ? all_policies() : defaults;
   }
 
+  // --- structured results (--json=) ----------------------------------------
+
+  /// Records one engine run. `extra` merges bench-specific fields (kernel,
+  /// parallelism, variant, ...) into the record. No-op without --json=.
+  void report(const std::string& label, const RunResult& r,
+              json::Value extra = json::Value::object()) {
+    if (!runs.is_array()) return;
+    json::Value rec = json::Value::object();
+    rec.set("label", label);
+    rec.set("policy", policy_name(r.policy));
+    rec.set("backend", backend_name(r.backend));
+    rec.set("scenario", scenario_name());
+    rec.set("seed", seed);
+    rec.set("makespan_s", r.makespan_s);
+    rec.set("tasks", r.tasks);
+    rec.set("tasks_per_s", r.tasks_per_s);
+    json::Value ranks = json::Value::array();
+    for (const StatsSnapshot& s : r.stats) ranks.push_back(snapshot_to_json(s));
+    rec.set("ranks", std::move(ranks));
+    for (const auto& [key, value] : extra.members()) rec.set(key, value);
+    runs.push_back(std::move(rec));
+  }
+
+  /// Records a bench-specific object as-is (for benches whose rows are not
+  /// engine runs, e.g. the Table-1 feature matrix). No-op without --json=.
+  void report_raw(json::Value rec) {
+    if (runs.is_array()) runs.push_back(std::move(rec));
+  }
+
+  /// Writes BENCH JSON when --json= was given. Benches end main with
+  /// `return b.finish();` — 0 on success, 2 when the file cannot be written.
+  int finish() {
+    if (!runs.is_array()) return 0;
+    json::Value doc = json::Value::object();
+    doc.set("schema_version", kResultSchemaVersion);
+    doc.set("bench", name);
+    doc.set("backend",
+            backend_label.empty() ? backend_name(backend) : backend_label);
+    doc.set("scenario", scenario_name());
+    doc.set("seed", seed);
+    doc.set("scale", scale);
+    doc.set("runs", std::move(runs));
+    runs = json::Value();  // finish() is idempotent
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << doc.dump(2) << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write --json output to '" << json_path
+                << "'\n";
+      return 2;
+    }
+    std::cout << "\nwrote " << json_path << "\n";
+    return 0;
+  }
+
+  std::string name;
   Backend backend = Backend::kSim;
+  /// Overrides the JSON document's "backend" field for benches whose runs
+  /// span engines (validation_realruntime sets "rt+sim"); per-run records
+  /// always carry their own true backend.
+  std::string backend_label;
   double scale = 1.0;
   bool scale_explicit = false;  ///< --scale was given on the command line
   std::uint64_t seed = kFigureSeed;
   std::vector<Policy> policy_filter;
+  std::optional<scenario::ScenarioSpec> scenario_override;
+  std::string json_path;
+  json::Value runs;  ///< null until --json= arms the reporter
   Topology topo;
   TaskTypeRegistry registry;
   kernels::PaperKernelIds ids;
@@ -126,7 +259,8 @@ inline void print_title(const std::string& title) {
 /// numbers (virtual seconds on sim, wall seconds on rt).
 inline void print_backend(const Bench& b) {
   std::cout << "backend: " << backend_name(b.backend) << "  (scale "
-            << fmt_double(b.scale, 3) << ", seed " << b.seed << ")\n";
+            << fmt_double(b.scale, 3) << ", seed " << b.seed << ", scenario "
+            << b.scenario_name() << ")\n";
 }
 
 }  // namespace das::bench

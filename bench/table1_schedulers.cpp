@@ -1,30 +1,21 @@
 // Reproduces the paper's Table 1: "Features summary of all evaluated
 // schedulers" — printed from the live policy introspection so the table can
-// never drift from the implementation. Accepts the common --policy= filter
-// (e.g. --policy=DAM-C,DAM-P); there is no engine to run, so --backend= is
-// accepted and ignored.
+// never drift from the implementation. Accepts the full common bench flag
+// set for CI uniformity; there is no engine to run, so --backend, --scenario,
+// --scale and --seed are accepted and ignored, while --policy filters the
+// rows and --json= emits the feature matrix as structured records.
 
 #include <iostream>
 
+#include "../bench/support.hpp"
 #include "core/policy.hpp"
-#include "exec/executor.hpp"
-#include "util/cli.hpp"
 #include "util/format.hpp"
 
 int main(int argc, char** argv) {
   using namespace das;
-  cli::Flags flags(argc, argv);
-  cli::require_no_positionals(flags);
-  flags.require_known({"policy", "backend"});
-  std::vector<Policy> policies = all_policies();
-  if (flags.has("policy")) {
-    policies.clear();
-    for (const std::string& name : cli::split(flags.get("policy"), ',')) {
-      const auto p = parse_policy(name);
-      if (!p) cli::die("unknown policy '" + name + "'");
-      policies.push_back(*p);
-    }
-  }
+  bench::Bench b(argc, argv, "table1_schedulers");
+  const std::vector<Policy> policies =
+      b.policy_filter.empty() ? all_policies() : b.policy_filter;
 
   std::cout << "Table 1: Features summary of all evaluated schedulers\n\n";
   TextTable t({"Name", "[A]symmetry awareness", "[M]oldability",
@@ -37,7 +28,15 @@ int main(int argc, char** argv) {
         .add(tr.moldability)
         .add(tr.priority_placement)
         .add(tr.uses_ptt ? "yes" : "no");
+    json::Value rec = json::Value::object();
+    rec.set("label", "feature matrix");
+    rec.set("policy", policy_name(p));
+    rec.set("asymmetry", tr.asymmetry);
+    rec.set("moldability", tr.moldability);
+    rec.set("priority_placement", tr.priority_placement);
+    rec.set("uses_ptt", tr.uses_ptt);
+    b.report_raw(std::move(rec));
   }
   t.print(std::cout);
-  return 0;
+  return b.finish();
 }

@@ -19,10 +19,11 @@ using namespace das;
 using namespace das::bench;
 
 int main(int argc, char** argv) {
-  Bench b(argc, argv);
+  Bench b(argc, argv, "validation_realruntime");
+  b.backend_label = "rt+sim";  // this bench always runs BOTH engines
   if (!b.scale_explicit) b.scale = 0.05;  // wall-time budget per real run
-  SpeedScenario scenario(b.topo);
-  scenario.add_cpu_corunner(0);
+  const SpeedScenario scenario = b.make_scenario(
+      b.topo, [](SpeedScenario& s) { s.add_cpu_corunner(0); });
 
   workloads::SyntheticDagSpec spec =
       workloads::paper_matmul_spec(b.ids.matmul, 2, b.scale);
@@ -47,7 +48,9 @@ int main(int argc, char** argv) {
       ExecutorConfig cfg = b.make_config();
       cfg.scenario = &scenario;
       auto exec = make_executor(backend, b.topo, p, b.registry, cfg);
-      tp[static_cast<int>(backend)] = exec->run(dag).tasks_per_s;
+      const RunResult r = exec->run(dag);
+      b.report(std::string("MatMul P=2 on ") + backend_name(backend), r);
+      tp[static_cast<int>(backend)] = r.tasks_per_s;
     }
     const double rt_tp = tp[static_cast<int>(Backend::kRt)];
     const double sim_tp = tp[static_cast<int>(Backend::kSim)];
@@ -64,5 +67,5 @@ int main(int argc, char** argv) {
         .add(sim_rws > 0 ? fmt_double(sim_tp / sim_rws, 2) + "x" : "-");
   }
   t.print(std::cout);
-  return 0;
+  return b.finish();
 }

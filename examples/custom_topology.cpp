@@ -20,9 +20,11 @@ int main(int argc, char** argv) {
   using namespace das;
 
   cli::Flags flags(argc, argv);
+  cli::maybe_help(flags, "--backend=sim|rt --scenario=<name|file>");
   cli::require_no_positionals(flags);
-  flags.require_known({"backend"});
+  flags.require_known({"backend", "scenario", "help"});
   const Backend backend = backend_flag(flags, Backend::kSim);
+  const auto scenario_spec = scenario_flag(flags);
 
   // 2 big + 2 medium + 4 little cores, each cluster with its own L2.
   Cluster big{.name = "big", .first_core = 0, .num_cores = 2,
@@ -43,11 +45,17 @@ int main(int argc, char** argv) {
 
   // Interference hits the big cluster; the medium cores become the best
   // hosts for critical tasks — something only the dynamic schedulers find.
+  // A --scenario override proves the point of topology-agnostic specs:
+  // "dvfs-wave" resolves "fastest" to the big cluster of THIS machine.
   TaskTypeRegistry registry;
   const auto ids = kernels::register_paper_kernels(registry);
   SpeedScenario scenario(topo);
-  scenario.add_cpu_corunner(0);
-  scenario.add_cpu_corunner(1);
+  if (scenario_spec) {
+    scenario = build_scenario_or_exit(*scenario_spec, topo);
+  } else {
+    scenario.add_cpu_corunner(0);
+    scenario.add_cpu_corunner(1);
+  }
 
   std::printf("\n%-8s %12s   %s\n", "policy", "tasks/s", "criticals mostly at");
   Executor* last = nullptr;

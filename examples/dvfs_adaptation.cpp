@@ -21,8 +21,9 @@ int main(int argc, char** argv) {
   using namespace das;
 
   cli::Flags flags(argc, argv);
+  cli::maybe_help(flags, "--backend=sim|rt --policy=NAME --scenario=<name|file>");
   cli::require_no_positionals(flags);
-  flags.require_known({"backend", "policy"});
+  flags.require_known({"backend", "policy", "scenario", "help"});
   const Backend backend = backend_flag(flags, Backend::kSim);
   const Policy policy = policy_flag(flags, Policy::kDamP);
 
@@ -30,12 +31,18 @@ int main(int argc, char** argv) {
   const auto ids = kernels::register_paper_kernels(registry);
   const Topology topo = Topology::tx2();
 
+  // Built-in condition: a fast 0.8 s square wave. --scenario= swaps in any
+  // declarative condition (the PTT snapshots below work for all of them).
   SpeedScenario scenario(topo);
-  scenario.add_dvfs(DvfsSchedule{.cluster = 0,
-                                 .period_s = 0.8,   // 0.4 s HI + 0.4 s LO
-                                 .duty_hi = 0.5,
-                                 .hi = 1.0,
-                                 .lo = 345.0 / 2035.0});
+  if (const auto spec = scenario_flag(flags)) {
+    scenario = build_scenario_or_exit(*spec, topo);
+  } else {
+    scenario.add_dvfs(DvfsSchedule{.cluster = 0,
+                                   .period_s = 0.8,   // 0.4 s HI + 0.4 s LO
+                                   .duty_hi = 0.5,
+                                   .hi = 1.0,
+                                   .lo = 345.0 / 2035.0});
+  }
 
   ExecutorConfig config;
   config.seed = 7;

@@ -38,18 +38,22 @@
 int main(int argc, char** argv) {
   using namespace das;
 
-  // 0. Flags: engine and scheduler are run-time choices, not code.
+  // 0. Flags: engine, scheduler AND platform condition are run-time
+  //    choices, not code (--scenario=dvfs-wave, --scenario=churn.json, ...).
   cli::Flags flags(argc, argv);
+  cli::maybe_help(flags, "--backend=sim|rt --policy=NAME --scenario=<name|file>");
   cli::require_no_positionals(flags);
-  flags.require_known({"backend", "policy"});
+  flags.require_known({"backend", "policy", "scenario", "help"});
   const Backend backend = backend_flag(flags, Backend::kRt);
   const Policy policy = policy_flag(flags, Policy::kDamC);
+  const auto scenario_spec = scenario_flag(flags);
 
   // 1. Task types: register the paper kernels (matmul/copy/stencil/...).
   TaskTypeRegistry registry;
   const kernels::PaperKernelIds ids = kernels::register_paper_kernels(registry);
 
-  // 2. Platform: the TX2 model, with interference emulation on core 0.
+  // 2. Platform: the TX2 model, with interference emulation on core 0 —
+  //    unless --scenario= picked a declarative condition instead.
   const Topology topo = Topology::tx2();
   SpeedScenario scenario(topo);
   scenario.add_cpu_corunner(/*core=*/0);
@@ -84,8 +88,17 @@ int main(int argc, char** argv) {
 
   // 5. Run through the facade. ExecutorConfig carries the shared options
   //    (seed, scenario, policy tunables); run() returns a structured result.
+  //    A declarative spec goes in as data — the executor builds and owns
+  //    the resulting SpeedScenario.
   ExecutorConfig config;
-  config.scenario = &scenario;
+  if (scenario_spec) {
+    // Validate against this topology up front: a mismatch exits 2 here
+    // instead of throwing ScenarioError out of make_executor below.
+    (void)build_scenario_or_exit(*scenario_spec, topo);
+    config.scenario_spec = scenario_spec;
+  } else {
+    config.scenario = &scenario;
+  }
   auto executor = make_executor(backend, topo, policy, registry, config);
   const RunResult result = executor->run(dag);
   std::printf("[%s/%s] executed %lld tasks in %.3f s (%.0f tasks/s)\n\n",

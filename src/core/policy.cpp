@@ -182,7 +182,9 @@ WakeDecision PolicyEngine::on_ready(TaskTypeId type, Priority priority,
     }
     case Policy::kRws:
     case Policy::kRwsmC:
-      break;  // unreachable: handled by the priority-oblivious branch above
+    case Policy::kDheft:
+      break;  // unreachable: RWS/RWSM-C take the priority-oblivious branch
+              // above, dHEFT the dedicated branch before this switch
   }
   return WakeDecision{waking_core, true, false, {}};
 }

@@ -60,6 +60,24 @@ Policy policy_flag(const cli::Flags& flags, Policy def) {
   return *p;
 }
 
+std::optional<scenario::ScenarioSpec> scenario_flag(const cli::Flags& flags) {
+  if (!flags.has("scenario")) return std::nullopt;
+  try {
+    return scenario::load(flags.get("scenario"));
+  } catch (const scenario::ScenarioError& e) {
+    cli::die(std::string("--scenario: ") + e.what());
+  }
+}
+
+SpeedScenario build_scenario_or_exit(const scenario::ScenarioSpec& spec,
+                                     const Topology& topo) {
+  try {
+    return scenario::build(spec, topo);
+  } catch (const scenario::ScenarioError& e) {
+    cli::die(std::string("--scenario: ") + e.what());
+  }
+}
+
 RunResult Executor::run(const Dag& dag) {
   RunResult r;
   r.makespan_s = run_makespan(dag);
@@ -103,11 +121,18 @@ sim::SimOptions to_sim_options(const ExecutorConfig& cfg) {
   return o;
 }
 
+// Scenarios built from ExecutorConfig::scenario_spec; the executor keeps
+// them alive for the engine's lifetime (one per rank — each rank's copy is
+// built against that rank's topology).
+using OwnedScenarios = std::vector<std::unique_ptr<SpeedScenario>>;
+
 class SimExecutor final : public Executor {
  public:
   SimExecutor(std::vector<sim::RankSpec> ranks, Policy policy,
-              const TaskTypeRegistry& registry, const ExecutorConfig& cfg)
+              const TaskTypeRegistry& registry, const ExecutorConfig& cfg,
+              OwnedScenarios owned)
       : Executor(policy, cfg.timeline),
+        owned_scenarios_(std::move(owned)),
         engine_(std::move(ranks), policy, registry, to_sim_options(cfg)) {}
 
   Backend backend() const override { return Backend::kSim; }
@@ -124,14 +149,17 @@ class SimExecutor final : public Executor {
   double run_makespan(const Dag& dag) override { return engine_.run(dag); }
 
  private:
+  OwnedScenarios owned_scenarios_;  // declared before engine_: outlives it
   sim::SimEngine engine_;
 };
 
 class RtExecutor final : public Executor {
  public:
   RtExecutor(const Topology& topo, Policy policy,
-             const TaskTypeRegistry& registry, const ExecutorConfig& cfg)
+             const TaskTypeRegistry& registry, const ExecutorConfig& cfg,
+             OwnedScenarios owned)
       : Executor(policy, /*timeline=*/nullptr),  // rt records no timeline yet
+        owned_scenarios_(std::move(owned)),
         runtime_(topo, policy, registry, to_rt_options(cfg)) {}
 
   Backend backend() const override { return Backend::kRt; }
@@ -158,6 +186,7 @@ class RtExecutor final : public Executor {
   double run_makespan(const Dag& dag) override { return runtime_.run(dag); }
 
  private:
+  OwnedScenarios owned_scenarios_;  // declared before runtime_: outlives it
   rt::Runtime runtime_;
 };
 
@@ -177,6 +206,20 @@ std::unique_ptr<Executor> make_executor(Backend backend,
                                         const TaskTypeRegistry& registry,
                                         ExecutorConfig config) {
   DAS_CHECK_MSG(!ranks.empty(), "make_executor: at least one rank required");
+  DAS_CHECK_MSG(!(config.scenario != nullptr && config.scenario_spec),
+                "make_executor: set ExecutorConfig::scenario OR scenario_spec, "
+                "not both");
+  // A declarative spec is built per rank (against that rank's topology) and
+  // owned by the executor — the driver never manages SpeedScenario lifetime.
+  OwnedScenarios owned;
+  if (config.scenario_spec) {
+    for (sim::RankSpec& r : ranks) {
+      if (r.scenario != nullptr) continue;  // a RankSpec scenario wins
+      owned.push_back(std::make_unique<SpeedScenario>(
+          scenario::build(*config.scenario_spec, *r.topo)));
+      r.scenario = owned.back().get();
+    }
+  }
   // config.scenario is the fallback for every rank without its own scenario
   // (so a driver migrating from the single-topology overload does not lose
   // its interference scenario silently); a RankSpec scenario wins.
@@ -185,14 +228,15 @@ std::unique_ptr<Executor> make_executor(Backend backend,
   switch (backend) {
     case Backend::kSim:
       return std::make_unique<SimExecutor>(std::move(ranks), policy, registry,
-                                           config);
+                                           config, std::move(owned));
     case Backend::kRt: {
       DAS_CHECK_MSG(ranks.size() == 1,
                     "Backend::kRt is single-domain; use net::World for real "
                     "multi-rank runs");
       ExecutorConfig cfg = std::move(config);
       cfg.scenario = ranks[0].scenario;
-      return std::make_unique<RtExecutor>(*ranks[0].topo, policy, registry, cfg);
+      return std::make_unique<RtExecutor>(*ranks[0].topo, policy, registry, cfg,
+                                          std::move(owned));
     }
   }
   DAS_CHECK_MSG(false, "make_executor: unknown backend");

@@ -35,6 +35,7 @@
 #include "core/task_type.hpp"
 #include "platform/speed_model.hpp"
 #include "platform/topology.hpp"
+#include "scenario/scenario.hpp"
 #include "rt/runtime.hpp"
 #include "sim/engine.hpp"
 #include "trace/stats.hpp"
@@ -68,6 +69,22 @@ std::optional<Policy> parse_policy(const std::string& name);
 Backend backend_flag(const cli::Flags& flags, Backend def);
 Policy policy_flag(const cli::Flags& flags, Policy def);
 
+/// Resolves the shared --scenario=<name|file> flag: a catalog name
+/// ("clean", "dvfs-wave", ...) or a path to a JSON spec file
+/// (src/scenario/scenario.hpp documents the format). Returns nullopt when
+/// the flag is absent — the driver keeps its built-in condition; exits 2
+/// with the scenario diagnostic (and the catalog list) on a bad value.
+/// Assign the result to ExecutorConfig::scenario_spec.
+std::optional<scenario::ScenarioSpec> scenario_flag(const cli::Flags& flags);
+
+/// scenario::build with CLI semantics: exits 2 with the diagnostic when the
+/// spec references what `topo` lacks — the build-time counterpart of
+/// scenario_flag's parse-time exit. Drivers that build eagerly use this;
+/// drivers that pass scenario_spec through ExecutorConfig catch
+/// scenario::ScenarioError around make_executor instead.
+SpeedScenario build_scenario_or_exit(const scenario::ScenarioSpec& spec,
+                                     const Topology& topo);
+
 /// Options shared by both engines, plus per-backend sub-structs. The
 /// defaults match the engines' standalone defaults, except that `seed`
 /// is the single documented kDefaultSeed for BOTH backends (the legacy
@@ -78,6 +95,14 @@ struct ExecutorConfig {
   /// machine. The DES charges it in virtual time; the real runtime stretches
   /// participations via the throttle. Not owned; must outlive the executor.
   const SpeedScenario* scenario = nullptr;
+  /// Declarative alternative to `scenario` (typically from the shared
+  /// --scenario= flag): make_executor builds it against each rank's topology
+  /// and the executor OWNS the result — no lifetime dance for the driver.
+  /// Like `scenario`, it is the fallback for ranks without their own
+  /// scenario. Setting both scenario and scenario_spec is a precondition
+  /// error; a spec that references what the topology lacks throws
+  /// scenario::ScenarioError from make_executor.
+  std::optional<scenario::ScenarioSpec> scenario_spec;
   PolicyOptions policy_options{};
   UpdateRatio ptt_ratio{};
   int stats_phases = 1;

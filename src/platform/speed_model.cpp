@@ -45,6 +45,21 @@ SpeedScenario& SpeedScenario::add_mem_corunner(int core, double t0, double t1) {
                                             .global_bw = 0.85});
 }
 
+SpeedScenario& SpeedScenario::add_cluster_slowdown(int cluster, double share,
+                                                   double t0, double t1) {
+  DAS_CHECK(cluster >= 0 && cluster < topo_->num_clusters());
+  const Cluster& c = topo_->cluster(cluster);
+  std::vector<int> cores(static_cast<std::size_t>(c.num_cores));
+  for (int i = 0; i < c.num_cores; ++i)
+    cores[static_cast<std::size_t>(i)] = c.first_core + i;
+  return add_interference(InterferenceEvent{.cores = std::move(cores),
+                                            .t_start = t0,
+                                            .t_end = t1,
+                                            .cpu_share = share,
+                                            .victim_cluster_bw = 1.0,
+                                            .global_bw = 1.0});
+}
+
 SpeedScenario& SpeedScenario::close_open_interference(double t) {
   for (InterferenceEvent& e : events_) {
     if (t >= e.t_start && t < e.t_end) e.t_end = t;

@@ -63,6 +63,11 @@ class SpeedScenario {
   /// victim core x0.6, victim cluster bandwidth x0.7, other clusters x0.85.
   SpeedScenario& add_mem_corunner(int core, double t0 = 0.0,
                                   double t1 = std::numeric_limits<double>::infinity());
+  /// Convenience: every core of `cluster` runs at `share` of its speed over
+  /// [t0, t1) — the whole-cluster perturbation step the declarative scenario
+  /// layer (src/scenario) composes ramps and churn from. Bandwidth untouched.
+  SpeedScenario& add_cluster_slowdown(int cluster, double share, double t0,
+                                      double t1);
 
   /// Ends every still-open interference event at time `t` (used by drivers
   /// that discover the window boundaries while running, e.g. "interference

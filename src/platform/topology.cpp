@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/format.hpp"
 
 namespace das {
 
@@ -177,7 +178,9 @@ Topology Topology::haswell_cluster(int nodes) {
   std::vector<Cluster> cs;
   for (int n = 0; n < nodes; ++n) {
     for (int s = 0; s < 2; ++s) {
-      cs.push_back(Cluster{.name = "n" + std::to_string(n) + ".s" + std::to_string(s),
+      std::string name = fmt_indexed("n", n);
+      name += fmt_indexed(".s", s);
+      cs.push_back(Cluster{.name = std::move(name),
                            .first_core = (n * 2 + s) * 10,
                            .num_cores = 10,
                            .base_speed = 1.0,

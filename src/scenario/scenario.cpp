@@ -1,0 +1,571 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace das::scenario {
+
+namespace {
+
+// --- topology-independent validation ----------------------------------------
+// Shared by the parser (so a bad file is diagnosed at load time) and by
+// build() (so a hand-constructed spec can never trip a DAS_CHECK abort
+// inside SpeedScenario — it gets a catchable ScenarioError instead).
+
+[[noreturn]] void fail(const std::string& ctx, const std::string& msg) {
+  throw ScenarioError(ctx + ": " + msg);
+}
+
+void validate_share(const std::string& ctx, const char* key, double v) {
+  if (!(v > 0.0 && v <= 1.0))
+    fail(ctx, std::string(key) + " must be in (0, 1], got " + std::to_string(v));
+}
+
+void validate(const DvfsSpec& d, const std::string& ctx) {
+  if (d.cluster < 0 && d.cluster != kFastestCluster)
+    fail(ctx, "cluster must be >= 0 or \"fastest\"");
+  if (!(d.period_s > 0.0)) fail(ctx, "period_s must be > 0");
+  if (!(d.duty_hi >= 0.0 && d.duty_hi <= 1.0))
+    fail(ctx, "duty_hi must be in [0, 1]");
+  if (!(d.hi > 0.0) || !(d.lo > 0.0)) fail(ctx, "hi and lo must be > 0");
+}
+
+void validate(const InterferenceSpec& e, const std::string& ctx) {
+  if (e.cluster == InterferenceSpec::kNoCluster && e.cores.empty())
+    fail(ctx, "needs victim cores (a core list or \"cluster:<idx|fastest>\")");
+  if (e.cluster != InterferenceSpec::kNoCluster && !e.cores.empty())
+    fail(ctx, "give either a core list or a cluster reference, not both");
+  if (e.cluster < 0 && e.cluster != InterferenceSpec::kNoCluster &&
+      e.cluster != kFastestCluster)
+    fail(ctx, "cluster must be >= 0 or \"fastest\"");
+  for (int c : e.cores)
+    if (c < 0) fail(ctx, "core ids must be >= 0");
+  if (!(e.t_start <= e.t_end)) fail(ctx, "t_start must be <= t_end");
+  validate_share(ctx, "cpu_share", e.cpu_share);
+  validate_share(ctx, "victim_cluster_bw", e.victim_cluster_bw);
+  validate_share(ctx, "global_bw", e.global_bw);
+}
+
+void validate(const RampSpec& r, const std::string& ctx) {
+  if (r.cluster < 0 && r.cluster != kFastestCluster)
+    fail(ctx, "cluster must be >= 0 or \"fastest\"");
+  if (!(r.t_start < r.t_end)) fail(ctx, "t_start must be < t_end");
+  if (!std::isfinite(r.t_end)) fail(ctx, "t_end must be finite");
+  if (r.steps < 1) fail(ctx, "steps must be >= 1");
+  validate_share(ctx, "from", r.from);
+  validate_share(ctx, "to", r.to);
+}
+
+void validate(const ChurnSpec& c, const std::string& ctx) {
+  if (c.events < 0) fail(ctx, "events must be >= 0");
+  if (!(c.horizon_s > 0.0) || !std::isfinite(c.horizon_s))
+    fail(ctx, "horizon_s must be positive and finite");
+  validate_share(ctx, "min_share", c.min_share);
+  validate_share(ctx, "max_share", c.max_share);
+  if (c.min_share > c.max_share) fail(ctx, "min_share must be <= max_share");
+  if (!(c.min_len_s > 0.0)) fail(ctx, "min_len_s must be > 0");
+  if (c.min_len_s > c.max_len_s) fail(ctx, "min_len_s must be <= max_len_s");
+}
+
+void validate(const ScenarioSpec& spec, const std::string& origin) {
+  auto ctx = [&](const char* section, std::size_t i) {
+    return origin + ": " + section + "[" + std::to_string(i) + "]";
+  };
+  for (std::size_t i = 0; i < spec.dvfs.size(); ++i)
+    validate(spec.dvfs[i], ctx("dvfs", i));
+  for (std::size_t i = 0; i < spec.interference.size(); ++i)
+    validate(spec.interference[i], ctx("interference", i));
+  for (std::size_t i = 0; i < spec.ramps.size(); ++i)
+    validate(spec.ramps[i], ctx("ramps", i));
+  for (std::size_t i = 0; i < spec.churn.size(); ++i)
+    validate(spec.churn[i], ctx("churn", i));
+}
+
+}  // namespace
+
+// --- catalog -----------------------------------------------------------------
+
+namespace {
+
+ScenarioSpec make_clean() {
+  ScenarioSpec s;
+  s.name = "clean";
+  return s;
+}
+
+// The paper's §5.2 power-management condition: the fastest cluster toggles
+// between its highest and lowest frequency on a square wave (Fig. 7 uses a
+// 5 s period on the TX2's Denver cluster).
+ScenarioSpec make_dvfs_wave() {
+  ScenarioSpec s;
+  s.name = "dvfs-wave";
+  s.dvfs.push_back(DvfsSpec{.cluster = kFastestCluster,
+                            .period_s = 5.0,
+                            .duty_hi = 0.5,
+                            .hi = 1.0,
+                            .lo = 345.0 / 2035.0,
+                            .phase_s = 0.0});
+  return s;
+}
+
+// The paper's §5.1 co-runner condition, made intermittent: a CPU-bound
+// application lands on core 0 for 2 s bursts with 2 s gaps (5 bursts).
+ScenarioSpec make_interference_burst() {
+  ScenarioSpec s;
+  s.name = "interference-burst";
+  for (int k = 0; k < 5; ++k) {
+    s.interference.push_back(InterferenceSpec{.cores = {0},
+                                              .cluster = InterferenceSpec::kNoCluster,
+                                              .t_start = 1.0 + 4.0 * k,
+                                              .t_end = 3.0 + 4.0 * k,
+                                              .cpu_share = 0.5,
+                                              .victim_cluster_bw = 1.0,
+                                              .global_bw = 1.0});
+  }
+  return s;
+}
+
+// Thermal-throttling-style decay: the fastest cluster staircases from full
+// speed down to a quarter over 30 s.
+ScenarioSpec make_ramp_down() {
+  ScenarioSpec s;
+  s.name = "ramp-down";
+  s.ramps.push_back(RampSpec{});  // the defaults are exactly this condition
+  return s;
+}
+
+// Unpredictable multi-tenant machine: 12 seeded random single-core slowdown
+// windows over 30 s.
+ScenarioSpec make_random_churn() {
+  ScenarioSpec s;
+  s.name = "random-churn";
+  s.churn.push_back(ChurnSpec{});  // the defaults are exactly this condition
+  return s;
+}
+
+// Anti-phase DVFS on the first two clusters: whichever cluster is fast
+// flips every half period, so "the fast cores" is never a static set —
+// the condition that separates dynamic from fixed-asymmetry schedulers.
+ScenarioSpec make_phase_flip() {
+  ScenarioSpec s;
+  s.name = "phase-flip";
+  s.dvfs.push_back(DvfsSpec{.cluster = 0,
+                            .period_s = 10.0,
+                            .duty_hi = 0.5,
+                            .hi = 1.0,
+                            .lo = 1.0 / 3.0,
+                            .phase_s = 0.0});
+  s.dvfs.push_back(DvfsSpec{.cluster = 1,
+                            .period_s = 10.0,
+                            .duty_hi = 0.5,
+                            .hi = 1.0,
+                            .lo = 1.0 / 3.0,
+                            .phase_s = 5.0});
+  return s;
+}
+
+const std::vector<ScenarioSpec>& catalog() {
+  static const std::vector<ScenarioSpec> kCatalog = {
+      make_clean(),          make_dvfs_wave(),    make_interference_burst(),
+      make_ramp_down(),      make_random_churn(), make_phase_flip(),
+  };
+  return kCatalog;
+}
+
+}  // namespace
+
+const std::vector<std::string>& catalog_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const ScenarioSpec& s : catalog()) names.push_back(s.name);
+    return names;
+  }();
+  return kNames;
+}
+
+std::optional<ScenarioSpec> find_catalog(const std::string& name) {
+  for (const ScenarioSpec& s : catalog())
+    if (s.name == name) return s;
+  return std::nullopt;
+}
+
+std::string catalog_summary() {
+  std::string out;
+  for (const std::string& n : catalog_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+// --- serialisation -----------------------------------------------------------
+
+namespace {
+
+json::Value cluster_to_json(int cluster) {
+  if (cluster == kFastestCluster) return json::Value("fastest");
+  return json::Value(cluster);
+}
+
+}  // namespace
+
+json::Value to_json(const ScenarioSpec& spec) {
+  json::Value doc = json::Value::object();
+  if (!spec.name.empty()) doc.set("name", spec.name);
+  if (!spec.dvfs.empty()) {
+    json::Value arr = json::Value::array();
+    for (const DvfsSpec& d : spec.dvfs) {
+      json::Value o = json::Value::object();
+      o.set("cluster", cluster_to_json(d.cluster));
+      o.set("period_s", d.period_s);
+      o.set("duty_hi", d.duty_hi);
+      o.set("hi", d.hi);
+      o.set("lo", d.lo);
+      o.set("phase_s", d.phase_s);
+      arr.push_back(std::move(o));
+    }
+    doc.set("dvfs", std::move(arr));
+  }
+  if (!spec.interference.empty()) {
+    json::Value arr = json::Value::array();
+    for (const InterferenceSpec& e : spec.interference) {
+      json::Value o = json::Value::object();
+      if (e.cluster != InterferenceSpec::kNoCluster) {
+        o.set("cores", e.cluster == kFastestCluster
+                           ? "cluster:fastest"
+                           : "cluster:" + std::to_string(e.cluster));
+      } else {
+        json::Value cores = json::Value::array();
+        for (int c : e.cores) cores.push_back(c);
+        o.set("cores", std::move(cores));
+      }
+      o.set("t_start", e.t_start);
+      // Infinity has no JSON literal: an absent t_end means "forever".
+      if (std::isfinite(e.t_end)) o.set("t_end", e.t_end);
+      o.set("cpu_share", e.cpu_share);
+      o.set("victim_cluster_bw", e.victim_cluster_bw);
+      o.set("global_bw", e.global_bw);
+      arr.push_back(std::move(o));
+    }
+    doc.set("interference", std::move(arr));
+  }
+  if (!spec.ramps.empty()) {
+    json::Value arr = json::Value::array();
+    for (const RampSpec& r : spec.ramps) {
+      json::Value o = json::Value::object();
+      o.set("cluster", cluster_to_json(r.cluster));
+      o.set("t_start", r.t_start);
+      o.set("t_end", r.t_end);
+      o.set("steps", r.steps);
+      o.set("from", r.from);
+      o.set("to", r.to);
+      arr.push_back(std::move(o));
+    }
+    doc.set("ramps", std::move(arr));
+  }
+  if (!spec.churn.empty()) {
+    json::Value arr = json::Value::array();
+    for (const ChurnSpec& c : spec.churn) {
+      json::Value o = json::Value::object();
+      o.set("seed", static_cast<double>(c.seed));
+      o.set("events", c.events);
+      o.set("horizon_s", c.horizon_s);
+      o.set("min_share", c.min_share);
+      o.set("max_share", c.max_share);
+      o.set("min_len_s", c.min_len_s);
+      o.set("max_len_s", c.max_len_s);
+      arr.push_back(std::move(o));
+    }
+    doc.set("churn", std::move(arr));
+  }
+  return doc;
+}
+
+namespace {
+
+// Strict field reader over one JSON object: typed getters with defaults,
+// then finish() rejects any key that was never consumed (a typo'd field
+// would otherwise silently keep its default — the bug class require_known
+// guards against on the command line).
+class ObjReader {
+ public:
+  ObjReader(const json::Value& obj, std::string ctx)
+      : obj_(obj), ctx_(std::move(ctx)) {
+    if (!obj.is_object()) fail(ctx_, "expected a JSON object");
+  }
+
+  const json::Value* take(const std::string& key) {
+    consumed_.push_back(key);
+    return obj_.find(key);
+  }
+
+  double num(const std::string& key, double def) {
+    const json::Value* v = take(key);
+    if (!v || v->is_null()) return def;
+    if (!v->is_number()) fail(ctx_, "\"" + key + "\" must be a number");
+    return v->as_number();
+  }
+
+  int integer(const std::string& key, int def) {
+    const double v = num(key, def);
+    if (v != std::floor(v) || std::fabs(v) > 1e9)
+      fail(ctx_, "\"" + key + "\" must be an integer");
+    return static_cast<int>(v);
+  }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t def) {
+    const double v = num(key, static_cast<double>(def));
+    if (v != std::floor(v) || v < 0.0 || v > 9.007199254740992e15)
+      fail(ctx_, "\"" + key + "\" must be a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+  }
+
+  /// Cluster reference: a non-negative integer or the string "fastest".
+  int cluster(const std::string& key, int def) {
+    const json::Value* v = take(key);
+    if (!v) return def;
+    if (v->is_string() && v->as_string() == "fastest") return kFastestCluster;
+    if (v->is_number() && v->as_number() == std::floor(v->as_number()) &&
+        v->as_number() >= 0.0)
+      return static_cast<int>(v->as_number());
+    fail(ctx_, "\"" + key + "\" must be a cluster index or \"fastest\"");
+  }
+
+  const std::string& context() const { return ctx_; }
+
+  void finish() const {
+    for (const auto& [key, value] : obj_.members()) {
+      bool known = false;
+      for (const std::string& k : consumed_) known = known || k == key;
+      if (!known) fail(ctx_, "unknown key \"" + key + "\"");
+    }
+  }
+
+ private:
+  const json::Value& obj_;
+  std::string ctx_;
+  std::vector<std::string> consumed_;
+};
+
+DvfsSpec dvfs_from_json(const json::Value& v, const std::string& ctx) {
+  ObjReader r(v, ctx);
+  DvfsSpec d;
+  d.cluster = r.cluster("cluster", d.cluster);
+  d.period_s = r.num("period_s", d.period_s);
+  d.duty_hi = r.num("duty_hi", d.duty_hi);
+  d.hi = r.num("hi", d.hi);
+  d.lo = r.num("lo", d.lo);
+  d.phase_s = r.num("phase_s", d.phase_s);
+  r.finish();
+  validate(d, ctx);
+  return d;
+}
+
+InterferenceSpec interference_from_json(const json::Value& v,
+                                        const std::string& ctx) {
+  ObjReader r(v, ctx);
+  InterferenceSpec e;
+  if (const json::Value* cores = r.take("cores")) {
+    if (cores->is_array()) {
+      for (const json::Value& c : cores->as_array()) {
+        if (!c.is_number() || c.as_number() != std::floor(c.as_number()))
+          fail(ctx, "\"cores\" must hold integer core ids");
+        e.cores.push_back(static_cast<int>(c.as_number()));
+      }
+    } else if (cores->is_string()) {
+      const std::string& s = cores->as_string();
+      if (s == "cluster:fastest") {
+        e.cluster = kFastestCluster;
+      } else if (s.rfind("cluster:", 0) == 0) {
+        try {
+          std::size_t used = 0;
+          e.cluster = std::stoi(s.substr(8), &used);
+          if (used != s.size() - 8 || e.cluster < 0)
+            throw std::invalid_argument(s);
+        } catch (const std::exception&) {
+          fail(ctx, "bad cluster reference \"" + s + "\"");
+        }
+      } else {
+        fail(ctx, "\"cores\" string must be \"cluster:<idx|fastest>\"");
+      }
+    } else {
+      fail(ctx, "\"cores\" must be an array or a cluster reference string");
+    }
+  }
+  e.t_start = r.num("t_start", e.t_start);
+  e.t_end = r.num("t_end", e.t_end);  // absent or null = forever
+  e.cpu_share = r.num("cpu_share", e.cpu_share);
+  e.victim_cluster_bw = r.num("victim_cluster_bw", e.victim_cluster_bw);
+  e.global_bw = r.num("global_bw", e.global_bw);
+  r.finish();
+  validate(e, ctx);
+  return e;
+}
+
+RampSpec ramp_from_json(const json::Value& v, const std::string& ctx) {
+  ObjReader r(v, ctx);
+  RampSpec ramp;
+  ramp.cluster = r.cluster("cluster", ramp.cluster);
+  ramp.t_start = r.num("t_start", ramp.t_start);
+  ramp.t_end = r.num("t_end", ramp.t_end);
+  ramp.steps = r.integer("steps", ramp.steps);
+  ramp.from = r.num("from", ramp.from);
+  ramp.to = r.num("to", ramp.to);
+  r.finish();
+  validate(ramp, ctx);
+  return ramp;
+}
+
+ChurnSpec churn_from_json(const json::Value& v, const std::string& ctx) {
+  ObjReader r(v, ctx);
+  ChurnSpec c;
+  c.seed = r.u64("seed", c.seed);
+  c.events = r.integer("events", c.events);
+  c.horizon_s = r.num("horizon_s", c.horizon_s);
+  c.min_share = r.num("min_share", c.min_share);
+  c.max_share = r.num("max_share", c.max_share);
+  c.min_len_s = r.num("min_len_s", c.min_len_s);
+  c.max_len_s = r.num("max_len_s", c.max_len_s);
+  r.finish();
+  validate(c, ctx);
+  return c;
+}
+
+}  // namespace
+
+ScenarioSpec from_json(const json::Value& doc, const std::string& origin) {
+  ObjReader r(doc, origin);
+  ScenarioSpec spec;
+  if (const json::Value* name = r.take("name")) {
+    if (!name->is_string()) fail(origin, "\"name\" must be a string");
+    spec.name = name->as_string();
+  }
+  auto section = [&](const char* key, auto parse_entry, auto& out) {
+    const json::Value* arr = r.take(key);
+    if (!arr) return;
+    if (!arr->is_array())
+      fail(origin, std::string("\"") + key + "\" must be an array");
+    for (std::size_t i = 0; i < arr->as_array().size(); ++i) {
+      out.push_back(parse_entry(arr->as_array()[i],
+                                origin + ": " + key + "[" + std::to_string(i) + "]"));
+    }
+  };
+  section("dvfs", dvfs_from_json, spec.dvfs);
+  section("interference", interference_from_json, spec.interference);
+  section("ramps", ramp_from_json, spec.ramps);
+  section("churn", churn_from_json, spec.churn);
+  r.finish();
+  return spec;
+}
+
+ScenarioSpec parse(const std::string& text, const std::string& origin) {
+  json::Value doc;
+  try {
+    doc = json::parse(text, origin);
+  } catch (const json::Error& e) {
+    throw ScenarioError(e.what());
+  }
+  return from_json(doc, origin);
+}
+
+ScenarioSpec load(const std::string& name_or_path) {
+  if (auto spec = find_catalog(name_or_path)) return *spec;
+  std::ifstream in(name_or_path, std::ios::binary);
+  if (!in) {
+    throw ScenarioError("'" + name_or_path +
+                        "' is neither a catalog scenario (" + catalog_summary() +
+                        ") nor a readable spec file");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ScenarioSpec spec = parse(buf.str(), name_or_path);
+  if (spec.name.empty()) spec.name = name_or_path;
+  return spec;
+}
+
+// --- building ----------------------------------------------------------------
+
+SpeedScenario build(const ScenarioSpec& spec, const Topology& topo) {
+  const std::string origin = spec.name.empty() ? "<scenario>" : spec.name;
+  validate(spec, origin);
+
+  auto resolve_cluster = [&](int cluster, const std::string& ctx) {
+    if (cluster == kFastestCluster) return topo.fastest_cluster();
+    if (cluster >= topo.num_clusters()) {
+      fail(ctx, "references cluster " + std::to_string(cluster) +
+                    " but the topology has " +
+                    std::to_string(topo.num_clusters()) + " clusters");
+    }
+    return cluster;
+  };
+  auto ctx = [&](const char* section, std::size_t i) {
+    return origin + ": " + section + "[" + std::to_string(i) + "]";
+  };
+
+  SpeedScenario sc(topo);
+  for (std::size_t i = 0; i < spec.dvfs.size(); ++i) {
+    const DvfsSpec& d = spec.dvfs[i];
+    sc.add_dvfs(DvfsSchedule{.cluster = resolve_cluster(d.cluster, ctx("dvfs", i)),
+                             .period_s = d.period_s,
+                             .duty_hi = d.duty_hi,
+                             .hi = d.hi,
+                             .lo = d.lo,
+                             .phase_s = d.phase_s});
+  }
+  for (std::size_t i = 0; i < spec.interference.size(); ++i) {
+    const InterferenceSpec& e = spec.interference[i];
+    std::vector<int> cores = e.cores;
+    if (e.cluster != InterferenceSpec::kNoCluster) {
+      const Cluster& c =
+          topo.cluster(resolve_cluster(e.cluster, ctx("interference", i)));
+      for (int k = 0; k < c.num_cores; ++k) cores.push_back(c.first_core + k);
+    }
+    for (int c : cores) {
+      if (c >= topo.num_cores()) {
+        fail(ctx("interference", i),
+             "references core " + std::to_string(c) + " but the topology has " +
+                 std::to_string(topo.num_cores()) + " cores");
+      }
+    }
+    sc.add_interference(InterferenceEvent{.cores = std::move(cores),
+                                          .t_start = e.t_start,
+                                          .t_end = e.t_end,
+                                          .cpu_share = e.cpu_share,
+                                          .victim_cluster_bw = e.victim_cluster_bw,
+                                          .global_bw = e.global_bw});
+  }
+  for (std::size_t i = 0; i < spec.ramps.size(); ++i) {
+    const RampSpec& r = spec.ramps[i];
+    const int cluster = resolve_cluster(r.cluster, ctx("ramps", i));
+    const double window = (r.t_end - r.t_start) / r.steps;
+    for (int s = 0; s < r.steps; ++s) {
+      const double frac = r.steps == 1 ? 1.0 : static_cast<double>(s) / (r.steps - 1);
+      const double share = r.from + (r.to - r.from) * frac;
+      if (share >= 1.0) continue;  // full-speed window: nothing to emulate
+      sc.add_cluster_slowdown(cluster, share, r.t_start + s * window,
+                              s == r.steps - 1 ? r.t_end : r.t_start + (s + 1) * window);
+    }
+  }
+  for (const ChurnSpec& c : spec.churn) {
+    Xoshiro256 rng(c.seed);
+    for (int e = 0; e < c.events; ++e) {
+      const int core = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(topo.num_cores())));
+      const double t0 = rng.uniform(0.0, c.horizon_s);
+      const double len = rng.uniform(c.min_len_s, c.max_len_s);
+      const double share = rng.uniform(c.min_share, c.max_share);
+      sc.add_interference(InterferenceEvent{.cores = {core},
+                                            .t_start = t0,
+                                            .t_end = t0 + len,
+                                            .cpu_share = share,
+                                            .victim_cluster_bw = 1.0,
+                                            .global_bw = 1.0});
+    }
+  }
+  return sc;
+}
+
+}  // namespace das::scenario

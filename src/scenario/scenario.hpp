@@ -1,0 +1,166 @@
+#pragma once
+// Declarative scenario specs: platform conditions as data, not code.
+//
+// Every dynamic-asymmetry condition in the repo used to be hard-coded C++
+// inside individual benches (a DVFS square wave here, a co-runner there), so
+// the set of reproducible conditions was frozen at the paper's figures. This
+// subsystem turns a condition into a small JSON document (or a built-in
+// catalog name) that parses into a ScenarioSpec and *builds* into the
+// SpeedScenario both engines consume:
+//
+//     auto spec = scenario::load("dvfs-wave");          // catalog name
+//     auto spec = scenario::load("conditions.json");    //   ... or a file
+//     SpeedScenario sc = scenario::build(spec, topo);
+//
+// Drivers normally don't call these directly: ExecutorConfig::scenario_spec
+// carries the spec into make_executor (which builds and owns the scenario),
+// and the shared --scenario=<name|file> flag (exec/executor.hpp,
+// bench/support.hpp) resolves user input. A spec is topology-agnostic:
+// cluster references may say "fastest" and are resolved against the concrete
+// Topology at build time, so the same file runs on the TX2 model, a Haswell
+// node, or a custom machine.
+//
+// Spec format (JSON object; every key optional, unknown keys diagnosed):
+//   {
+//     "name": "my-conditions",
+//     "dvfs": [{"cluster": 0|"fastest", "period_s": 5.0, "duty_hi": 0.5,
+//               "hi": 1.0, "lo": 0.17, "phase_s": 0.0}],
+//     "interference": [{"cores": [0,1]|"cluster:0"|"cluster:fastest",
+//                       "t_start": 0.0, "t_end": 10.0, "cpu_share": 0.5,
+//                       "victim_cluster_bw": 1.0, "global_bw": 1.0}],
+//     "ramps": [{"cluster": "fastest", "t_start": 0.0, "t_end": 30.0,
+//                "steps": 6, "from": 1.0, "to": 0.25}],
+//     "churn": [{"seed": 2020, "events": 12, "horizon_s": 30.0,
+//                "min_share": 0.3, "max_share": 0.9,
+//                "min_len_s": 1.0, "max_len_s": 5.0}]
+//   }
+// "// ..." line comments are allowed. Malformed specs throw ScenarioError
+// with a file:line:col diagnostic; the CLI layer turns that into exit 2.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "platform/speed_model.hpp"
+#include "platform/topology.hpp"
+#include "util/json.hpp"
+
+namespace das::scenario {
+
+/// Parse- or build-time diagnostic (malformed document, out-of-range core,
+/// cluster reference the topology cannot satisfy, ...).
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Cluster reference resolved against the topology at build time.
+inline constexpr int kFastestCluster = -1;
+
+/// DVFS square wave on one cluster (mirrors DvfsSchedule, plus the symbolic
+/// fastest-cluster reference).
+struct DvfsSpec {
+  int cluster = kFastestCluster;
+  double period_s = 10.0;
+  double duty_hi = 0.5;
+  double hi = 1.0;
+  double lo = 345.0 / 2035.0;  ///< paper's lowest/highest TX2 frequency ratio
+  double phase_s = 0.0;
+
+  friend bool operator==(const DvfsSpec&, const DvfsSpec&) = default;
+};
+
+/// Co-runner window (mirrors InterferenceEvent); victims are either an
+/// explicit core list or every core of a (possibly symbolic) cluster.
+struct InterferenceSpec {
+  std::vector<int> cores;        ///< used when `cluster` is kNoCluster
+  int cluster = kNoCluster;      ///< kFastestCluster or a concrete index
+  double t_start = 0.0;
+  double t_end = kForever;
+  double cpu_share = 0.5;
+  double victim_cluster_bw = 1.0;
+  double global_bw = 1.0;
+
+  static constexpr int kNoCluster = -2;
+  static constexpr double kForever = std::numeric_limits<double>::infinity();
+
+  friend bool operator==(const InterferenceSpec&, const InterferenceSpec&) = default;
+};
+
+/// Staircase slowdown of a whole cluster: [t_start, t_end) divided into
+/// `steps` equal windows, speed share interpolated from `from` (first
+/// window) to `to` (last window).
+struct RampSpec {
+  int cluster = kFastestCluster;
+  double t_start = 0.0;
+  double t_end = 30.0;
+  int steps = 6;
+  double from = 1.0;
+  double to = 0.25;
+
+  friend bool operator==(const RampSpec&, const RampSpec&) = default;
+};
+
+/// Seeded random interference churn: `events` single-core slowdown windows
+/// drawn uniformly over [0, horizon_s), deterministic in (seed, topology).
+struct ChurnSpec {
+  std::uint64_t seed = 2020;
+  int events = 12;
+  double horizon_s = 30.0;
+  double min_share = 0.3;
+  double max_share = 0.9;
+  double min_len_s = 1.0;
+  double max_len_s = 5.0;
+
+  friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
+};
+
+struct ScenarioSpec {
+  std::string name;  ///< catalog name, file-given name, or "" (anonymous)
+  std::vector<DvfsSpec> dvfs;
+  std::vector<InterferenceSpec> interference;
+  std::vector<RampSpec> ramps;
+  std::vector<ChurnSpec> churn;
+
+  bool empty() const {
+    return dvfs.empty() && interference.empty() && ramps.empty() && churn.empty();
+  }
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+// --- catalog -----------------------------------------------------------------
+
+/// Built-in named conditions, in catalog order: "clean", "dvfs-wave",
+/// "interference-burst", "ramp-down", "random-churn", "phase-flip".
+const std::vector<std::string>& catalog_names();
+/// Catalog lookup (exact, case-sensitive); nullopt for unknown names.
+std::optional<ScenarioSpec> find_catalog(const std::string& name);
+/// catalog_names() joined with ", " — for diagnostics and --help text.
+std::string catalog_summary();
+
+// --- (de)serialisation ---------------------------------------------------------
+
+/// Spec -> JSON document (parses back to an equal spec; the round-trip is
+/// tested over the whole catalog).
+json::Value to_json(const ScenarioSpec& spec);
+/// Strict JSON -> spec: unknown keys, wrong types and out-of-range constants
+/// all throw ScenarioError (`origin` names the source in diagnostics).
+ScenarioSpec from_json(const json::Value& doc, const std::string& origin);
+/// Parses a JSON scenario document from text.
+ScenarioSpec parse(const std::string& text, const std::string& origin = "<scenario>");
+/// Resolves a --scenario= value: catalog name first, then a path to a JSON
+/// spec file; ScenarioError when it is neither.
+ScenarioSpec load(const std::string& name_or_path);
+
+// --- building ------------------------------------------------------------------
+
+/// Expands the spec against a concrete topology (resolves "fastest",
+/// staircases ramps, draws churn events) into the SpeedScenario both engines
+/// consume. Throws ScenarioError on references the topology cannot satisfy.
+SpeedScenario build(const ScenarioSpec& spec, const Topology& topo);
+
+}  // namespace das::scenario

@@ -18,7 +18,7 @@ void print_core_worktime(const ExecutionStats& stats, std::ostream& os,
   if (!title.empty()) os << title << '\n';
   TextTable t({"core", "busy_s"});
   for (int c = 0; c < stats.topology().num_cores(); ++c)
-    t.row().add("C" + std::to_string(c)).add(stats.busy_s(c), 2);
+    t.row().add(fmt_indexed("C", c)).add(stats.busy_s(c), 2);
   t.row().add("total").add(stats.total_busy_s(), 2);
   t.print(os);
 }

@@ -103,6 +103,19 @@ class Flags {
   std::vector<std::string> positional_;
 };
 
+/// The flags every bench driver accepts (see bench/support.hpp); examples
+/// reuse the relevant prefix in their own --help text.
+inline constexpr const char* kCommonFlagsUsage =
+    "--backend=sim|rt --policy=NAME[,NAME...] --scenario=<name|file> "
+    "--json=<path> --scale=F --seed=N";
+
+/// Prints "flags: <usage>" and exits 0 when --help was given.
+inline void maybe_help(const Flags& flags, const std::string& usage) {
+  if (!flags.has("help")) return;
+  std::cout << "flags: " << usage << "\n";
+  std::exit(0);
+}
+
 /// Drivers that take no positional arguments call this to reject the
 /// "--key value" spelling (only "--key=value" is supported — the bare word
 /// would otherwise be ignored silently and the flag fall back to its

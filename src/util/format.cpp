@@ -77,4 +77,10 @@ std::string fmt_percent(double fraction, int precision) {
   return fmt_double(fraction * 100.0, precision) + "%";
 }
 
+std::string fmt_indexed(const char* prefix, long long n) {
+  std::string out(prefix);
+  out += std::to_string(n);
+  return out;
+}
+
 }  // namespace das

@@ -38,6 +38,11 @@ class TextTable {
 /// Formats a double with fixed precision (no trailing-zero stripping).
 std::string fmt_double(double v, int precision = 1);
 
+/// prefix + to_string(n), built by append: the `"lit" + std::to_string(...)`
+/// operator+ chain trips GCC 12's -Wrestrict false positive (PR105329)
+/// under -O2, so every indexed label ("C3", "n0", ...) goes through here.
+std::string fmt_indexed(const char* prefix, long long n);
+
 /// Formats a fraction as a percentage string, e.g. 0.425 -> "42.5%".
 std::string fmt_percent(double fraction, int precision = 1);
 

@@ -1,0 +1,116 @@
+#pragma once
+// Minimal JSON value model, parser and writer — just enough for the two
+// data interchange points the project has: declarative scenario specs
+// (src/scenario reads them) and machine-readable bench results
+// (bench/support.hpp writes BENCH_<name>.json). No external dependency.
+//
+// Deliberate restrictions (all diagnosed, nothing silently accepted):
+//   - numbers are doubles (64-bit integers round-trip exactly up to 2^53,
+//     far beyond any task count or seed we emit);
+//   - object keys keep their insertion order, so dumps are deterministic
+//     and diff-friendly;
+//   - no \uXXXX escapes beyond Latin-1 in the writer (input \uXXXX parses
+//     to UTF-8); scenario specs and bench output are ASCII in practice.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace das::json {
+
+/// Thrown by parse() and the typed accessors; carries a human-readable
+/// message with line:column context when it comes from the parser.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class Value;
+using Array = std::vector<Value>;
+/// Insertion-ordered object: deterministic dumps, stable diffs.
+using Member = std::pair<std::string, Value>;
+
+enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;  // null
+  Value(std::nullptr_t) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int v) : Value(static_cast<double>(v)) {}
+  Value(std::int64_t v) : Value(static_cast<double>(v)) {}
+  Value(std::uint64_t v) : Value(static_cast<double>(v)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+
+  /// Named constructors for the composite types.
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw json::Error on a type mismatch so callers get a
+  /// diagnostic instead of UB.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const std::vector<Member>& members() const;
+
+  // --- object helpers -------------------------------------------------------
+
+  /// Sets (or replaces) an object member; first insertion fixes its position.
+  Value& set(const std::string& key, Value v);
+  /// Member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+
+  // --- array helpers --------------------------------------------------------
+
+  Value& push_back(Value v);
+  std::size_t size() const;
+
+  /// Serialises. indent <= 0: compact one-line form; indent > 0: pretty,
+  /// `indent` spaces per nesting level. Deterministic (insertion order).
+  std::string dump(int indent = 0) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  std::vector<Member> obj_;
+};
+
+/// Parses one JSON document (trailing garbage is an error). Throws
+/// json::Error with "<origin>:line:col: message" context. `origin` names the
+/// source in diagnostics (a file path, "<flag>", ...).
+Value parse(const std::string& text, const std::string& origin = "<json>");
+
+/// Reads and parses a file; json::Error on IO failure or parse failure.
+Value parse_file(const std::string& path);
+
+}  // namespace das::json

@@ -1,0 +1,116 @@
+// Tests for the minimal JSON layer (util/json.hpp): parse/dump round-trips,
+// number fidelity, strict diagnostics with line:col context, and the
+// insertion-ordered object semantics the deterministic bench output relies
+// on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace das::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedDocumentAndWhitespace) {
+  const Value v = parse(R"(  { "a": [1, 2, {"b": null}], "c": "x" }  )");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 2u);
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(a->as_array()[2].find("b")->is_null());
+  EXPECT_EQ(v.find("c")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, LineCommentsAllowed) {
+  const Value v = parse("// header\n{ \"a\": 1 // trailing\n}");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, DiagnosticsCarryOriginLineAndColumn) {
+  try {
+    parse("{\n  \"a\": nope\n}", "spec.json");
+    FAIL() << "expected json::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.json:2:8"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1,]"), Error);
+  EXPECT_THROW(parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+  EXPECT_THROW(parse("1 2"), Error);          // trailing garbage
+  EXPECT_THROW(parse("1.2.3"), Error);        // bad number
+  EXPECT_THROW(parse("{\"a\":1,\"a\":2}"), Error);  // duplicate key
+}
+
+TEST(JsonValue, TypeMismatchesThrowInsteadOfUB) {
+  EXPECT_THROW(parse("1").as_string(), Error);
+  EXPECT_THROW(parse("\"x\"").as_number(), Error);
+  EXPECT_THROW(parse("[]").members(), Error);
+  EXPECT_THROW(parse("{}").as_array(), Error);
+}
+
+TEST(JsonDump, RoundTripsPreservingOrderAndPrecision) {
+  Value doc = Value::object();
+  doc.set("zeta", 1);
+  doc.set("alpha", 0.1);  // not representable exactly: tests shortest-repr
+  doc.set("list", Array{Value(1), Value("two"), Value(true)});
+  const std::string text = doc.dump();
+  const Value back = parse(text);
+  // Insertion order survives (zeta before alpha).
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  EXPECT_DOUBLE_EQ(back.find("alpha")->as_number(), 0.1);
+  EXPECT_EQ(back.find("list")->as_array()[1].as_string(), "two");
+  // Dump of a parsed dump is a fixed point.
+  EXPECT_EQ(parse(text).dump(), text);
+}
+
+TEST(JsonDump, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(Value(std::int64_t{123456789}).dump(), "123456789");
+  EXPECT_EQ(Value(2020).dump(), "2020");
+  EXPECT_EQ(Value(-3).dump(), "-3");
+}
+
+TEST(JsonDump, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+}
+
+TEST(JsonDump, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(Value("a\"b\n\x01").dump(), R"("a\"b\n\u0001")");
+}
+
+TEST(JsonDump, PrettyPrintingIsReparseable) {
+  Value doc = Value::object();
+  doc.set("runs", Array{Value(1), Value(2)});
+  doc.set("nested", Value::object());
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty).dump(), doc.dump());
+}
+
+}  // namespace
+}  // namespace das::json

@@ -1,0 +1,352 @@
+// Tests for the declarative scenario subsystem (src/scenario): every catalog
+// entry round-trips through JSON text and builds the same SpeedScenario,
+// malformed specs produce catchable diagnostics (and exit code 2 through the
+// CLI layer), cluster references resolve against the concrete topology, and
+// a catalog scenario reaches both engines through
+// ExecutorConfig::scenario_spec (sim/rt parity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "exec/executor.hpp"
+#include "kernels/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "workloads/synthetic_dag.hpp"
+
+namespace das {
+namespace {
+
+using scenario::ScenarioError;
+using scenario::ScenarioSpec;
+
+// Samples both scenarios' speed and bandwidth surfaces on a fixed time grid.
+void expect_same_surface(const SpeedScenario& a, const SpeedScenario& b,
+                         const Topology& topo) {
+  for (int core = 0; core < topo.num_cores(); ++core) {
+    for (int tick = 0; tick <= 400; ++tick) {
+      const double t = tick * 0.1;  // 0..40 s covers every catalog horizon
+      ASSERT_DOUBLE_EQ(a.speed(core, t), b.speed(core, t))
+          << "core " << core << " t " << t;
+    }
+  }
+  for (int c = 0; c < topo.num_clusters(); ++c)
+    for (int tick = 0; tick <= 400; ++tick)
+      ASSERT_DOUBLE_EQ(a.bandwidth_share(c, tick * 0.1),
+                       b.bandwidth_share(c, tick * 0.1));
+}
+
+TEST(ScenarioCatalog, HasTheDocumentedEntries) {
+  const auto& names = scenario::catalog_names();
+  const std::vector<std::string> expected = {
+      "clean",     "dvfs-wave",    "interference-burst",
+      "ramp-down", "random-churn", "phase-flip"};
+  EXPECT_EQ(names, expected);
+  for (const std::string& n : names)
+    EXPECT_TRUE(scenario::find_catalog(n).has_value()) << n;
+  EXPECT_FALSE(scenario::find_catalog("no-such").has_value());
+}
+
+TEST(ScenarioCatalog, EveryEntryRoundTripsThroughJsonText) {
+  const Topology topo = Topology::tx2();
+  for (const std::string& name : scenario::catalog_names()) {
+    SCOPED_TRACE(name);
+    const ScenarioSpec spec = *scenario::find_catalog(name);
+
+    // Spec -> JSON text -> spec is the identity...
+    const std::string text = scenario::to_json(spec).dump(2);
+    const ScenarioSpec back = scenario::parse(text, name);
+    EXPECT_EQ(back, spec);
+
+    // ...and both specs build the same speed/bandwidth surface.
+    expect_same_surface(scenario::build(spec, topo),
+                        scenario::build(back, topo), topo);
+  }
+}
+
+TEST(ScenarioCatalog, CleanBuildsAnEmptyScenario) {
+  const Topology topo = Topology::tx2();
+  const SpeedScenario sc =
+      scenario::build(*scenario::find_catalog("clean"), topo);
+  EXPECT_TRUE(sc.empty());
+  EXPECT_DOUBLE_EQ(sc.speed(0, 3.0), topo.max_base_speed());
+}
+
+TEST(ScenarioCatalog, EntriesActuallyPerturbTheMachine) {
+  const Topology topo = Topology::tx2();
+  for (const std::string& name : scenario::catalog_names()) {
+    if (name == "clean") continue;
+    SCOPED_TRACE(name);
+    const SpeedScenario sc =
+        scenario::build(*scenario::find_catalog(name), topo);
+    // Some core is slowed at some grid point.
+    bool perturbed = false;
+    for (int core = 0; core < topo.num_cores() && !perturbed; ++core)
+      for (int tick = 0; tick <= 400 && !perturbed; ++tick)
+        perturbed = sc.speed(core, tick * 0.1) <
+                    topo.cluster_of_core(core).base_speed;
+    EXPECT_TRUE(perturbed);
+  }
+}
+
+TEST(ScenarioCatalog, RandomChurnIsDeterministicInSeedAndTopology) {
+  const Topology topo = Topology::tx2();
+  ScenarioSpec spec = *scenario::find_catalog("random-churn");
+  expect_same_surface(scenario::build(spec, topo), scenario::build(spec, topo),
+                      topo);
+  // A different seed draws a different condition.
+  spec.churn[0].seed += 1;
+  const SpeedScenario other = scenario::build(spec, topo);
+  const SpeedScenario base =
+      scenario::build(*scenario::find_catalog("random-churn"), topo);
+  bool differs = false;
+  for (int core = 0; core < topo.num_cores() && !differs; ++core)
+    for (int tick = 0; tick <= 400 && !differs; ++tick)
+      differs = base.speed(core, tick * 0.1) != other.speed(core, tick * 0.1);
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioSymbolic, FastestClusterResolvesPerTopology) {
+  // dvfs-wave says "fastest": on the TX2 that is the Denver cluster
+  // (cores 0-1); on a symmetric machine it falls back to cluster 0.
+  const ScenarioSpec spec = *scenario::find_catalog("dvfs-wave");
+  const Topology tx2 = Topology::tx2();
+  const SpeedScenario sc = scenario::build(spec, tx2);
+  ASSERT_EQ(sc.dvfs_schedules().size(), 1u);
+  EXPECT_EQ(sc.dvfs_schedules()[0].cluster, tx2.fastest_cluster());
+
+  const Topology sym = Topology::symmetric(2, 4);
+  EXPECT_EQ(scenario::build(spec, sym).dvfs_schedules()[0].cluster, 0);
+}
+
+TEST(ScenarioParse, FileFormatWithClusterReferencesAndComments) {
+  const ScenarioSpec spec = scenario::parse(R"({
+    // a hand-written condition
+    "name": "mixed",
+    "dvfs": [{"cluster": "fastest", "period_s": 2.0}],
+    "interference": [
+      {"cores": "cluster:1", "t_start": 1.0, "t_end": 4.0, "cpu_share": 0.25},
+      {"cores": [0], "cpu_share": 0.5}
+    ],
+    "ramps": [{"cluster": 0, "t_end": 10.0, "steps": 2, "to": 0.5}],
+    "churn": [{"seed": 7, "events": 3}]
+  })");
+  EXPECT_EQ(spec.name, "mixed");
+  ASSERT_EQ(spec.dvfs.size(), 1u);
+  EXPECT_EQ(spec.dvfs[0].cluster, scenario::kFastestCluster);
+  EXPECT_DOUBLE_EQ(spec.dvfs[0].period_s, 2.0);
+  ASSERT_EQ(spec.interference.size(), 2u);
+  EXPECT_EQ(spec.interference[0].cluster, 1);
+  EXPECT_TRUE(std::isinf(spec.interference[1].t_end));  // absent = forever
+
+  const Topology topo = Topology::tx2();
+  const SpeedScenario sc = scenario::build(spec, topo);
+  // cluster:1 on the TX2 = the four A57 cores (2..5).
+  EXPECT_LT(sc.speed(3, 2.0), topo.cluster(1).base_speed);
+  EXPECT_DOUBLE_EQ(sc.speed(3, 5.0), topo.cluster(1).base_speed);
+}
+
+TEST(ScenarioParse, MalformedSpecsAreDiagnosed) {
+  // Structural problems.
+  EXPECT_THROW(scenario::parse("not json at all"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[1,2]"), ScenarioError);          // not an object
+  EXPECT_THROW(scenario::parse(R"({"dvfs": {}})"), ScenarioError);  // not an array
+  // Unknown keys are typos, not extensions.
+  EXPECT_THROW(scenario::parse(R"({"dvfss": []})"), ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"dvfs": [{"perod_s": 5}]})"), ScenarioError);
+  // Range violations.
+  EXPECT_THROW(scenario::parse(R"({"dvfs": [{"period_s": 0}]})"), ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"dvfs": [{"duty_hi": 1.5}]})"), ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"interference": [{"cores": [0], "cpu_share": 0}]})"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"interference": [{"cores": [0], "t_start": 5, "t_end": 1}]})"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"interference": [{"cpu_share": 0.5}]})"),
+               ScenarioError);  // no victims
+  EXPECT_THROW(scenario::parse(R"({"ramps": [{"steps": 0}]})"), ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"churn": [{"min_share": 0.9, "max_share": 0.1}]})"),
+               ScenarioError);
+  // Bad cluster references.
+  EXPECT_THROW(scenario::parse(R"({"dvfs": [{"cluster": "slowest"}]})"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"interference": [{"cores": "cluster:x"}]})"),
+               ScenarioError);
+}
+
+TEST(ScenarioParse, DiagnosticsNameTheOffendingEntry) {
+  try {
+    scenario::parse(R"({"ramps": [{}, {"steps": -1}]})", "bad.json");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.json: ramps[1]"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioBuild, TopologyMismatchesAreDiagnosedNotAborted) {
+  const Topology small = Topology::symmetric(1, 2);  // 1 cluster, 2 cores
+  // phase-flip needs two clusters.
+  EXPECT_THROW(scenario::build(*scenario::find_catalog("phase-flip"), small),
+               ScenarioError);
+  // Core id beyond the machine.
+  ScenarioSpec spec;
+  spec.interference.push_back({.cores = {7}});
+  EXPECT_THROW(scenario::build(spec, small), ScenarioError);
+  // Cluster id beyond the machine.
+  ScenarioSpec ramp;
+  ramp.ramps.push_back({.cluster = 3});
+  EXPECT_THROW(scenario::build(ramp, small), ScenarioError);
+}
+
+TEST(ScenarioLoad, ResolvesCatalogThenFileThenFails) {
+  EXPECT_EQ(scenario::load("dvfs-wave").name, "dvfs-wave");
+
+  const std::string path = ::testing::TempDir() + "scenario_test_spec.json";
+  {
+    std::ofstream out(path);
+    out << R"({"interference": [{"cores": [0], "cpu_share": 0.5}]})";
+  }
+  const ScenarioSpec spec = scenario::load(path);
+  EXPECT_EQ(spec.name, path);  // anonymous files are named by their path
+  ASSERT_EQ(spec.interference.size(), 1u);
+  std::remove(path.c_str());
+
+  try {
+    scenario::load("definitely-not-a-scenario");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    // The diagnostic teaches the catalog.
+    EXPECT_NE(std::string(e.what()).find("dvfs-wave"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFlagDeathTest, MalformedSpecExitsWithCode2) {
+  const char* argv_bad_name[] = {"prog", "--scenario=nope"};
+  EXPECT_EXIT(
+      {
+        cli::Flags flags(2, const_cast<char* const*>(argv_bad_name));
+        scenario_flag(flags);
+      },
+      ::testing::ExitedWithCode(2), "neither a catalog scenario");
+
+  const std::string path = ::testing::TempDir() + "scenario_test_bad.json";
+  {
+    std::ofstream out(path);
+    out << R"({"dvfs": [{"period_s": -1}]})";
+  }
+  const std::string flag = "--scenario=" + path;
+  const char* argv_bad_file[] = {"prog", flag.c_str()};
+  EXPECT_EXIT(
+      {
+        cli::Flags flags(2, const_cast<char* const*>(argv_bad_file));
+        scenario_flag(flags);
+      },
+      ::testing::ExitedWithCode(2), "period_s");
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioFlagDeathTest, TopologyMismatchExitsWithCode2AtBuildTime) {
+  // A spec can be well-formed yet reference what the machine lacks; the
+  // CLI-facing build helper turns that into exit 2 too (drivers use it so
+  // ScenarioError never escapes to std::terminate).
+  const Topology small = Topology::symmetric(1, 2);
+  ScenarioSpec spec;
+  spec.dvfs.push_back({.cluster = 7});
+  EXPECT_EXIT(build_scenario_or_exit(spec, small),
+              ::testing::ExitedWithCode(2), "cluster 7");
+}
+
+// --- the facade path + sim/rt parity ----------------------------------------
+
+class ScenarioExecutorTest : public ::testing::Test {
+ protected:
+  ScenarioExecutorTest() : topo_(Topology::tx2()) {
+    ids_ = kernels::register_paper_kernels(registry_);
+  }
+
+  Dag small_dag(int parallelism = 2, int tasks = 60) {
+    workloads::SyntheticDagSpec spec;
+    spec.type = ids_.matmul;
+    spec.parallelism = parallelism;
+    spec.total_tasks = tasks;
+    spec.params.p0 = 16;  // small tiles: fast
+    return workloads::make_synthetic_dag(spec);
+  }
+
+  Topology topo_;
+  TaskTypeRegistry registry_;
+  kernels::PaperKernelIds ids_;
+};
+
+TEST_F(ScenarioExecutorTest, SpecRunsOnBothBackendsThroughExecutorConfig) {
+  // Sim/rt parity: the same catalog scenario, passed as data, drives both
+  // engines to completion with consistent result shapes.
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(backend_name(backend));
+    ExecutorConfig config;
+    config.scenario_spec = scenario::load("interference-burst");
+    auto exec = make_executor(backend, topo_, Policy::kDamC, registry_, config);
+    const RunResult r = exec->run(small_dag());
+    EXPECT_GT(r.makespan_s, 0.0);
+    EXPECT_EQ(r.tasks, 60);
+    ASSERT_EQ(r.stats.size(), 1u);
+    EXPECT_EQ(r.stats[0].tasks_total, 60);
+  }
+}
+
+TEST_F(ScenarioExecutorTest, SpecPerturbsTheSimBackend) {
+  // An always-on co-runner spec must slow the deterministic engine down
+  // relative to the clean catalog entry.
+  auto makespan = [&](const char* text) {
+    ExecutorConfig config;
+    config.scenario_spec = scenario::parse(text);
+    auto exec = make_executor(Backend::kSim, topo_, Policy::kRws, registry_,
+                              config);
+    return exec->run(small_dag(2, 200)).makespan_s;
+  };
+  const double clean = makespan("{}");
+  const double slowed = makespan(
+      R"({"interference": [{"cores": [0, 1, 2, 3, 4, 5], "cpu_share": 0.3}]})");
+  EXPECT_GT(slowed, clean * 1.5);
+}
+
+TEST_F(ScenarioExecutorTest, SettingBothScenarioAndSpecIsAnError) {
+  SpeedScenario sc(topo_);
+  sc.add_cpu_corunner(0);
+  ExecutorConfig config;
+  config.scenario = &sc;
+  config.scenario_spec = scenario::load("clean");
+  EXPECT_THROW(
+      make_executor(Backend::kSim, topo_, Policy::kDamC, registry_, config),
+      PreconditionError);
+}
+
+TEST_F(ScenarioExecutorTest, BadTopologyReferenceSurfacesFromMakeExecutor) {
+  ExecutorConfig config;
+  config.scenario_spec = scenario::parse(R"({"interference": [{"cores": [99]}]})");
+  EXPECT_THROW(
+      make_executor(Backend::kSim, topo_, Policy::kDamC, registry_, config),
+      ScenarioError);
+}
+
+TEST_F(ScenarioExecutorTest, MultiRankSpecBuildsPerRankTopology) {
+  // One spec, two ranks with different topologies: "fastest" must resolve
+  // per rank, which only works if make_executor builds one scenario per
+  // rank (owned by the executor — no dangling after this scope).
+  const Topology tx2 = Topology::tx2();
+  const Topology sym = Topology::symmetric(2, 4);
+  std::vector<sim::RankSpec> ranks{{&tx2, nullptr}, {&sym, nullptr}};
+  ExecutorConfig config;
+  config.scenario_spec = scenario::load("dvfs-wave");
+  auto exec = make_executor(Backend::kSim, ranks, Policy::kDamC, registry_,
+                            config);
+  EXPECT_EQ(exec->num_ranks(), 2);
+  const RunResult r = exec->run(small_dag(2, 20));
+  EXPECT_GT(r.makespan_s, 0.0);
+}
+
+}  // namespace
+}  // namespace das
