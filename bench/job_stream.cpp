@@ -1,0 +1,183 @@
+// Job-stream bench: the executor as a concurrent job service.
+//
+// Submits --jobs=N independent synthetic-DAG jobs to ONE executor (shared
+// workers, shared learned PTT) and reports per-job latency percentiles
+// (p50/p95/p99) per Table-1 policy, under any --scenario= from the catalog.
+// This is the job-stream regime the related scheduling literature evaluates
+// (many applications sharing a runtime) and the layer every future scaling
+// PR — admission control, sharding, cross-tenant priorities — builds on.
+//
+// Two driving modes:
+//   open loop (default; --arrival=poisson:<rate>|fixed:<gap>, default
+//     poisson at ~80% of the measured clean-run service rate):
+//     arrivals follow the process regardless of completions. On the sim
+//     backend the whole arrival trace is submitted up-front as virtual-time
+//     offsets and the stream replays bit-identically from the seed; on rt
+//     the driver paces submissions in wall time.
+//   closed loop (--inflight=K): K jobs are kept in flight; each completion
+//     triggers the next submission — the classic throughput-oriented
+//     driver.
+//
+// Per-job latency = release -> completion (RunResult::makespan_s): on the
+// open loop it includes queueing behind earlier jobs, which is the point.
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "../bench/support.hpp"
+#include "util/time.hpp"
+
+using namespace das;
+using namespace das::bench;
+
+namespace {
+
+struct StreamResult {
+  std::vector<RunResult> jobs;
+  /// The arrival process actually driven (the default open loop derives its
+  /// Poisson rate from a calibration run, so the flag alone can't tell).
+  cli::Arrival effective{};
+};
+
+// One job = one small fork-join synthetic DAG; jobs differ only in their
+// arrival instants, so per-job latency differences isolate queueing and
+// scheduling, not workload variance.
+workloads::SyntheticDagSpec job_spec(const Bench& b) {
+  workloads::SyntheticDagSpec spec =
+      workloads::paper_matmul_spec(b.ids.matmul, /*parallelism=*/4, b.scale);
+  // Keep a single job well under a second of virtual time so an 8..64-job
+  // stream stays interactive on both backends.
+  spec.total_tasks = std::max(20, spec.total_tasks / 8);
+  return spec;
+}
+
+cli::Arrival effective_arrival(const Bench& b, double service_estimate_s) {
+  if (b.arrival) return *b.arrival;
+  // Default: Poisson at ~80% utilisation of the measured service rate.
+  cli::Arrival a;
+  a.kind = cli::Arrival::Kind::kPoisson;
+  a.rate_hz = 0.8 / std::max(service_estimate_s, 1e-9);
+  return a;
+}
+
+/// Inter-arrival gaps for the open loop, drawn once per policy from the
+/// bench seed so sim reruns replay the identical trace.
+std::vector<double> make_gaps(const Bench& b, const cli::Arrival& a) {
+  Xoshiro256 rng(b.seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::vector<double> gaps;
+  gaps.reserve(static_cast<std::size_t>(b.jobs));
+  for (int j = 0; j < b.jobs; ++j) {
+    if (a.kind == cli::Arrival::Kind::kFixed) {
+      gaps.push_back(a.gap_s);
+    } else {
+      // Exponential inter-arrival via inverse CDF on the deterministic RNG.
+      const double u = rng.uniform();
+      gaps.push_back(-std::log(1.0 - u) / a.rate_hz);
+    }
+  }
+  return gaps;
+}
+
+StreamResult run_stream(Bench& b, Policy policy, const SpeedScenario* scenario) {
+  ExecutorConfig cfg = b.make_config();
+  auto exec = b.make(policy, scenario, cfg);
+  const workloads::SyntheticDagSpec spec = job_spec(b);
+
+  // Calibration run (not measured): trains the PTT a little and yields the
+  // service-time estimate the default arrival rate derives from.
+  const Dag warmup = workloads::make_synthetic_dag(spec);
+  const double service_estimate_s = exec->run(warmup).makespan_s;
+  exec->reset_stats();  // the measured stream starts from zeroed counters
+
+  // DAGs must outlive their jobs: build the whole stream up-front.
+  std::vector<Dag> dags;
+  dags.reserve(static_cast<std::size_t>(b.jobs));
+  for (int j = 0; j < b.jobs; ++j)
+    dags.push_back(workloads::make_synthetic_dag(spec));
+
+  const cli::Arrival eff = effective_arrival(b, service_estimate_s);
+  StreamResult out;
+  out.effective = eff;
+  if (b.inflight > 0) {
+    // Closed loop: keep K jobs in flight; completions trigger submissions.
+    std::vector<JobId> window;
+    int next = 0;
+    while (next < b.jobs && static_cast<int>(window.size()) < b.inflight)
+      window.push_back(exec->submit(dags[static_cast<std::size_t>(next++)]));
+    std::size_t head = 0;
+    while (head < window.size()) {
+      out.jobs.push_back(exec->wait(window[head++]));
+      if (next < b.jobs)
+        window.push_back(exec->submit(dags[static_cast<std::size_t>(next++)]));
+    }
+  } else {
+    const std::vector<double> gaps = make_gaps(b, eff);
+    if (b.backend == Backend::kSim) {
+      // Open loop on the DES: the full arrival trace goes in as virtual-time
+      // offsets; the interleave is a pure function of (seed, trace).
+      double offset = 0.0;
+      std::vector<JobId> ids;
+      for (int j = 0; j < b.jobs; ++j) {
+        offset += gaps[static_cast<std::size_t>(j)];
+        ids.push_back(exec->submit(dags[static_cast<std::size_t>(j)], offset));
+      }
+      for (JobId id : ids) out.jobs.push_back(exec->wait(id));
+    } else {
+      // Open loop on the real runtime: pace arrivals in wall time (sleep,
+      // not busy-wait — the submitter must not steal cycles from workers).
+      std::vector<JobId> ids;
+      for (int j = 0; j < b.jobs; ++j) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            s_to_ns(gaps[static_cast<std::size_t>(j)])));
+        ids.push_back(exec->submit(dags[static_cast<std::size_t>(j)]));
+      }
+      for (JobId id : ids) out.jobs.push_back(exec->wait(id));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Bench b(argc, argv, "job_stream", /*job_stream_flags=*/true);
+  if (!b.scale_explicit && b.backend == Backend::kRt) b.scale = 0.01;
+  if (!b.jobs_explicit) b.jobs = 16;  // a 1-job "stream" has no percentiles
+  print_backend(b);
+  std::cout << "jobs " << b.jobs
+            << (b.inflight > 0
+                    ? "  closed loop, inflight " + std::to_string(b.inflight)
+                    : std::string("  open loop"))
+            << "\n";
+
+  const SpeedScenario scenario =
+      b.make_scenario(b.topo, [](SpeedScenario&) { /* clean by default */ });
+
+  print_title("Job stream: per-job latency [s] by scheduler");
+  TextTable t({"scheduler", "p50", "p95", "p99", "mean", "max", "stream [s]"});
+  for (Policy p : b.policies()) {
+    const StreamResult r = run_stream(b, p, &scenario);
+    std::vector<double> lat;
+    double sum = 0.0, max = 0.0, last_finish = 0.0;
+    for (const RunResult& j : r.jobs) {
+      lat.push_back(j.makespan_s);
+      sum += j.makespan_s;
+      max = std::max(max, j.makespan_s);
+      last_finish = std::max(last_finish, j.arrival_s + j.makespan_s);
+    }
+    const double first_arrival = r.jobs.front().arrival_s;
+    t.row()
+        .add(policy_name(p))
+        .add(percentile(lat, 0.50), 4)
+        .add(percentile(lat, 0.95), 4)
+        .add(percentile(lat, 0.99), 4)
+        .add(sum / static_cast<double>(lat.size()), 4)
+        .add(max, 4)
+        .add(last_finish - first_arrival, 4);
+    b.report_job_stream("job stream", r.jobs, r.effective);
+  }
+  t.print(std::cout);
+  return b.finish();
+}

@@ -22,6 +22,8 @@
 //                        busy-work — full paper scale takes minutes)
 //   --seed=N             RNG seed (default: kFigureSeed = 2020)
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -42,7 +44,21 @@ namespace das::bench {
 
 inline constexpr std::uint64_t kFigureSeed = 2020;  // ICPP'20
 inline constexpr double kRtDefaultScale = 0.02;
-inline constexpr int kResultSchemaVersion = 1;
+/// Schema v2 = v1 (unchanged fields) + optional per-run job-stream data:
+/// "jobs", "latency_s" percentiles, "arrival" metadata, "per_job" records
+/// (see report_job_stream and README "JSON result schema").
+inline constexpr int kResultSchemaVersion = 2;
+
+/// Latency percentile over `values` (q in [0,1], nearest-rank method).
+inline double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t idx = std::min(
+      n - 1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) -
+                 (q > 0.0 ? 1 : 0));
+  return values[idx];
+}
 
 /// Converts one rank's stats snapshot into the JSON record shape documented
 /// in README.md ("JSON result schema").
@@ -73,14 +89,35 @@ struct Bench {
     ids = kernels::register_paper_kernels(registry);
   }
 
-  /// Parses the common bench flags (see the header comment).
-  Bench(int argc, char* const* argv, std::string bench_name)
+  /// Parses the common bench flags (see the header comment). Benches that
+  /// drive a job stream pass job_stream_flags=true to additionally accept
+  /// --jobs=N, --arrival=poisson:<rate>|fixed:<gap> and --inflight=K
+  /// (cli::kJobStreamFlagsUsage).
+  Bench(int argc, char* const* argv, std::string bench_name,
+        bool job_stream_flags = false)
       : Bench(std::move(bench_name)) {
     cli::Flags flags(argc, argv);
-    cli::maybe_help(flags, cli::kCommonFlagsUsage);
+    cli::maybe_help(flags, job_stream_flags
+                               ? std::string(cli::kCommonFlagsUsage) + " " +
+                                     cli::kJobStreamFlagsUsage
+                               : std::string(cli::kCommonFlagsUsage));
     cli::require_no_positionals(flags);
-    flags.require_known(
-        {"backend", "policy", "scenario", "json", "scale", "seed", "help"});
+    if (job_stream_flags) {
+      flags.require_known({"backend", "policy", "scenario", "json", "scale",
+                           "seed", "help", "jobs", "arrival", "inflight"});
+      jobs_explicit = flags.has("jobs");
+      jobs = static_cast<int>(flags.get_int("jobs", jobs));
+      if (jobs < 1) cli::die("--jobs must be >= 1");
+      inflight = static_cast<int>(flags.get_int("inflight", inflight));
+      if (inflight < 0) cli::die("--inflight must be >= 0 (0 = open loop)");
+      arrival = cli::arrival_flag(flags);
+      if (arrival && inflight > 0)
+        cli::die("--arrival (open loop) and --inflight (closed loop) are "
+                 "mutually exclusive");
+    } else {
+      flags.require_known(
+          {"backend", "policy", "scenario", "json", "scale", "seed", "help"});
+    }
     backend = backend_flag(flags, backend);
     scale_explicit = flags.has("scale");
     scale = flags.get_double("scale",
@@ -194,6 +231,75 @@ struct Bench {
     runs.push_back(std::move(rec));
   }
 
+  /// The JSON "arrival" metadata of a job stream: the process the driver
+  /// used ("poisson" | "fixed" | "closed" | "batch") and its parameter.
+  /// `effective` overrides the parsed --arrival flag for drivers that
+  /// derive their default process at run time (job_stream's calibrated
+  /// Poisson rate); --inflight (closed loop) always wins.
+  json::Value arrival_meta(
+      const std::optional<cli::Arrival>& effective = std::nullopt) const {
+    const std::optional<cli::Arrival>& a = effective ? effective : arrival;
+    json::Value m = json::Value::object();
+    if (inflight > 0) {
+      m.set("mode", "closed");
+      m.set("inflight", std::int64_t{inflight});
+    } else if (a && a->kind == cli::Arrival::Kind::kPoisson) {
+      m.set("mode", "poisson");
+      m.set("rate_hz", a->rate_hz);
+    } else if (a) {
+      m.set("mode", "fixed");
+      m.set("gap_s", a->gap_s);
+    } else {
+      m.set("mode", "batch");  // all jobs released together
+    }
+    return m;
+  }
+
+  /// Records one job stream (schema v2): every v1 per-run field (taken from
+  /// the stream's last-completed job, whose snapshot carries the cumulative
+  /// stats), plus "jobs", per-job "latency_s" p50/p95/p99 and the stream's
+  /// arrival metadata (`effective` as in arrival_meta). No-op without
+  /// --json=.
+  void report_job_stream(const std::string& label,
+                         const std::vector<RunResult>& stream,
+                         std::optional<cli::Arrival> effective = std::nullopt,
+                         json::Value extra = json::Value::object()) {
+    if (!runs.is_array() || stream.empty()) return;
+    std::vector<double> latencies;
+    latencies.reserve(stream.size());
+    json::Value per_job = json::Value::array();
+    for (const RunResult& r : stream) {
+      latencies.push_back(r.makespan_s);
+      json::Value j = json::Value::object();
+      j.set("job", r.job);
+      j.set("arrival_s", r.arrival_s);
+      j.set("latency_s", r.makespan_s);
+      per_job.push_back(std::move(j));
+    }
+    json::Value lat = json::Value::object();
+    lat.set("p50", percentile(latencies, 0.50));
+    lat.set("p95", percentile(latencies, 0.95));
+    lat.set("p99", percentile(latencies, 0.99));
+    double sum = 0.0, max = 0.0;
+    for (double l : latencies) {
+      sum += l;
+      max = std::max(max, l);
+    }
+    lat.set("mean", sum / static_cast<double>(latencies.size()));
+    lat.set("max", max);
+
+    std::int64_t stream_tasks = 0;
+    for (const RunResult& r : stream) stream_tasks += r.tasks;
+    json::Value rec = json::Value::object();
+    rec.set("jobs", static_cast<std::int64_t>(stream.size()));
+    rec.set("tasks_stream_total", stream_tasks);
+    rec.set("latency_s", std::move(lat));
+    rec.set("arrival", arrival_meta(effective));
+    rec.set("per_job", std::move(per_job));
+    for (const auto& [key, value] : extra.members()) rec.set(key, value);
+    report(label, stream.back(), std::move(rec));
+  }
+
   /// Records a bench-specific object as-is (for benches whose rows are not
   /// engine runs, e.g. the Table-1 feature matrix). No-op without --json=.
   void report_raw(json::Value rec) {
@@ -234,6 +340,11 @@ struct Bench {
   double scale = 1.0;
   bool scale_explicit = false;  ///< --scale was given on the command line
   std::uint64_t seed = kFigureSeed;
+  // Job-stream flags (parsed only when the bench opts in; see ctor).
+  int jobs = 1;       ///< --jobs=N: jobs per measured stream
+  bool jobs_explicit = false;  ///< --jobs was given on the command line
+  int inflight = 0;   ///< --inflight=K: closed loop concurrency; 0 = open
+  std::optional<cli::Arrival> arrival;  ///< --arrival=; nullopt = batch
   std::vector<Policy> policy_filter;
   std::optional<scenario::ScenarioSpec> scenario_override;
   std::string json_path;

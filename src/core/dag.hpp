@@ -18,6 +18,13 @@ namespace das {
 using NodeId = std::int32_t;
 inline constexpr NodeId kInvalidNode = -1;
 
+/// Identity of one submitted DAG (a *job*) inside an engine's job service.
+/// Engines allocate ids monotonically per engine instance; task records carry
+/// their job id so multiple DAGs can interleave on the same workers, queues
+/// and PTT (the runtime is persistent — paper §4.1.1).
+using JobId = std::int64_t;
+inline constexpr JobId kInvalidJob = -1;
+
 /// Context a participant receives when executing (real-thread engine).
 struct ExecContext {
   int rank = 0;    ///< 0..width-1; rank 0 need not be the leader core

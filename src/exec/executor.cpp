@@ -78,18 +78,75 @@ SpeedScenario build_scenario_or_exit(const scenario::ScenarioSpec& spec,
   }
 }
 
-RunResult Executor::run(const Dag& dag) {
+JobId Executor::submit(const Dag& dag, double arrival_offset_s) {
+  DAS_CHECK_MSG(arrival_offset_s >= 0.0,
+                "submit: arrival offset must be >= 0");
+  const JobTicket ticket = submit_job(dag, arrival_offset_s);
+  std::lock_guard<std::mutex> g(pending_mu_);
+  pending_.emplace(ticket.id, Pending{ticket.arrival_s, dag.num_nodes()});
+  return ticket.id;
+}
+
+RunResult Executor::wait(JobId id) {
+  // Claim (erase) the pending entry BEFORE blocking: exactly one waiter can
+  // own a job, so a concurrent drain()/wait() on the same id fails fast
+  // here instead of racing into the engine.
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> g(pending_mu_);
+    const auto it = pending_.find(id);
+    DAS_CHECK_MSG(it != pending_.end(),
+                  "job " + std::to_string(id) +
+                      " was not submitted through this executor (or was "
+                      "already waited)");
+    pending = it->second;
+    pending_.erase(it);
+  }
+  return finish_wait(id, pending);
+}
+
+RunResult Executor::finish_wait(JobId id, const Pending& pending) {
   RunResult r;
-  r.makespan_s = run_makespan(dag);
-  r.tasks = dag.num_nodes();
-  r.tasks_per_s = r.makespan_s > 0.0 ? dag.num_nodes() / r.makespan_s : 0.0;
+  r.makespan_s = wait_job(id);
+  r.tasks = pending.tasks;
+  r.tasks_per_s = r.makespan_s > 0.0
+                      ? static_cast<double>(pending.tasks) / r.makespan_s
+                      : 0.0;
   r.backend = backend();
   r.policy = policy_kind();
+  r.job = id;
+  r.arrival_s = pending.arrival_s;
   r.stats.reserve(static_cast<std::size_t>(num_ranks()));
   for (int rank = 0; rank < num_ranks(); ++rank)
     r.stats.push_back(stats(rank).snapshot());
   r.timeline = timeline_;
   return r;
+}
+
+std::vector<RunResult> Executor::drain() {
+  // Claim one unclaimed job at a time (lowest id first = submission order):
+  // the claim and the erase are one critical section, so jobs another
+  // thread already claimed are simply not ours to drain and drain()
+  // composes with concurrent wait()ers on the rt backend.
+  std::vector<RunResult> results;
+  for (;;) {
+    JobId id;
+    Pending pending;
+    {
+      std::lock_guard<std::mutex> g(pending_mu_);
+      if (pending_.empty()) break;
+      const auto it = pending_.begin();
+      id = it->first;
+      pending = it->second;
+      pending_.erase(it);
+    }
+    results.push_back(finish_wait(id, pending));
+  }
+  return results;
+}
+
+void Executor::reset_stats() {
+  for (int rank = 0; rank < num_ranks(); ++rank) stats(rank).reset();
 }
 
 namespace {
@@ -146,7 +203,11 @@ class SimExecutor final : public Executor {
   PttStore& ptt(int rank = 0) override { return engine_.ptt(rank); }
 
  protected:
-  double run_makespan(const Dag& dag) override { return engine_.run(dag); }
+  JobTicket submit_job(const Dag& dag, double arrival_offset_s) override {
+    const JobId id = engine_.submit(dag, arrival_offset_s);
+    return JobTicket{id, engine_.now() + arrival_offset_s};
+  }
+  double wait_job(JobId id) override { return engine_.wait(id); }
 
  private:
   OwnedScenarios owned_scenarios_;  // declared before engine_: outlives it
@@ -183,7 +244,16 @@ class RtExecutor final : public Executor {
   }
 
  protected:
-  double run_makespan(const Dag& dag) override { return runtime_.run(dag); }
+  JobTicket submit_job(const Dag& dag, double arrival_offset_s) override {
+    // The real runtime cannot defer a release on a virtual clock: open-loop
+    // drivers pace rt arrivals in wall time and submit with offset 0.
+    DAS_CHECK_MSG(arrival_offset_s == 0.0,
+                  "Backend::kRt cannot schedule future arrivals; submit with "
+                  "offset 0 and pace arrivals in wall time");
+    const double arrival = runtime_.scenario_now();
+    return JobTicket{runtime_.submit(dag), arrival};
+  }
+  double wait_job(JobId id) override { return runtime_.wait(id); }
 
  private:
   OwnedScenarios owned_scenarios_;  // declared before runtime_: outlives it

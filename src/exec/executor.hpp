@@ -11,7 +11,10 @@
 //     RunResult r = exec->run(dag);
 //
 // and can switch engines by flipping the Backend value — typically from a
-// `--backend=sim|rt` command-line flag (util/cli.hpp). ExecutorConfig holds
+// `--backend=sim|rt` command-line flag (util/cli.hpp). The facade is a job
+// service: `submit(dag)` / `wait(job)` / `drain()` execute a stream of
+// independent DAGs concurrently on one worker pool and one learned PTT;
+// `run()` is the submit+wait sugar shown above. ExecutorConfig holds
 // the options shared by both engines (seed, scenario, policy tunables, PTT
 // ratio, stats phases) plus per-backend sub-structs for the knobs only one
 // engine understands. run() returns a structured RunResult (makespan,
@@ -24,7 +27,9 @@
 // engine-agnostically so drivers can open/close interference windows at
 // application-level boundaries on either backend (paper Fig. 9).
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -130,15 +135,23 @@ struct ExecutorConfig {
   } sim;
 };
 
-/// Structured result of one Executor::run() call.
+/// Structured result of one job (one submitted DAG): what run() returns and
+/// what wait()/drain() return per job.
 struct RunResult {
-  double makespan_s = 0.0;   ///< virtual (sim) or wall (rt) seconds
-  double tasks_per_s = 0.0;  ///< this run's tasks / makespan_s
-  std::int64_t tasks = 0;    ///< nodes executed in this run
+  double makespan_s = 0.0;   ///< job latency: release -> completion, virtual
+                             ///< (sim) or wall (rt) seconds
+  double tasks_per_s = 0.0;  ///< this job's tasks / makespan_s
+  std::int64_t tasks = 0;    ///< nodes executed by this job
   Backend backend = Backend::kSim;
   Policy policy = Policy::kRws;
-  /// One snapshot per rank (scheduling domain), taken after the run.
-  /// Counters accumulate across runs on the same executor.
+  JobId job = kInvalidJob;   ///< the job's id within its executor
+  /// Engine clock at the job's release (sim: virtual arrival instant; rt:
+  /// scenario_now() at submit) — the arrival metadata job-stream benches
+  /// export next to the latency percentiles.
+  double arrival_s = 0.0;
+  /// One snapshot per rank (scheduling domain), taken when the job was
+  /// waited. Counters accumulate across jobs on the same executor (see
+  /// Executor::reset_stats()).
   std::vector<StatsSnapshot> stats;
   /// The config's timeline, when the backend recorded into one; else null.
   const Timeline* timeline = nullptr;
@@ -146,16 +159,52 @@ struct RunResult {
 
 /// Engine-agnostic handle. Obtain via make_executor(); all engine state
 /// (workers, PTT, stats, clock) lives for the handle's lifetime.
+///
+/// The executor is a *job service*: submit() registers a DAG as a job
+/// without blocking, wait() blocks until one job completes, drain() waits
+/// for everything in flight. Jobs in flight concurrently share the worker
+/// pool, the queues and the learned PTT — the persistent-runtime regime of
+/// paper §4.1.1. run() remains the submit+wait sugar every one-shot driver
+/// uses. On Backend::kRt the job API is thread-safe (multiple submitter
+/// threads may drive one executor); on Backend::kSim the event loop is
+/// single-threaded — drive a sim executor from one thread.
 class Executor {
  public:
   virtual ~Executor() = default;
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Executes every task of `dag`. Callable repeatedly; the PTT keeps
-  /// learning and stats accumulate across runs (iterative applications keep
-  /// their learned model, like a persistent runtime).
-  RunResult run(const Dag& dag);
+  /// Registers `dag` as a job and releases it to the engine; returns
+  /// immediately. `dag` must stay alive until the job has been waited.
+  /// `arrival_offset_s` delays the release on the engine's clock — the DES
+  /// schedules the roots at now() + offset in virtual time, which is how a
+  /// job stream's arrival trace is replayed deterministically. The real
+  /// runtime has no virtual clock to defer on: it requires offset == 0
+  /// (open-loop rt drivers pace arrivals in wall time instead).
+  JobId submit(const Dag& dag, double arrival_offset_s = 0.0);
+
+  /// Blocks until job `id` completes; returns its structured result
+  /// (makespan_s = release -> completion latency). Each job can be waited
+  /// exactly once; waiting an unknown/already-waited id throws.
+  RunResult wait(JobId id);
+
+  /// Waits for every job still in flight, in submission order; returns
+  /// their results (ordered by JobId). Empty when nothing is in flight.
+  std::vector<RunResult> drain();
+
+  /// Executes every task of `dag`: submit + wait sugar. Callable
+  /// repeatedly; the PTT keeps learning and stats accumulate across runs
+  /// (iterative applications keep their learned model, like a persistent
+  /// runtime).
+  RunResult run(const Dag& dag) { return wait(submit(dag)); }
+
+  /// Zeroes every rank's counters (task counts, busy time, elapsed).
+  /// Stats ACCUMULATE across runs/jobs by default — multi-run bench deltas
+  /// are silently skewed unless the driver resets between measurement
+  /// sections. The learned PTT and the engine clock are NOT reset: the
+  /// performance model persisting across jobs is the paper's point.
+  /// Call only while no job is in flight.
+  void reset_stats();
 
   virtual Backend backend() const = 0;
   Policy policy_kind() const { return policy_kind_; }
@@ -173,12 +222,31 @@ class Executor {
  protected:
   Executor(Policy policy, const Timeline* timeline)
       : policy_kind_(policy), timeline_(timeline) {}
-  /// Engine-specific execution; returns the run's makespan in seconds.
-  virtual double run_makespan(const Dag& dag) = 0;
+
+  /// A submitted job's identity plus its release instant on the engine
+  /// clock (RunResult::arrival_s).
+  struct JobTicket {
+    JobId id = kInvalidJob;
+    double arrival_s = 0.0;
+  };
+  /// Engine-specific submission; must not block on job execution.
+  virtual JobTicket submit_job(const Dag& dag, double arrival_offset_s) = 0;
+  /// Engine-specific completion latch; returns the job's makespan seconds.
+  virtual double wait_job(JobId id) = 0;
 
  private:
   Policy policy_kind_;
   const Timeline* timeline_;
+
+  struct Pending {
+    double arrival_s = 0.0;
+    std::int64_t tasks = 0;
+  };
+  /// Blocks on the claimed job and assembles its RunResult.
+  RunResult finish_wait(JobId id, const Pending& pending);
+
+  std::mutex pending_mu_;
+  std::map<JobId, Pending> pending_;  // guarded by pending_mu_
 };
 
 /// Single-domain factory: one topology, optional scenario in `config`.

@@ -46,21 +46,25 @@ Runtime::~Runtime() {
 
 double Runtime::scenario_now() const { return ns_to_s(now_ns() - epoch_ns_); }
 
-void Runtime::submit_roots(const Dag& dag) {
+int Runtime::jobs_in_flight() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return static_cast<int>(jobs_.size());
+}
+
+void Runtime::submit_roots(Job& job) {
+  const Dag& dag = *job.dag;
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
     const DagNode& n = dag.node(i);
     if (n.num_predecessors != 0) continue;
     const int waking = n.affinity_core >= 0 ? n.affinity_core : 0;
     DAS_CHECK(waking < topo_->num_cores());
-    wake_task(&records_[static_cast<std::size_t>(i)], waking,
+    wake_task(&job.records[static_cast<std::size_t>(i)], waking,
               /*caller_is_worker=*/false);
   }
 }
 
-double Runtime::run(const Dag& dag) {
+JobId Runtime::submit(const Dag& dag) {
   DAS_CHECK(dag.num_nodes() > 0);
-  DAS_CHECK_MSG(!run_active_.load(std::memory_order_acquire),
-                "run() is not reentrant");
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
     const DagNode& n = dag.node(i);
     DAS_CHECK_MSG(n.rank == 0, "the threaded runtime executes single-rank DAGs"
@@ -69,33 +73,47 @@ double Runtime::run(const Dag& dag) {
                   "node without work closure needs a cost model to emulate");
   }
 
-  num_records_ = static_cast<std::size_t>(dag.num_nodes());
-  records_ = std::make_unique<TaskRec[]>(num_records_);
+  auto job = std::make_unique<Job>();
+  job->dag = &dag;
+  job->records = std::make_unique<TaskRec[]>(static_cast<std::size_t>(dag.num_nodes()));
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
-    TaskRec& r = records_[static_cast<std::size_t>(i)];
+    TaskRec& r = job->records[static_cast<std::size_t>(i)];
     r.node = &dag.node(i);
     r.id = i;
+    r.job = job.get();
     r.preds.store(r.node->num_predecessors, std::memory_order_relaxed);
   }
+  job->outstanding.store(dag.num_nodes(), std::memory_order_release);
+  job->submit_ns = now_ns();
 
-  outstanding_.store(dag.num_nodes(), std::memory_order_release);
-  const std::int64_t t0 = now_ns();
+  Job* raw = job.get();
   {
     std::lock_guard<std::mutex> g(mu_);
-    run_active_.store(true, std::memory_order_release);
-    ++epoch_;
+    raw->id = next_job_++;
+    jobs_.emplace(raw->id, std::move(job));
+    // Open the stats busy-window when the pool goes idle -> active.
+    if (active_jobs_.fetch_add(1, std::memory_order_acq_rel) == 0)
+      busy_window_start_ns_ = raw->submit_ns;
   }
-  // Roots are submitted while workers may already be spinning up: queues are
-  // thread-safe and a worker finding nothing simply retries.
-  submit_roots(dag);
+  // Roots are released while workers may already be spinning up or busy with
+  // other jobs: queues are thread-safe and a worker finding nothing retries.
+  submit_roots(*raw);
   cv_.notify_all();
+  return raw->id;
+}
 
-  {
-    std::unique_lock<std::mutex> g(mu_);
-    cv_.wait(g, [this] { return !run_active_.load(std::memory_order_acquire); });
-  }
-  const double elapsed = ns_to_s(now_ns() - t0);
-  stats_->set_elapsed(stats_->elapsed_s() + elapsed);
+double Runtime::wait(JobId id) {
+  std::unique_lock<std::mutex> g(mu_);
+  const auto it = jobs_.find(id);
+  DAS_CHECK_MSG(it != jobs_.end(),
+                "job " + std::to_string(id) + " is not in flight");
+  // The Job* stays valid across the unlock (unordered_map never moves its
+  // mapped values); the ITERATOR does not — a concurrent submit() can
+  // rehash jobs_ while cv_.wait has mu_ released — so re-erase by key.
+  Job* job = it->second.get();
+  cv_.wait(g, [&] { return job->done; });
+  const double elapsed = ns_to_s(job->done_ns - job->submit_ns);
+  jobs_.erase(id);  // the latch fired: no worker touches this job any more
   return elapsed;
 }
 

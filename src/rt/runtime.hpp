@@ -18,6 +18,16 @@
 // AQs of the place's cores -> cooperative execution -> last finisher updates
 // the PTT and wakes dependents.
 //
+// Job service: the runtime executes a *stream* of independent DAGs (jobs).
+// submit() registers a job and releases its roots into the worker queues
+// immediately; wait() blocks until that job's last task finishes and returns
+// its wall-clock latency (submit -> completion). Jobs in flight concurrently
+// interleave on the same workers, inboxes, WSQs and shared PTT — the
+// persistent-runtime regime of paper §4.1.1, where the performance model
+// keeps learning across application phases. submit() and wait() are
+// thread-safe: multiple submitter threads may drive one runtime. run()
+// remains submit+wait sugar for the one-shot case.
+//
 // Asymmetry is emulated: when an RtOptions::scenario is given, every
 // participation is stretched by busy-waiting to the wall time a core of that
 // effective speed would need (platform/throttle.hpp explains why this
@@ -28,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/dag.hpp"
@@ -64,9 +75,21 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Executes every task of `dag`, returns wall seconds for this run.
-  /// Callable repeatedly; workers, PTT state and stats persist across runs.
-  double run(const Dag& dag);
+  /// Registers `dag` as a job and releases its roots to the workers without
+  /// blocking. `dag` must stay alive until the job has been wait()ed.
+  /// Thread-safe: concurrent submitters interleave their jobs on the shared
+  /// worker pool and PTT.
+  JobId submit(const Dag& dag);
+
+  /// Blocks until job `id` completes; returns its wall-clock latency in
+  /// seconds (submit -> last task finished). Each job can be waited exactly
+  /// once; waiting an unknown/already-waited id throws.
+  double wait(JobId id);
+
+  /// Executes every task of `dag`, returns wall seconds for this run
+  /// (submit + wait). Callable repeatedly and concurrently; workers, PTT
+  /// state and stats persist across runs.
+  double run(const Dag& dag) { return wait(submit(dag)); }
 
   const Topology& topology() const { return *topo_; }
   ExecutionStats& stats() { return *stats_; }
@@ -78,11 +101,16 @@ class Runtime {
   /// the RtOptions::scenario (drivers use it to open/close interference
   /// windows at application-level boundaries, cf. the paper's Fig. 9).
   double scenario_now() const;
+  /// Jobs submitted but not yet wait()ed to completion.
+  int jobs_in_flight() const;
 
  private:
+  struct Job;  // fwd
+
   struct TaskRec {
     const DagNode* node = nullptr;
     NodeId id = kInvalidNode;
+    Job* job = nullptr;             // owning job (set before publication)
     std::atomic<int> preds{0};
     bool has_fixed_place = false;   // written before publication
     ExecutionPlace place{};
@@ -90,6 +118,20 @@ class Runtime {
     std::atomic<int> departures{0};
     std::atomic<std::int64_t> start_ns{0};
     std::atomic<std::int64_t> max_busy_ns{0};  ///< slowest participant
+  };
+
+  /// One in-flight job: its record block (one TaskRec per node) and a
+  /// completion latch. `outstanding` counts unfinished tasks; the worker
+  /// that drops it to zero marks the job done under mu_ and broadcasts
+  /// cv_ — the per-job latch every wait(id) blocks on.
+  struct Job {
+    JobId id = kInvalidJob;
+    const Dag* dag = nullptr;
+    std::unique_ptr<TaskRec[]> records;
+    std::atomic<std::int64_t> outstanding{0};
+    std::int64_t submit_ns = 0;
+    std::int64_t done_ns = 0;
+    bool done = false;  // guarded by mu_
   };
 
   struct alignas(kCacheLine) Worker {
@@ -112,10 +154,10 @@ class Runtime {
   /// (enables the owner-only WSQ fast path; the submitter passes false).
   void wake_task(TaskRec* task, int waking_core, bool caller_is_worker);
   void push_stealable(int target_core, TaskRec* task, bool from_owner);
-  void complete_run_if_drained();
+  void complete_job(Job* job);
 
   // runtime.cpp
-  void submit_roots(const Dag& dag);
+  void submit_roots(Job& job);
 
   const Topology* topo_;
   const TaskTypeRegistry* registry_;
@@ -129,16 +171,20 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   bool pinned_ = true;
 
-  // Run/epoch coordination.
-  std::mutex mu_;
+  // Job coordination. jobs_ and the per-job `done` flags are guarded by
+  // mu_; cv_ is both the worker parking lot (armed by active_jobs_) and the
+  // per-job completion latch. active_jobs_ is additionally atomic so the
+  // worker spin loop can poll it without taking mu_.
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::uint64_t epoch_ = 0;       // bumped per run() under mu_
   bool shutdown_ = false;
-  std::atomic<std::int64_t> outstanding_{0};
-  std::atomic<bool> run_active_{false};
-
-  std::unique_ptr<TaskRec[]> records_;  // one per DAG node, per run
-  std::size_t num_records_ = 0;
+  std::atomic<int> active_jobs_{0};
+  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;  // guarded by mu_
+  JobId next_job_ = 0;                                    // guarded by mu_
+  // Stats attribution: elapsed accumulates only wall time while >= 1 job is
+  // in flight (the union of job windows), so overlapping jobs are not
+  // double-counted and sequential runs sum exactly as before.
+  std::int64_t busy_window_start_ns_ = 0;  // guarded by mu_
 };
 
 }  // namespace das::rt

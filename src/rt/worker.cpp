@@ -24,19 +24,19 @@ void Runtime::worker_loop(int core) {
     if (!pin_current_thread(core)) pinned_ = false;
   }
   Worker& self = *workers_[static_cast<std::size_t>(core)];
-  std::uint64_t seen_epoch = 0;
 
   for (;;) {
-    // Park until a run starts (or shutdown).
+    // Park until at least one job is in flight (or shutdown).
     {
       std::unique_lock<std::mutex> g(mu_);
-      cv_.wait(g, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      cv_.wait(g, [&] {
+        return shutdown_ || active_jobs_.load(std::memory_order_acquire) > 0;
+      });
       if (shutdown_) return;
-      seen_epoch = epoch_;
     }
 
     int idle_spins = 0;
-    while (run_active_.load(std::memory_order_acquire)) {
+    while (active_jobs_.load(std::memory_order_acquire) > 0) {
       if (try_make_progress(core)) {
         idle_spins = 0;
         continue;
@@ -181,14 +181,15 @@ void Runtime::participate(int core, TaskRec* task) {
                          ns_to_s(task->max_busy_ns.load(std::memory_order_acquire)));
   stats_->record_task_at(node.priority, topo_->place_id(task->place), span,
                          node.phase);
+  Job* job = task->job;
   for (const DagEdge& e : node.successors) {
-    TaskRec* succ = &records_[static_cast<std::size_t>(e.to)];
+    TaskRec* succ = &job->records[static_cast<std::size_t>(e.to)];
     if (succ->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       wake_task(succ, core, /*caller_is_worker=*/true);
     }
   }
-  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    complete_run_if_drained();
+  if (job->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    complete_job(job);
   }
 }
 
@@ -230,9 +231,19 @@ void Runtime::push_stealable(int target_core, TaskRec* task, bool from_owner) {
   target.feeder.push_back(task);
 }
 
-void Runtime::complete_run_if_drained() {
-  std::lock_guard<std::mutex> g(mu_);
-  run_active_.store(false, std::memory_order_release);
+void Runtime::complete_job(Job* job) {
+  const std::int64_t done_ns = now_ns();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    job->done_ns = done_ns;
+    job->done = true;  // fires the per-job latch wait(id) blocks on
+    // Close the stats busy-window when the pool goes active -> idle:
+    // elapsed accumulates the union of job windows, so overlapping jobs are
+    // counted once and sequential runs sum exactly as before.
+    if (active_jobs_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      stats_->set_elapsed(stats_->elapsed_s() +
+                          ns_to_s(done_ns - busy_window_start_ns_));
+  }
   cv_.notify_all();
 }
 

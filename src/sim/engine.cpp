@@ -51,6 +51,13 @@ int SimEngine::local_core(int core) const {
   return core - ranks_[static_cast<std::size_t>(rank_of_core(core))].first_core;
 }
 
+SimEngine::Job& SimEngine::job_of(JobId id) {
+  const auto it = jobs_.find(id);
+  DAS_CHECK_MSG(it != jobs_.end(),
+                "job " + std::to_string(id) + " is not in flight");
+  return it->second;
+}
+
 ExecutionStats& SimEngine::stats(int rank) {
   DAS_CHECK(rank >= 0 && rank < num_ranks());
   return *ranks_[static_cast<std::size_t>(rank)].stats;
@@ -72,8 +79,8 @@ PttStore& SimEngine::ptt(int rank) {
 }
 
 double SimEngine::completion_time(NodeId id) const {
-  DAS_CHECK(id >= 0 && id < static_cast<NodeId>(tasks_.size()));
-  return tasks_[static_cast<std::size_t>(id)].completion;
+  DAS_CHECK(id >= 0 && id < static_cast<NodeId>(last_waited_tasks_.size()));
+  return last_waited_tasks_[static_cast<std::size_t>(id)].completion;
 }
 
 double SimEngine::lognormal_noise(double sigma) {
@@ -90,13 +97,10 @@ double SimEngine::lognormal_noise(double sigma) {
   return std::exp(sigma * z);
 }
 
-double SimEngine::run(const Dag& dag) {
+JobId SimEngine::submit(const Dag& dag, double arrival_offset_s) {
   DAS_CHECK(dag.num_nodes() > 0);
-  dag_ = &dag;
-  const double t_start = now_;
-
-  tasks_.assign(static_cast<std::size_t>(dag.num_nodes()), TaskState{});
-  completed_ = 0;
+  DAS_CHECK_MSG(arrival_offset_s >= 0.0,
+                "submit: arrival offset must be >= 0");
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
     const DagNode& n = dag.node(i);
     DAS_CHECK_MSG(n.rank >= 0 && n.rank < num_ranks(),
@@ -104,49 +108,74 @@ double SimEngine::run(const Dag& dag) {
     DAS_CHECK_MSG(registry_->info(n.type).cost != nullptr,
                   "task type '" + registry_->info(n.type).name +
                       "' has no cost model; the DES cannot execute it");
-    tasks_[static_cast<std::size_t>(i)].preds = n.num_predecessors;
   }
 
-  // Submit roots: released "from" their rank's core 0 (or the affinity
-  // core), in node order at t_start.
+  const JobId id = next_job_++;
+  Job job;
+  job.dag = &dag;
+  job.release_s = now_ + arrival_offset_s;
+  job.tasks.assign(static_cast<std::size_t>(dag.num_nodes()), TaskState{});
+  for (NodeId i = 0; i < dag.num_nodes(); ++i)
+    job.tasks[static_cast<std::size_t>(i)].preds = dag.node(i).num_predecessors;
+
+  // Release the roots "from" their rank's core 0 (or the affinity core), in
+  // node order at the job's arrival instant.
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
     const DagNode& n = dag.node(i);
     if (n.num_predecessors != 0) continue;
     const int local = n.affinity_core >= 0 ? n.affinity_core : 0;
     DAS_CHECK(local < ranks_[static_cast<std::size_t>(n.rank)].topo->num_cores());
-    events_.push(t_start, Event{Ev::kRoot, -1, i, global_core(n.rank, local), 0.0});
+    events_.push(job.release_s,
+                 Event{Ev::kRoot, -1, id, i, global_core(n.rank, local), 0.0});
   }
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
 
-  while (!events_.empty()) {
-    auto item = events_.pop();
-    DAS_ASSERT(item.time + 1e-12 >= now_);
-    now_ = std::max(now_, item.time);
-    const Event& e = item.payload;
-    switch (e.kind) {
-      case Ev::kWake:
-        cores_[static_cast<std::size_t>(e.core)].active = false;
-        handle_wake(e.core, now_);
-        break;
-      case Ev::kDone:
-        handle_done(e, now_);
-        break;
-      case Ev::kRelease:
-        handle_release(e, now_);
-        break;
-      case Ev::kRoot:
-        make_ready(e.task, e.from_core, now_);
-        break;
-    }
-  }
-
-  DAS_CHECK_MSG(completed_ == dag.num_nodes(),
-                "simulation drained its event queue with " +
-                    std::to_string(dag.num_nodes() - completed_) +
-                    " tasks incomplete (dependency deadlock?)");
-  const double makespan = now_ - t_start;
-  for (auto& r : ranks_) r.stats->set_elapsed(now_);
-  dag_ = nullptr;
+double SimEngine::wait(JobId id) {
+  Job& job = job_of(id);
+  // Advance the event loop until THIS job completes. Events of other
+  // in-flight jobs that fall before its completion execute on the way — the
+  // interleave is a pure function of (seed, submission trace).
+  while (!job.done && !events_.empty()) step();
+  DAS_CHECK_MSG(job.done,
+                "event queue drained with " +
+                    std::to_string(job.dag->num_nodes() - job.completed) +
+                    " tasks of job " + std::to_string(id) +
+                    " incomplete (dependency deadlock?)");
+  const double makespan = job.finish_s - job.release_s;
+  // Elapsed accumulates the virtual time this wait advanced the clock by
+  // (not the absolute clock): sequential runs still sum to now(), but after
+  // an ExecutionStats::reset() the counters restart from zero instead of
+  // silently re-including pre-reset time — matching the rt backend.
+  for (auto& r : ranks_)
+    r.stats->set_elapsed(r.stats->elapsed_s() + (now_ - elapsed_mark_));
+  elapsed_mark_ = now_;
+  last_waited_tasks_ = std::move(job.tasks);
+  jobs_.erase(id);
   return makespan;
+}
+
+void SimEngine::step() {
+  auto item = events_.pop();
+  DAS_ASSERT(item.time + 1e-12 >= now_);
+  now_ = std::max(now_, item.time);
+  const Event& e = item.payload;
+  switch (e.kind) {
+    case Ev::kWake:
+      cores_[static_cast<std::size_t>(e.core)].active = false;
+      handle_wake(e.core, now_);
+      break;
+    case Ev::kDone:
+      handle_done(e, now_);
+      break;
+    case Ev::kRelease:
+      handle_release(e, now_);
+      break;
+    case Ev::kRoot:
+      make_ready(e.job, e.task, e.from_core, now_);
+      break;
+  }
 }
 
 void SimEngine::activate(int core, double at, bool direct) {
@@ -155,7 +184,7 @@ void SimEngine::activate(int core, double at, bool direct) {
   cs.active = true;
   if (direct) {
     // Explicit wake signal (steal-exempt placement): immediate.
-    events_.push(at, Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
+    events_.push(at, Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
     return;
   }
   // An inactive core is an idle worker in backoff sleep; it notices the new
@@ -166,12 +195,13 @@ void SimEngine::activate(int core, double at, bool direct) {
   // win the race (cores 3..5 would never work at low DAG parallelism).
   const double jitter = 0.5 + rng_.uniform();
   events_.push(at + options_.idle_wake_delay_s * jitter,
-               Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
+               Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
 }
 
-void SimEngine::make_ready(NodeId id, int waking_core, double t) {
-  const DagNode& n = dag_->node(id);
-  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
+  Job& job = job_of(job_id);
+  const DagNode& n = node_of(job, id);
+  TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   Rank& rank = ranks_[static_cast<std::size_t>(n.rank)];
 
   // Wakes crossing ranks land on the task's affinity core (or core 0 of its
@@ -198,37 +228,38 @@ void SimEngine::make_ready(NodeId id, int waking_core, double t) {
   }
 
   if (wd.stealable) {
-    target.wsq.push_back(id);
+    target.wsq.push_back(QueuedTask{job_id, id});
     // The new task is visible to thieves: give every idle core of the rank a
     // chance to grab it (they re-idle immediately if they lose the race).
     activate(queue_core, t);
     for (int c = 0; c < rank.topo->num_cores(); ++c)
       activate(global_core(n.rank, c), t);
   } else {
-    target.inbox.push_back(id);
+    target.inbox.push_back(QueuedTask{job_id, id});
     activate(queue_core, t, /*direct=*/true);
   }
 }
 
-void SimEngine::distribute(NodeId id, const ExecutionPlace& place, int rank,
-                           double t) {
+void SimEngine::distribute(JobId job_id, NodeId id, const ExecutionPlace& place,
+                           int rank, double t) {
   const Rank& r = ranks_[static_cast<std::size_t>(rank)];
   DAS_CHECK_MSG(r.topo->is_valid_place(place),
                 "policy produced invalid place " + to_string(place));
-  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  TaskState& ts = job_of(job_id).tasks[static_cast<std::size_t>(id)];
   ts.place = place;
   ts.has_fixed_place = true;
   for (int i = 0; i < place.width; ++i) {
     const int core = global_core(rank, place.leader + i);
-    cores_[static_cast<std::size_t>(core)].aq.push_back(Participation{id, i});
+    cores_[static_cast<std::size_t>(core)].aq.push_back(
+        Participation{job_id, id, i});
     activate(core, t + options_.dispatch_overhead_s);
   }
 }
 
-double SimEngine::participation_cost(NodeId id, int core, int rank_in_assembly,
-                                     double t) {
-  const DagNode& n = dag_->node(id);
-  const TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+double SimEngine::participation_cost(const Job& job, NodeId id, int core,
+                                     int rank_in_assembly, double t) {
+  const DagNode& n = node_of(job, id);
+  const TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   const Rank& r = ranks_[static_cast<std::size_t>(n.rank)];
   const int local = local_core(core);
   const Cluster& cluster = r.topo->cluster_of_core(local);
@@ -259,22 +290,23 @@ void SimEngine::start_participation(int core, const Participation& p, double t) 
   CoreState& cs = cores_[static_cast<std::size_t>(core)];
   DAS_CHECK_MSG(!cs.busy, "core double-booked: a participation started while "
                           "another is still running");
-  TaskState& ts = tasks_[static_cast<std::size_t>(p.task)];
+  Job& job = job_of(p.job);
+  TaskState& ts = job.tasks[static_cast<std::size_t>(p.task)];
   if (ts.arrivals == 0) ts.first_arrival = t;
   ts.arrivals++;
-  const double cost = participation_cost(p.task, core, p.rank_in_assembly, t);
+  const double cost = participation_cost(job, p.task, core, p.rank_in_assembly, t);
   ts.max_cost = std::max(ts.max_cost, cost);
   const int rank = rank_of_core(core);
   ranks_[static_cast<std::size_t>(rank)].stats->record_busy(
       local_core(core), static_cast<std::int64_t>(cost * 1e9));
   if (options_.timeline != nullptr) {
-    const DagNode& n = dag_->node(p.task);
+    const DagNode& n = node_of(job, p.task);
     options_.timeline->record(core, t, cost, registry_->info(n.type).name,
                               n.priority, ts.place.width);
   }
   cs.active = true;
   cs.busy = true;
-  events_.push(t + cost, Event{Ev::kDone, core, p.task, -1, cost});
+  events_.push(t + cost, Event{Ev::kDone, core, p.job, p.task, -1, cost});
 }
 
 bool SimEngine::try_steal(int core, double t) {
@@ -290,11 +322,12 @@ bool SimEngine::try_steal(int core, double t) {
   const int victim =
       victims[static_cast<std::size_t>(rng_.below(victims.size()))];
   CoreState& vs = cores_[static_cast<std::size_t>(victim)];
-  const NodeId id = vs.wsq.front();  // thieves take the oldest task
+  const QueuedTask qt = vs.wsq.front();  // thieves take the oldest task
   vs.wsq.erase(vs.wsq.begin());
 
-  const DagNode& n = dag_->node(id);
-  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  Job& job = job_of(qt.job);
+  const DagNode& n = node_of(job, qt.task);
+  TaskState& ts = job.tasks[static_cast<std::size_t>(qt.task)];
   const ExecutionPlace place =
       ts.has_fixed_place
           ? ts.place
@@ -303,8 +336,8 @@ bool SimEngine::try_steal(int core, double t) {
   // the steal round-trip.
   cores_[static_cast<std::size_t>(core)].active = true;
   events_.push(t + options_.steal_latency_s + options_.dispatch_overhead_s,
-               Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
-  distribute(id, place, rank, t + options_.steal_latency_s);
+               Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
+  distribute(qt.job, qt.task, place, rank, t + options_.steal_latency_s);
   return true;
 }
 
@@ -322,33 +355,35 @@ void SimEngine::handle_wake(int core, double t) {
   }
   // 2. Steal-exempt inbox: high-priority tasks with fixed places.
   if (!cs.inbox.empty()) {
-    const NodeId id = cs.inbox.front();
+    const QueuedTask qt = cs.inbox.front();
     cs.inbox.erase(cs.inbox.begin());
-    const TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+    const TaskState& ts =
+        job_of(qt.job).tasks[static_cast<std::size_t>(qt.task)];
     DAS_ASSERT(ts.has_fixed_place);
     // Mark THIS core active (single pending wake) before distribute() tries
     // to activate the participants — otherwise the distributor would get a
     // second wake event and could double-book itself.
     cs.active = true;
     events_.push(t + options_.dispatch_overhead_s,
-                 Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
-    distribute(id, ts.place, rank, t);
+                 Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
+    distribute(qt.job, qt.task, ts.place, rank, t);
     return;
   }
   // 3. Own WSQ (LIFO end).
   if (!cs.wsq.empty()) {
-    const NodeId id = cs.wsq.back();
+    const QueuedTask qt = cs.wsq.back();
     cs.wsq.pop_back();
-    const DagNode& n = dag_->node(id);
-    const TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+    Job& job = job_of(qt.job);
+    const DagNode& n = node_of(job, qt.task);
+    const TaskState& ts = job.tasks[static_cast<std::size_t>(qt.task)];
     const ExecutionPlace place =
         ts.has_fixed_place
             ? ts.place
             : r.policy->on_execute(n.type, n.priority, local_core(core));
     cs.active = true;  // see the inbox branch: one pending wake only
     events_.push(t + options_.dispatch_overhead_s,
-                 Event{Ev::kWake, core, kInvalidNode, -1, 0.0});
-    distribute(id, place, rank, t);
+                 Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
+    distribute(qt.job, qt.task, place, rank, t);
     return;
   }
   // 4. Steal from a random victim within the rank.
@@ -357,9 +392,10 @@ void SimEngine::handle_wake(int core, double t) {
 }
 
 void SimEngine::handle_done(const Event& e, double t) {
+  Job& job = job_of(e.job);
   const NodeId id = e.task;
-  const DagNode& n = dag_->node(id);
-  TaskState& ts = tasks_[static_cast<std::size_t>(id)];
+  const DagNode& n = node_of(job, id);
+  TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   Rank& r = ranks_[static_cast<std::size_t>(n.rank)];
 
   ts.departures++;
@@ -376,10 +412,14 @@ void SimEngine::handle_done(const Event& e, double t) {
     const int place_id = r.topo->place_id(ts.place);
     r.stats->record_task_at(n.priority, place_id, span, n.phase);
     ts.completion = t;
-    completed_++;
+    job.completed++;
     for (const DagEdge& edge : n.successors) {
       events_.push(t + edge.delay_s,
-                   Event{Ev::kRelease, -1, edge.to, e.core, 0.0});
+                   Event{Ev::kRelease, -1, e.job, edge.to, e.core, 0.0});
+    }
+    if (job.completed == job.dag->num_nodes()) {
+      job.done = true;
+      job.finish_s = t;
     }
   }
 
@@ -390,13 +430,14 @@ void SimEngine::handle_done(const Event& e, double t) {
   cs.busy = false;
   cs.active = true;
   events_.push(t + options_.completion_overhead_s,
-               Event{Ev::kWake, e.core, kInvalidNode, -1, 0.0});
+               Event{Ev::kWake, e.core, kInvalidJob, kInvalidNode, -1, 0.0});
 }
 
 void SimEngine::handle_release(const Event& e, double t) {
-  TaskState& ts = tasks_[static_cast<std::size_t>(e.task)];
+  Job& job = job_of(e.job);
+  TaskState& ts = job.tasks[static_cast<std::size_t>(e.task)];
   DAS_ASSERT(ts.preds > 0);
-  if (--ts.preds == 0) make_ready(e.task, e.from_core, t);
+  if (--ts.preds == 0) make_ready(e.job, e.task, e.from_core, t);
 }
 
 }  // namespace das::sim

@@ -16,10 +16,20 @@
 // interference are exact, and every figure regenerates bit-identically from
 // a seed.
 //
+// Job service: the engine executes a *stream* of independent DAGs (jobs)
+// over one persistent worker/PTT state. submit() releases a job's roots at
+// now() + arrival_offset in virtual time; wait() advances the event loop
+// until that job's last task completes and returns its makespan (release ->
+// completion). Jobs whose release windows overlap interleave on the same
+// queues exactly like concurrent applications sharing a runtime; the event
+// queue's (time, insertion-sequence) order makes any fixed submission trace
+// bitwise replayable. run() remains submit+wait sugar for the one-shot case.
+//
 // Multi-rank mode: each rank (MPI-process analogue) has its own topology,
 // scenario, policy, PTT and stats; work stealing never crosses ranks; DAG
 // edges between ranks carry a network delay (DagEdge::delay_s).
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -76,41 +86,64 @@ class SimEngine {
   SimEngine& operator=(const SimEngine&) = delete;
   ~SimEngine();
 
+  /// Registers `dag` as a job whose roots release at now() + arrival_offset_s
+  /// virtual seconds, without advancing the clock. `dag` must stay alive
+  /// until the job has been wait()ed. Submissions are part of the replayable
+  /// trace: the same (seed, submit/arrival sequence) is bitwise deterministic.
+  JobId submit(const Dag& dag, double arrival_offset_s = 0.0);
+
+  /// Advances the event loop until job `id` completes (events of other
+  /// in-flight jobs interleave in virtual-time order) and returns the job's
+  /// makespan: completion - release, in virtual seconds. Each job can be
+  /// waited exactly once; waiting an unknown/already-waited id throws.
+  double wait(JobId id);
+
   /// Executes every task of `dag` and returns the run's makespan in virtual
-  /// seconds. May be called repeatedly: the virtual clock, the PTTs and the
-  /// stats accumulate across runs (iterative applications keep their learned
-  /// model, exactly like a persistent runtime).
-  double run(const Dag& dag);
+  /// seconds (submit + wait). May be called repeatedly: the virtual clock,
+  /// the PTTs and the stats accumulate across runs (iterative applications
+  /// keep their learned model, exactly like a persistent runtime).
+  double run(const Dag& dag) { return wait(submit(dag)); }
 
   double now() const { return now_; }
   int num_ranks() const { return static_cast<int>(ranks_.size()); }
+  /// Jobs submitted but not yet wait()ed to completion.
+  int jobs_in_flight() const { return static_cast<int>(jobs_.size()); }
 
   ExecutionStats& stats(int rank = 0);
   const ExecutionStats& stats(int rank = 0) const;
   PolicyEngine& policy(int rank = 0);
   PttStore& ptt(int rank = 0);
 
-  /// Virtual completion time of a node of the most recent run().
+  /// Virtual completion time of a node of the most recently wait()ed job.
   double completion_time(NodeId id) const;
 
  private:
   enum class Ev : std::uint8_t { kWake, kDone, kRelease, kRoot };
   struct Event {
     Ev kind;
-    int core = -1;    // global core id (kWake, kDone)
+    int core = -1;             // global core id (kWake, kDone)
+    JobId job = kInvalidJob;   // owning job (kDone, kRelease, kRoot)
     NodeId task = kInvalidNode;
-    int from_core = -1;  // releasing core (kRelease)
-    double cost = 0.0;   // participation busy time (kDone)
+    int from_core = -1;        // releasing core (kRelease, kRoot)
+    double cost = 0.0;         // participation busy time (kDone)
+  };
+
+  /// A task reference as queued: jobs interleave on the same per-core
+  /// queues, so every entry names its job.
+  struct QueuedTask {
+    JobId job = kInvalidJob;
+    NodeId task = kInvalidNode;
   };
 
   struct Participation {
+    JobId job;
     NodeId task;
     int rank_in_assembly;
   };
 
   struct CoreState {
-    std::vector<NodeId> inbox;          // steal-exempt FIFO (pop front)
-    std::vector<NodeId> wsq;            // owner pops back, thieves pop front
+    std::vector<QueuedTask> inbox;      // steal-exempt FIFO (pop front)
+    std::vector<QueuedTask> wsq;        // owner pops back, thieves pop front
     std::vector<Participation> aq;      // FIFO (pop front)
     bool active = false;                // has a pending kWake/kDone event
     bool busy = false;                  // mid-participation (invariant check)
@@ -127,6 +160,16 @@ class SimEngine {
     double completion = -1.0;
   };
 
+  /// One in-flight job: its DAG, per-node state, and completion accounting.
+  struct Job {
+    const Dag* dag = nullptr;
+    std::vector<TaskState> tasks;
+    std::int64_t completed = 0;
+    double release_s = 0.0;   ///< virtual arrival instant of the roots
+    double finish_s = -1.0;   ///< completion of the last task; -1 while open
+    bool done = false;
+  };
+
   struct Rank {
     const Topology* topo;
     const SpeedScenario* scenario;
@@ -139,18 +182,23 @@ class SimEngine {
   int global_core(int rank, int local) const { return ranks_[static_cast<std::size_t>(rank)].first_core + local; }
   int rank_of_core(int core) const;
   int local_core(int core) const;
+  Job& job_of(JobId id);
+  const DagNode& node_of(const Job& job, NodeId id) const { return job.dag->node(id); }
 
   /// `direct` models an explicit wake signal to the target worker (used for
   /// steal-exempt placements): no backoff-sleep jitter is added.
   void activate(int core, double at, bool direct = false);
+  void step();  ///< pops and dispatches one event (events_ must be non-empty)
   void handle_wake(int core, double t);
   void handle_done(const Event& e, double t);
   void handle_release(const Event& e, double t);
-  void make_ready(NodeId id, int waking_core, double t);
-  void distribute(NodeId id, const ExecutionPlace& place, int rank, double t);
+  void make_ready(JobId job, NodeId id, int waking_core, double t);
+  void distribute(JobId job, NodeId id, const ExecutionPlace& place, int rank,
+                  double t);
   void start_participation(int core, const Participation& p, double t);
   bool try_steal(int core, double t);
-  double participation_cost(NodeId id, int core, int rank_in_assembly, double t);
+  double participation_cost(const Job& job, NodeId id, int core,
+                            int rank_in_assembly, double t);
   double lognormal_noise(double sigma);
 
   std::vector<Rank> ranks_;
@@ -161,11 +209,15 @@ class SimEngine {
   Xoshiro256 rng_;
   EventQueue<Event> events_;
   double now_ = 0.0;
-
-  const Dag* dag_ = nullptr;  // valid during run()
-  std::vector<TaskState> tasks_;
   std::vector<CoreState> cores_;
-  std::int64_t completed_ = 0;
+
+  // In-flight jobs, keyed by id. Ordered map: deterministic by construction
+  // (lookups only drive execution; iteration order never does), and cheap to
+  // reason about in the debugger.
+  std::map<JobId, Job> jobs_;
+  JobId next_job_ = 0;
+  double elapsed_mark_ = 0.0;  ///< now_ at the end of the previous wait()
+  std::vector<TaskState> last_waited_tasks_;  // completion_time() source
 };
 
 }  // namespace das::sim

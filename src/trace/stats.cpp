@@ -88,8 +88,9 @@ double ExecutionStats::total_busy_s() const {
 }
 
 double ExecutionStats::throughput() const {
-  if (elapsed_s_ <= 0.0) return 0.0;
-  return static_cast<double>(tasks_total()) / elapsed_s_;
+  const double elapsed = elapsed_s();
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(tasks_total()) / elapsed;
 }
 
 std::vector<std::pair<ExecutionPlace, double>> ExecutionStats::distribution(
@@ -113,7 +114,7 @@ StatsSnapshot ExecutionStats::snapshot() const {
   s.tasks_high = tasks_with_priority(Priority::kHigh);
   s.tasks_low = tasks_with_priority(Priority::kLow);
   s.tasks_total = s.tasks_high + s.tasks_low;
-  s.elapsed_s = elapsed_s_;
+  s.elapsed_s = elapsed_s();
   s.busy_s.resize(static_cast<std::size_t>(topo_->num_cores()));
   for (int c = 0; c < topo_->num_cores(); ++c) {
     s.busy_s[static_cast<std::size_t>(c)] = busy_s(c);
@@ -129,7 +130,7 @@ void ExecutionStats::reset() {
   for (std::size_t i = 0; i < counts_size_; ++i)
     counts_[i].store(0, std::memory_order_relaxed);
   span_sum_ns_.store(0, std::memory_order_relaxed);
-  elapsed_s_ = 0.0;
+  elapsed_s_.store(0.0, std::memory_order_relaxed);
   phase_.store(0, std::memory_order_relaxed);
 }
 

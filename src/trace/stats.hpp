@@ -61,8 +61,14 @@ class ExecutionStats {
   void record_busy(int core, std::int64_t busy_ns);
 
   /// Engines set the experiment's elapsed (virtual or wall) seconds.
-  void set_elapsed(double seconds) { elapsed_s_ = seconds; }
-  double elapsed_s() const { return elapsed_s_; }
+  /// Atomic: under the job service a worker closing the last job's window
+  /// may publish elapsed while another thread snapshots.
+  void set_elapsed(double seconds) {
+    elapsed_s_.store(seconds, std::memory_order_relaxed);
+  }
+  double elapsed_s() const {
+    return elapsed_s_.load(std::memory_order_relaxed);
+  }
 
   // --- Queries --------------------------------------------------------------
 
@@ -94,7 +100,7 @@ class ExecutionStats {
   const Topology* topo_;
   int num_phases_;
   std::atomic<int> phase_{0};
-  double elapsed_s_ = 0.0;
+  std::atomic<double> elapsed_s_{0.0};
   std::unique_ptr<CachePadded<std::atomic<std::int64_t>>[]> busy_ns_;
   // Dense grid [priority][phase][place] of counters.
   std::unique_ptr<std::atomic<std::int64_t>[]> counts_;

@@ -13,6 +13,7 @@
 #include <initializer_list>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -108,6 +109,65 @@ class Flags {
 inline constexpr const char* kCommonFlagsUsage =
     "--backend=sim|rt --policy=NAME[,NAME...] --scenario=<name|file> "
     "--json=<path> --scale=F --seed=N";
+
+/// The job-stream flags (bench/job_stream, fig9_kmeans): how many jobs a
+/// driver submits and how they arrive.
+inline constexpr const char* kJobStreamFlagsUsage =
+    "--jobs=N --arrival=poisson:<rate>|fixed:<gap> --inflight=K";
+
+/// A job-stream arrival process: either a fixed inter-arrival gap (seconds)
+/// or a Poisson process with the given mean rate (jobs/second). Drivers turn
+/// it into per-job arrival offsets — virtual-time offsets on the sim
+/// backend, wall-clock pacing on rt.
+struct Arrival {
+  enum class Kind { kFixed, kPoisson };
+  Kind kind = Kind::kFixed;
+  double gap_s = 0.0;    ///< kFixed: seconds between arrivals
+  double rate_hz = 0.0;  ///< kPoisson: mean arrivals per second
+};
+
+/// Parses "poisson:<rate>" | "fixed:<gap>"; nullopt on malformed input
+/// (unknown prefix, missing/non-positive number).
+inline std::optional<Arrival> parse_arrival(const std::string& s) {
+  const std::size_t colon = s.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string kind = s.substr(0, colon);
+  const std::string num = s.substr(colon + 1);
+  double value = 0.0;
+  try {
+    std::size_t pos = 0;
+    value = std::stod(num, &pos);
+    if (pos != num.size()) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!(value > 0.0)) return std::nullopt;
+  Arrival a;
+  if (kind == "fixed") {
+    a.kind = Arrival::Kind::kFixed;
+    a.gap_s = value;
+  } else if (kind == "poisson") {
+    a.kind = Arrival::Kind::kPoisson;
+    a.rate_hz = value;
+  } else {
+    return std::nullopt;
+  }
+  return a;
+}
+
+/// Resolves --arrival= against parse_arrival: nullopt when the flag is
+/// absent, exits 2 with a diagnostic on a malformed value.
+inline std::optional<Arrival> arrival_flag(const Flags& flags) {
+  if (!flags.has("arrival")) return std::nullopt;
+  const std::string v = flags.get("arrival");
+  const auto a = parse_arrival(v);
+  if (!a) {
+    std::cerr << "error: --arrival=" << v
+              << " (expected poisson:<rate> or fixed:<gap>, value > 0)\n";
+    std::exit(2);
+  }
+  return a;
+}
 
 /// Prints "flags: <usage>" and exits 0 when --help was given.
 inline void maybe_help(const Flags& flags, const std::string& usage) {
