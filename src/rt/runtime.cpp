@@ -19,6 +19,8 @@ Runtime::Runtime(const Topology& topo, Policy policy,
                   "scenario topology must match runtime topology");
     emulator_ = std::make_unique<SpeedEmulator>(*options_.scenario, epoch_ns_);
   }
+  for (const ExecutionPlace& p : topo.places())
+    max_place_width_ = std::max(max_place_width_, p.width);
 
   const int n = topo.num_cores();
   workers_.reserve(static_cast<std::size_t>(n));
@@ -34,11 +36,11 @@ Runtime::Runtime(const Topology& topo, Policy policy,
 }
 
 Runtime::~Runtime() {
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
+  shutdown_.store(true, std::memory_order_seq_cst);
+  // Workers observe shutdown_ inside the parking protocol: either their
+  // pre-park re-check sees the flag, or their prepare_wait predates these
+  // notifies and the eventcount wakes them (util/eventcount.hpp).
+  for (auto& w : workers_) w->ec.notify();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -49,6 +51,10 @@ double Runtime::scenario_now() const { return ns_to_s(now_ns() - epoch_ns_); }
 int Runtime::jobs_in_flight() const {
   std::lock_guard<std::mutex> g(mu_);
   return static_cast<int>(jobs_.size());
+}
+
+int Runtime::parked_workers() const {
+  return parked_count_.load(std::memory_order_seq_cst);
 }
 
 void Runtime::submit_roots(Job& job) {
@@ -75,7 +81,13 @@ JobId Runtime::submit(const Dag& dag) {
 
   auto job = std::make_unique<Job>();
   job->dag = &dag;
+  // The record block is the job's only up-front allocation (the wide-hook
+  // arena is lazy, see wide_hooks) — steady-state dispatch allocates
+  // nothing.
   job->records = std::make_unique<TaskRec[]>(static_cast<std::size_t>(dag.num_nodes()));
+  job->num_wide_chunks =
+      (static_cast<std::size_t>(dag.num_nodes()) + kWideChunkTasks - 1) /
+      kWideChunkTasks;
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
     TaskRec& r = job->records[static_cast<std::size_t>(i)];
     r.node = &dag.node(i);
@@ -95,10 +107,10 @@ JobId Runtime::submit(const Dag& dag) {
     if (active_jobs_.fetch_add(1, std::memory_order_acq_rel) == 0)
       busy_window_start_ns_ = raw->submit_ns;
   }
-  // Roots are released while workers may already be spinning up or busy with
-  // other jobs: queues are thread-safe and a worker finding nothing retries.
+  // Roots are released while workers may already be busy with other jobs:
+  // the channels are thread-safe and every push wakes its target (or a
+  // parked stealer), so no broadcast is needed here.
   submit_roots(*raw);
-  cv_.notify_all();
   return raw->id;
 }
 
@@ -113,7 +125,11 @@ double Runtime::wait(JobId id) {
   Job* job = it->second.get();
   cv_.wait(g, [&] { return job->done; });
   const double elapsed = ns_to_s(job->done_ns - job->submit_ns);
-  jobs_.erase(id);  // the latch fired: no worker touches this job any more
+  // The latch fired: no worker touches this job any more. Erasing here
+  // frees the record block and AQ arena, keeping jobs_ bounded by the jobs
+  // actually in flight (a 10k-job stream must not accumulate 10k record
+  // blocks — see JobServiceTest.TenThousandJobStreamStaysBounded).
+  jobs_.erase(id);
   return elapsed;
 }
 

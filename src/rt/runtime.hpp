@@ -18,15 +18,42 @@
 // AQs of the place's cores -> cooperative execution -> last finisher updates
 // the PTT and wakes dependents.
 //
+// Lock-free channel design. The paper's runtime must react to asymmetry
+// faster than the asymmetry changes, so per-task handoff is the hot path.
+// Inbox, AQ and feeder are intrusive Vyukov MPSC queues (util/mpsc_queue.hpp)
+// rather than mutex-guarded deques: every TaskRec embeds one queue hook,
+// `ready_hook`, which serves every channel role the task occupies one at a
+// time — the inbox OR the feeder at wake-up, then AQ slot 0 at distribution
+// (pop() only returns fully-unlinked nodes, so the hook is free again by
+// then). A width-W assembly sits in W assembly queues simultaneously; its
+// W-1 non-leader slots come from a per-job arena allocated lazily by the
+// first wide distribute, so width-1 workloads never pay for it.
+// Steady-state dispatch therefore performs no allocation and takes no lock:
+// a push is one atomic exchange, a pop one acquire load.
+//
+// Memory-ordering contract of the handoff: a producer writes the task's
+// routing state (`place`, `has_fixed_place`) BEFORE pushing; the MPSC push
+// publishes with a release store that the consumer's pop acquires, so the
+// consumer always observes a fully-routed task. The WSQ keeps the Chase-Lev
+// orderings documented in rt/wsq.hpp. Idle workers park on a per-worker
+// EventCount (util/eventcount.hpp) under the three-phase
+// prepare/re-check/commit protocol; every push either targets a specific
+// worker (inbox/AQ/feeder: notify that worker's eventcount) or is stealable
+// (WSQ push: wake one worker from the parked-set registry). The seq_cst
+// fences inside the eventcount close the push-vs-park race, so a parked
+// worker never misses work and an idle pool burns ~0 CPU instead of
+// spinning on the producers' cache lines.
+//
 // Job service: the runtime executes a *stream* of independent DAGs (jobs).
 // submit() registers a job and releases its roots into the worker queues
-// immediately; wait() blocks until that job's last task finishes and returns
-// its wall-clock latency (submit -> completion). Jobs in flight concurrently
-// interleave on the same workers, inboxes, WSQs and shared PTT — the
-// persistent-runtime regime of paper §4.1.1, where the performance model
-// keeps learning across application phases. submit() and wait() are
-// thread-safe: multiple submitter threads may drive one runtime. run()
-// remains submit+wait sugar for the one-shot case.
+// immediately; wait() blocks until that job's last task finishes, returns
+// its wall-clock latency (submit -> completion) and retires the job's
+// record block — the jobs_ map holds only jobs in flight. Jobs in flight
+// concurrently interleave on the same workers, inboxes, WSQs and shared
+// PTT — the persistent-runtime regime of paper §4.1.1, where the
+// performance model keeps learning across application phases. submit() and
+// wait() are thread-safe: multiple submitter threads may drive one runtime.
+// run() remains submit+wait sugar for the one-shot case.
 //
 // Asymmetry is emulated: when an RtOptions::scenario is given, every
 // participation is stretched by busy-waiting to the wall time a core of that
@@ -34,7 +61,6 @@
 // preserves the scheduling problem).
 
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -51,8 +77,9 @@
 #include "rt/wsq.hpp"
 #include "trace/stats.hpp"
 #include "util/aligned.hpp"
+#include "util/eventcount.hpp"
+#include "util/mpsc_queue.hpp"
 #include "util/rng.hpp"
-#include "util/spinlock.hpp"
 
 namespace das::rt {
 
@@ -82,8 +109,10 @@ class Runtime {
   JobId submit(const Dag& dag);
 
   /// Blocks until job `id` completes; returns its wall-clock latency in
-  /// seconds (submit -> last task finished). Each job can be waited exactly
-  /// once; waiting an unknown/already-waited id throws.
+  /// seconds (submit -> last task finished) and releases the job's record
+  /// block (jobs_ stays bounded by the number of jobs in flight). Each job
+  /// can be waited exactly once; waiting an unknown/already-waited id
+  /// throws.
   double wait(JobId id);
 
   /// Executes every task of `dag`, returns wall seconds for this run
@@ -101,8 +130,13 @@ class Runtime {
   /// the RtOptions::scenario (drivers use it to open/close interference
   /// windows at application-level boundaries, cf. the paper's Fig. 9).
   double scenario_now() const;
-  /// Jobs submitted but not yet wait()ed to completion.
+  /// Jobs submitted but not yet wait()ed to completion (== the size of the
+  /// internal job map: finished-and-waited jobs are erased eagerly).
   int jobs_in_flight() const;
+  /// Workers currently parked on their eventcount (advisory snapshot; the
+  /// starved-pool tests use it to observe that idle workers sleep instead
+  /// of spinning).
+  int parked_workers() const;
 
  private:
   struct Job;  // fwd
@@ -118,28 +152,60 @@ class Runtime {
     std::atomic<int> departures{0};
     std::atomic<std::int64_t> start_ns{0};
     std::atomic<std::int64_t> max_busy_ns{0};  ///< slowest participant
+    // Intrusive channel hook (allocation-free queue membership). A task is
+    // in at most one wake-up channel at a time (inbox OR feeder), and by
+    // the time distribute() runs it has been popped from whichever channel
+    // held it — pop() only returns fully-unlinked nodes — so the same hook
+    // serves as AQ slot 0. Wide assemblies take slots 1..W-1 from the
+    // job's lazily-allocated wide-hook arena (see Job::wide_dir).
+    MpscQueue::Node ready_hook;
   };
 
-  /// One in-flight job: its record block (one TaskRec per node) and a
-  /// completion latch. `outstanding` counts unfinished tasks; the worker
-  /// that drops it to zero marks the job done under mu_ and broadcasts
-  /// cv_ — the per-job latch every wait(id) blocks on.
+  /// Tasks covered by one wide-hook chunk (see Job::wide_dir). 256 tasks x
+  /// (width-1) x 16-byte nodes keeps a chunk in the tens of kilobytes.
+  static constexpr std::size_t kWideChunkTasks = 256;
+
+  /// One in-flight job: its record block (one TaskRec per node), a
+  /// lazily-allocated arena of AQ hooks for the non-leader slots of wide
+  /// assemblies, and a completion latch. `outstanding` counts unfinished
+  /// tasks; the worker that drops it to zero marks the job done under mu_
+  /// and broadcasts cv_ — the per-job latch every wait(id) blocks on.
   struct Job {
     JobId id = kInvalidJob;
     const Dag* dag = nullptr;
     std::unique_ptr<TaskRec[]> records;
+    /// Two-level lazy arena for the non-leader AQ hooks of wide
+    /// assemblies: a CAS-published directory of `num_wide_chunks` chunk
+    /// pointers, each chunk holding kWideChunkTasks x (max_place_width - 1)
+    /// MpscQueue::Nodes and CAS-claimed by the first wide distribute() of a
+    /// task in its range (wide_hooks()). Width-1 workloads never allocate
+    /// either level, and a job with a handful of wide tasks pays for the
+    /// touched chunks only, not num_nodes x (width-1) up front. The
+    /// directory entries own their chunks (freed in ~Job); the unique_ptr,
+    /// written only by the directory-CAS winner, owns the directory.
+    std::atomic<std::atomic<MpscQueue::Node*>*> wide_dir{nullptr};
+    std::unique_ptr<std::atomic<MpscQueue::Node*>[]> wide_dir_owner;
+    std::size_t num_wide_chunks = 0;
     std::atomic<std::int64_t> outstanding{0};
     std::int64_t submit_ns = 0;
     std::int64_t done_ns = 0;
     bool done = false;  // guarded by mu_
+
+    ~Job() {
+      if (auto* dir = wide_dir.load(std::memory_order_acquire)) {
+        for (std::size_t c = 0; c < num_wide_chunks; ++c)
+          delete[] dir[c].load(std::memory_order_acquire);
+      }
+    }
   };
 
   struct alignas(kCacheLine) Worker {
     WsDeque<TaskRec> wsq;
-    std::deque<TaskRec*> inbox;   // guarded by lock
-    std::deque<TaskRec*> aq;      // guarded by lock
-    std::deque<TaskRec*> feeder;  // guarded by lock
-    Spinlock lock;
+    MpscQueue inbox;    // steal-exempt, fixed-place tasks
+    MpscQueue aq;       // committed participations; drained first
+    MpscQueue feeder;   // stealable handoffs from other threads
+    EventCount ec;      // only this worker ever waits on it
+    std::atomic<bool> parked{false};  // set before the pre-park work re-check
     Xoshiro256 rng;
     std::thread thread;
   };
@@ -148,12 +214,28 @@ class Runtime {
   void worker_loop(int core);
   bool try_make_progress(int core);
   void participate(int core, TaskRec* task);
+  /// Executes the node's work (or emulates its cost model), applies the
+  /// scenario throttle, records busy time; returns this participant's busy
+  /// nanoseconds.
+  std::int64_t run_work(int core, TaskRec* task, int rank);
+  /// Last-finisher tail: wake dependents, retire the task from its job.
+  void finish_last(int core, TaskRec* task);
   void distribute(int core, TaskRec* task, const ExecutionPlace& place);
   TaskRec* try_steal(int core);
   /// `caller_is_worker` means the calling thread IS worker `waking_core`
   /// (enables the owner-only WSQ fast path; the submitter passes false).
   void wake_task(TaskRec* task, int waking_core, bool caller_is_worker);
   void push_stealable(int target_core, TaskRec* task, bool from_owner);
+  /// Wakes one parked worker (if any) to come steal; `from_core` seeds the
+  /// rotation so wakes spread instead of always hitting worker 0.
+  void notify_stealers(int from_core);
+  /// Pre-park re-check: anything this worker could do right now?
+  bool has_work(int core) const;
+  /// The (max_place_width_ - 1) AQ hooks for task `id`'s non-leader slots,
+  /// from the job's two-level lazy arena (directory and chunks are
+  /// allocated on first use; CAS losers free their block and adopt the
+  /// winner's).
+  MpscQueue::Node* wide_hooks(Job* job, NodeId id);
   void complete_job(Job* job);
 
   // runtime.cpp
@@ -167,17 +249,24 @@ class Runtime {
   std::unique_ptr<ExecutionStats> stats_;
   std::unique_ptr<SpeedEmulator> emulator_;  // null when no scenario
   std::int64_t epoch_ns_ = 0;
+  int max_place_width_ = 1;  ///< widest valid place; sizes the AQ arenas
 
   std::vector<std::unique_ptr<Worker>> workers_;
   bool pinned_ = true;
 
+  // Parking registry: parked_count_ lets producers skip the wake scan when
+  // nobody sleeps; Worker::parked marks scan candidates. Workers set both
+  // BEFORE their pre-park has_work() re-check (the Dekker pairing with
+  // notify_stealers' fence — see util/eventcount.hpp).
+  std::atomic<int> parked_count_{0};
+  std::atomic<bool> shutdown_{false};
+
   // Job coordination. jobs_ and the per-job `done` flags are guarded by
-  // mu_; cv_ is both the worker parking lot (armed by active_jobs_) and the
-  // per-job completion latch. active_jobs_ is additionally atomic so the
-  // worker spin loop can poll it without taking mu_.
+  // mu_; cv_ is the per-job completion latch (workers park on their
+  // eventcounts, not on cv_). active_jobs_ is atomic so complete_job can
+  // close the stats window without re-reading the map.
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  bool shutdown_ = false;
   std::atomic<int> active_jobs_{0};
   std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;  // guarded by mu_
   JobId next_job_ = 0;                                    // guarded by mu_

@@ -11,6 +11,14 @@
 // a thief may still be reading a stale array, and the deques live for the
 // whole runtime, so leaking a handful of small arrays until then is the
 // standard, safe choice.
+//
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// owner->thief publication edge (release fence + relaxed bottom_ store,
+// paired with the thief's acquire bottom_ load) is invisible to it and
+// every dereference of a stolen item would be reported as racing with the
+// item's construction. Instrumented builds therefore strengthen the
+// bottom_ publish to a release STORE — a strictly stronger ordering that
+// TSan does model — keeping the fence-based fast path for real builds.
 
 #include <atomic>
 #include <cstdint>
@@ -19,7 +27,24 @@
 
 #include "util/assert.hpp"
 
+#if defined(__SANITIZE_THREAD__)
+#define DAS_WSQ_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DAS_WSQ_TSAN 1
+#endif
+#endif
+#ifndef DAS_WSQ_TSAN
+#define DAS_WSQ_TSAN 0
+#endif
+
 namespace das::rt {
+
+/// Ordering for the owner's bottom_ publish in push_bottom: the release
+/// fence above it carries the real edge, but TSan cannot see fences (see
+/// the header comment), so instrumented builds promote the store itself.
+inline constexpr std::memory_order kWsqPublishOrder =
+    DAS_WSQ_TSAN ? std::memory_order_release : std::memory_order_relaxed;
 
 template <typename T>
 class WsDeque {
@@ -44,7 +69,7 @@ class WsDeque {
     if (b - t > a->capacity - 1) a = grow(a, t, b);
     a->put(b, item);
     std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, kWsqPublishOrder);
   }
 
   /// Owner only. nullptr when empty.

@@ -118,6 +118,11 @@ JobId SimEngine::submit(const Dag& dag, double arrival_offset_s) {
   for (NodeId i = 0; i < dag.num_nodes(); ++i)
     job.tasks[static_cast<std::size_t>(i)].preds = dag.node(i).num_predecessors;
 
+  // Pre-size the heap from the DAG's node count: the root pushes below plus
+  // the job's release/wake churn then grow the vector at most once instead
+  // of reallocating through the doubling ladder on million-node DAGs.
+  events_.reserve(static_cast<std::size_t>(dag.num_nodes()));
+
   // Release the roots "from" their rank's core 0 (or the affinity core), in
   // node order at the job's arrival instant.
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
@@ -137,7 +142,7 @@ double SimEngine::wait(JobId id) {
   // Advance the event loop until THIS job completes. Events of other
   // in-flight jobs that fall before its completion execute on the way — the
   // interleave is a pure function of (seed, submission trace).
-  while (!job.done && !events_.empty()) step();
+  while (!job.done && events_pending()) step();
   DAS_CHECK_MSG(job.done,
                 "event queue drained with " +
                     std::to_string(job.dag->num_nodes() - job.completed) +
@@ -157,7 +162,16 @@ double SimEngine::wait(JobId id) {
 }
 
 void SimEngine::step() {
-  auto item = events_.pop();
+  if (ready_pos_ == ready_batch_.size()) {
+    // Refill: drain every event tied at the earliest instant in one heap
+    // sweep (EventQueue::pop_ready). The buffer is reused — clear() keeps
+    // its capacity, so steady-state stepping allocates nothing.
+    ready_batch_.clear();
+    ready_pos_ = 0;
+    events_.pop_ready(ready_batch_);
+    DAS_ASSERT(!ready_batch_.empty());
+  }
+  const auto& item = ready_batch_[ready_pos_++];
   DAS_ASSERT(item.time + 1e-12 >= now_);
   now_ = std::max(now_, item.time);
   const Event& e = item.payload;

@@ -188,7 +188,14 @@ class SimEngine {
   /// `direct` models an explicit wake signal to the target worker (used for
   /// steal-exempt placements): no backoff-sleep jitter is added.
   void activate(int core, double at, bool direct = false);
-  void step();  ///< pops and dispatches one event (events_ must be non-empty)
+  void step();  ///< dispatches one event (events_pending() must be true)
+  /// True while the ready batch or the heap still holds events. wait()
+  /// loops on this, never on events_.empty() alone: step() drains
+  /// identical-time events through ready_batch_ (one heap sweep per
+  /// distinct virtual instant), and a job can complete mid-batch.
+  bool events_pending() const {
+    return ready_pos_ < ready_batch_.size() || !events_.empty();
+  }
   void handle_wake(int core, double t);
   void handle_done(const Event& e, double t);
   void handle_release(const Event& e, double t);
@@ -208,6 +215,13 @@ class SimEngine {
   SimOptions options_;
   Xoshiro256 rng_;
   EventQueue<Event> events_;
+  /// Identical-time batch buffer, reused across steps (allocation-free in
+  /// steady state). Handlers may push new events for the SAME instant while
+  /// a batch drains; those carry larger insertion sequences than anything
+  /// in the batch, so heap order == batch-then-heap order and the replay
+  /// stays bitwise identical to one-at-a-time popping.
+  std::vector<EventQueue<Event>::Item> ready_batch_;
+  std::size_t ready_pos_ = 0;
   double now_ = 0.0;
   std::vector<CoreState> cores_;
 

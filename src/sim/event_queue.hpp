@@ -44,6 +44,34 @@ class EventQueue {
     return item;
   }
 
+  /// Appends to `out` every event tied with the earliest virtual time, in
+  /// (time, seq) order — exactly the order repeated pop() calls would
+  /// produce, so batch consumers replay bitwise. Returns the number popped.
+  /// Callers reuse one `out` buffer across calls (clearing, not
+  /// deallocating) to keep million-event runs free of per-step allocation.
+  std::size_t pop_ready(std::vector<Item>& out) {
+    if (heap_.empty()) return 0;
+    const double t = heap_.front().time;
+    std::size_t n = 0;
+    do {
+      out.push_back(pop());
+      ++n;
+    } while (!heap_.empty() && heap_.front().time == t);
+    return n;
+  }
+
+  /// Pre-sizes the heap for `n` more events than currently queued. Called
+  /// at job release with the DAG's node count: root/release pushes then
+  /// grow the vector at most once instead of through the doubling ladder.
+  /// Growth stays geometric (never below 2x the current capacity) so a
+  /// burst of submits does not degrade into quadratic exact-fit
+  /// reallocations.
+  void reserve(std::size_t n) {
+    const std::size_t want = heap_.size() + n;
+    if (want > heap_.capacity())
+      heap_.reserve(std::max(heap_.capacity() * 2, want));
+  }
+
   void clear() { heap_.clear(); }
 
  private:

@@ -1,0 +1,99 @@
+#pragma once
+// EventCount: the "condition variable of lock-free programming".
+//
+// Lets a consumer park until a lock-free predicate (e.g. "some MpscQueue is
+// non-empty") becomes true, without the lost-wakeup race of checking and
+// then sleeping, and without producers paying a mutex on the hot path. The
+// three-phase waiter protocol:
+//
+//     const auto key = ec.prepare_wait();   // announce intent (waiters++)
+//     if (predicate()) { ec.cancel_wait(); /* consume */ }
+//     else ec.commit_wait(key);             // sleep unless notified since
+//
+// and producers, after making the predicate true:
+//
+//     ec.notify();   // wakes waiters; cheap no-op when nobody is parked
+//
+// Memory-ordering contract — the correctness is a Dekker store/load duel:
+//   producer:  W(queue)          then R(waiters_)
+//   consumer:  W(waiters_)       then R(queue)
+// At least one side must observe the other or a push could slip between the
+// consumer's predicate check and its sleep with the producer seeing no
+// waiter. Both sides therefore order their store before their load with
+// sequentially-consistent operations: prepare_wait's fetch_add is a seq_cst
+// RMW (a full fence on every mainstream ISA), and notify issues an explicit
+// seq_cst fence between the caller's queue writes and the waiters_ load.
+// The epoch bump in notify happens under mu_, and commit_wait re-evaluates
+// the epoch under the same mutex inside cv_.wait — the classic
+// missed-notify window between predicate check and sleep is closed by the
+// mutex, the window between predicate check and prepare is closed by the
+// fences.
+//
+// The rt engine embeds one EventCount per worker (only that worker ever
+// waits on it), so notify_all degenerates to waking at most one thread.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace das {
+
+class EventCount {
+ public:
+  EventCount() = default;
+  EventCount(const EventCount&) = delete;
+  EventCount& operator=(const EventCount&) = delete;
+
+  /// Phase 1: announce the intent to sleep and snapshot the epoch. Must be
+  /// followed by exactly one cancel_wait() or commit_wait(key).
+  std::uint64_t prepare_wait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // Belt over the RMW's braces: the predicate loads that follow must not
+    // be hoisted above the waiter announcement on any implementation.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Phase 2a: the predicate turned out true — abandon the wait.
+  void cancel_wait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Phase 2b: sleep until a notify() that started after prepare_wait().
+  /// Returns immediately if one already happened (epoch moved past `key`).
+  void commit_wait(std::uint64_t key) {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [&] { return epoch_.load(std::memory_order_relaxed) != key; });
+    g.unlock();
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Wakes every waiter whose prepare_wait() predates this call. Callers
+  /// make the predicate true FIRST; the fence below then guarantees either
+  /// this call sees their waiter count, or the waiter's predicate re-check
+  /// sees the new state. Fast path (no waiter): one fence + one load.
+  void notify() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) == 0) return;
+    {
+      // The epoch bump must happen under mu_: commit_wait's predicate is
+      // re-evaluated with mu_ held, so a waiter is either not yet inside
+      // cv_.wait (and will see the bumped epoch) or is parked (and gets the
+      // notify_all).
+      std::lock_guard<std::mutex> g(mu_);
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    cv_.notify_all();
+  }
+
+  /// Waiters currently between prepare_wait and the end of their wait.
+  /// Advisory (racy) — used by tests and wake-target heuristics only.
+  int waiters() const { return waiters_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> waiters_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace das

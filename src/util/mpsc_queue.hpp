@@ -1,0 +1,122 @@
+#pragma once
+// Intrusive, lock-free multi-producer / single-consumer FIFO queue
+// (Vyukov's non-blocking MPSC algorithm).
+//
+// The queue never allocates: callers embed a `MpscQueue::Node` in the object
+// they enqueue (the rt engine embeds one hook per channel role in
+// Runtime::TaskRec) and a push is one relaxed store, one exchange and one
+// release store — no CAS loop, no heap traffic, wait-free for producers.
+// The consumer pops in global push order, which is also FIFO per producer
+// (the `exchange` on head_ linearises pushes).
+//
+// Node ownership protocol: a node may be pushed again the moment pop() has
+// returned its tag — pop only returns a node after the queue's tail has
+// advanced past it (when the popped node is the last element, the queue
+// re-enqueues its internal stub first), so no later push or pop touches it.
+// A node must not be in two queues at once; the rt engine gives each task
+// one hook per channel it can occupy simultaneously.
+//
+// Memory-ordering contract (the documentation bar set by rt/wsq.hpp):
+//   - push: `prev = head_.exchange(n, acq_rel)` linearises concurrent
+//     producers; the subsequent `prev->next.store(n, release)` publishes the
+//     node AND everything the producer wrote before the push (the rt engine
+//     relies on this: `TaskRec::place` is written before the AQ push and
+//     read by the consumer after pop's acquire load of `next`).
+//   - pop: every `next` load is acquire, pairing with the producer's release
+//     store — the consumer observes the fully-initialised payload.
+//   - The transient between a producer's exchange and its `next` store makes
+//     the queue momentarily unlinkable: pop() returns nullptr ("empty") and
+//     empty() returns false. Callers that park on emptiness must re-check
+//     through an EventCount-style protocol (util/eventcount.hpp): the
+//     producer completes the link *before* it signals, so a parked consumer
+//     is always woken after the node becomes poppable.
+
+#include <atomic>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+class MpscQueue {
+ public:
+  /// Intrusive hook. `tag` carries the payload pointer back out of pop()
+  /// (embedding objects at arbitrary offsets stays free of offsetof
+  /// gymnastics on non-standard-layout types).
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    void* tag = nullptr;
+  };
+
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Any thread. Wait-free (one exchange). `n` must not currently be in any
+  /// queue; `tag` must be non-null (pop() uses nullptr for "empty").
+  void push(Node* n, void* tag) {
+    DAS_ASSERT(tag != nullptr);
+    n->tag = tag;
+    push_node(n);
+  }
+
+  /// Consumer only. Returns the tag of the oldest node, or nullptr when the
+  /// queue is empty (or transiently unlinkable, see push).
+  void* pop() {
+    Node* tail = tail_.load(std::memory_order_relaxed);
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      // The stub is a consumed dummy: skip past it.
+      if (next == nullptr) return nullptr;  // empty (or mid-push)
+      tail_.store(next, std::memory_order_relaxed);
+      tail = next;
+      next = tail->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      // Common case: advance past `tail` and hand it out.
+      tail_.store(next, std::memory_order_relaxed);
+      return tail->tag;
+    }
+    // `tail` is the last linked node. If a producer is mid-push behind it,
+    // report empty and let the caller retry after the producer's signal.
+    if (tail != head_.load(std::memory_order_acquire)) return nullptr;
+    // Re-enqueue the stub so tail_ can advance past the final node, making
+    // it safe for immediate reuse by the caller.
+    push_node(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_.store(next, std::memory_order_relaxed);
+      return tail->tag;
+    }
+    return nullptr;  // another producer slipped in mid-push; retry later
+  }
+
+  /// True when no unconsumed node is in the queue. Exact for the consumer;
+  /// producers may observe a stale answer (tail_ is written only by the
+  /// consumer, with relaxed atomics so cross-thread reads are defined).
+  /// During another producer's mid-push transient this correctly reports
+  /// non-empty (head_ has already moved off the stub).
+  bool empty() const {
+    return tail_.load(std::memory_order_relaxed) == &stub_ &&
+           head_.load(std::memory_order_acquire) == &stub_;
+  }
+
+ private:
+  void push_node(Node* n) {
+    n->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    // Between the exchange and this store the chain is broken at `prev`;
+    // pop() observes next == nullptr with head_ != tail_ and reports empty
+    // until the link lands (see the header contract).
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  std::atomic<Node*> head_;  ///< newest node (producers exchange onto it)
+  /// Consumer cursor: oldest unconsumed, or stub. Written only by the
+  /// consumer (relaxed is enough — same-thread ordering); atomic so
+  /// producer-side empty() probes stay defined behaviour.
+  std::atomic<Node*> tail_;
+  Node stub_;                ///< queue-owned dummy; in the chain when idle
+};
+
+}  // namespace das

@@ -12,6 +12,8 @@
 
 #include "exec/executor.hpp"
 #include "kernels/registry.hpp"
+#include "rt/runtime.hpp"
+#include "sim/engine.hpp"
 #include "util/time.hpp"
 #include "workloads/synthetic_dag.hpp"
 
@@ -181,6 +183,52 @@ TEST_F(JobServiceTest, ResetStatsZerosCountersButKeepsThePtt) {
     EXPECT_EQ(r.stats[0].tasks_total, 20);
     EXPECT_GT(exec->stats().elapsed_s(), 0.0);
     EXPECT_LT(exec->stats().elapsed_s(), exec->now());
+  }
+}
+
+TEST_F(JobServiceTest, TenThousandJobStreamStaysBounded) {
+  // Long-lived service regression guard: wait() must retire the finished
+  // job's record block, or a 10k-job stream accumulates 10k TaskRec[]
+  // blocks in the jobs_ map. jobs_in_flight() IS the map's size (the
+  // documented introspection point), so asserting it bounded asserts the
+  // memory is bounded too.
+  constexpr int kJobs = 10000;
+  constexpr int kWindow = 8;  // jobs kept in flight concurrently
+
+  // rt backend: tiny one-task jobs through the thread pool.
+  {
+    rt::Runtime rt(topo_, Policy::kRws, registry_);
+    Dag dag;
+    dag.add_node(ids_.matmul, Priority::kLow, {}, [](const ExecContext&) {});
+    std::vector<JobId> window;
+    for (int j = 0; j < kJobs; ++j) {
+      window.push_back(rt.submit(dag));
+      ASSERT_LE(rt.jobs_in_flight(), kWindow);
+      if (static_cast<int>(window.size()) == kWindow) {
+        for (JobId id : window) rt.wait(id);
+        window.clear();
+        ASSERT_EQ(rt.jobs_in_flight(), 0) << "job map grew at job " << j;
+      }
+    }
+    for (JobId id : window) rt.wait(id);
+    EXPECT_EQ(rt.jobs_in_flight(), 0);
+    EXPECT_EQ(rt.stats().tasks_total(), kJobs);
+  }
+
+  // sim backend: the same stream in virtual time.
+  {
+    sim::SimOptions opts;
+    opts.noise = false;
+    sim::SimEngine engine(topo_, Policy::kRws, registry_, opts);
+    Dag dag;
+    TaskParams p;
+    p.p0 = 16;
+    dag.add_node(ids_.matmul, Priority::kLow, p);
+    for (int j = 0; j < kJobs; ++j) {
+      engine.wait(engine.submit(dag));
+      ASSERT_EQ(engine.jobs_in_flight(), 0) << "job map grew at job " << j;
+    }
+    EXPECT_EQ(engine.stats().tasks_total(), kJobs);
   }
 }
 

@@ -1,0 +1,140 @@
+// Tests for the intrusive Vyukov MPSC queue: FIFO order, stub recycling
+// around the empty state, node reuse after pop, and a multi-producer TSan
+// stress asserting the FIFO-per-producer invariant under contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/mpsc_queue.hpp"
+
+namespace das {
+namespace {
+
+struct Payload {
+  MpscQueue::Node hook;
+  int producer = 0;
+  int seq = 0;
+};
+
+TEST(MpscQueueTest, StartsEmpty) {
+  MpscQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpscQueueTest, SingleThreadFifo) {
+  // Payload embeds an atomic hook, so it is neither copyable nor movable:
+  // plain arrays, not vectors, hold the items (same shape as the rt
+  // engine's TaskRec blocks).
+  MpscQueue q;
+  const auto items = std::make_unique<Payload[]>(100);
+  for (int i = 0; i < 100; ++i) {
+    items[static_cast<std::size_t>(i)].seq = i;
+    q.push(&items[static_cast<std::size_t>(i)].hook,
+           &items[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_FALSE(q.empty());
+  for (int i = 0; i < 100; ++i) {
+    auto* p = static_cast<Payload*>(q.pop());
+    ASSERT_NE(p, nullptr) << "at " << i;
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(MpscQueueTest, AlternatingPushPopRecyclesStub) {
+  // Push/pop one item at a time: every pop drains the queue to its stub-only
+  // state, exercising the internal stub re-enqueue path each round.
+  MpscQueue q;
+  Payload a;
+  for (int round = 0; round < 1000; ++round) {
+    a.seq = round;
+    q.push(&a.hook, &a);
+    EXPECT_FALSE(q.empty());
+    auto* p = static_cast<Payload*>(q.pop());
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->seq, round);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pop(), nullptr);
+  }
+}
+
+TEST(MpscQueueTest, NodeReusableImmediatelyAfterPop) {
+  // The ownership contract: once pop() returned a node's tag, the node may
+  // be pushed into ANOTHER queue at once (the rt engine reuses ready_hook
+  // across the feeder and inbox roles of successive wakes).
+  MpscQueue q1, q2;
+  Payload a, b;
+  q1.push(&a.hook, &a);
+  q1.push(&b.hook, &b);
+  ASSERT_EQ(q1.pop(), &a);
+  q2.push(&a.hook, &a);  // reuse in a second queue while q1 still holds b
+  ASSERT_EQ(q2.pop(), &a);
+  ASSERT_EQ(q1.pop(), &b);
+  EXPECT_TRUE(q1.empty());
+  EXPECT_TRUE(q2.empty());
+}
+
+TEST(MpscQueueTest, MultiProducerStressKeepsPerProducerFifo) {
+  // N producers hammer one consumer. Global order is unspecified across
+  // producers, but each producer's items must arrive in push order and
+  // nothing may be lost or duplicated — the invariant the rt channels rely
+  // on. Runs under TSan in CI.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20000;
+  MpscQueue q;
+  std::vector<std::unique_ptr<Payload[]>> items;
+  for (int p = 0; p < kProducers; ++p) {
+    items.push_back(std::make_unique<Payload[]>(kPerProducer));
+    for (int i = 0; i < kPerProducer; ++i) {
+      auto& it = items[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+      it.producer = p;
+      it.seq = i;
+    }
+  }
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto& it =
+            items[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+        q.push(&it.hook, &it);
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  int received = 0;
+  std::vector<int> next_seq(kProducers, 0);
+  while (received < kProducers * kPerProducer) {
+    auto* it = static_cast<Payload*>(q.pop());
+    if (it == nullptr) continue;  // empty or a producer mid-push: retry
+    ASSERT_GE(it->producer, 0);
+    ASSERT_LT(it->producer, kProducers);
+    // FIFO per producer: each producer's items surface in push order.
+    EXPECT_EQ(it->seq, next_seq[static_cast<std::size_t>(it->producer)])
+        << "producer " << it->producer;
+    next_seq[static_cast<std::size_t>(it->producer)] = it->seq + 1;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+  for (int p = 0; p < kProducers; ++p)
+    EXPECT_EQ(next_seq[static_cast<std::size_t>(p)], kPerProducer);
+}
+
+}  // namespace
+}  // namespace das

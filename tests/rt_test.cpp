@@ -1,11 +1,16 @@
 // Tests for the real-thread runtime: conservation, dependency ordering,
 // moldable cooperative execution, steal-exemption of high-priority tasks,
-// multi-run reuse, randomised stress DAGs, and throttle-based asymmetry.
+// multi-run reuse, randomised stress DAGs, throttle-based asymmetry, and
+// eventcount parking (a starved pool must sleep, not spin).
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "kernels/registry.hpp"
@@ -212,6 +217,45 @@ TEST_F(RtTest, RejectsMultiRankDag) {
   dag.node(0).rank = 1;
   Runtime rt(topo_, Policy::kRws, registry_);
   EXPECT_THROW(rt.run(dag), PreconditionError);
+}
+
+TEST_F(RtTest, StarvedPoolParksInsteadOfSpinning) {
+  // A job is in flight but offers work to only ONE worker: the single task
+  // blocks (sleeps — no busy-wait) while every other worker has nothing to
+  // execute or steal. With eventcount parking the pool's CPU consumption
+  // over the window must be ~0; the pre-PR spin loop burned
+  // (num_cores - 1) x window of CPU here. getrusage covers the whole
+  // process, so the bound is deliberately generous — it still sits far
+  // below what even one spinning worker would burn.
+  Runtime rt(topo_, Policy::kRws, registry_);
+  constexpr auto kSettle = std::chrono::milliseconds(100);
+  constexpr auto kStarved = std::chrono::milliseconds(250);
+  std::atomic<int> parked_mid_flight{-1};
+
+  Dag dag;
+  dag.add_node(ids_.matmul, Priority::kLow, {}, [&](const ExecContext& ctx) {
+    if (ctx.rank != 0) return;
+    std::this_thread::sleep_for(kSettle);  // let the idle workers park
+    parked_mid_flight.store(rt.parked_workers());
+    std::this_thread::sleep_for(kStarved);
+  });
+
+  struct rusage before {}, after {};
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &before), 0);
+  rt.run(dag);
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &after), 0);
+  auto cpu_s = [](const rusage& r) {
+    return static_cast<double>(r.ru_utime.tv_sec + r.ru_stime.tv_sec) +
+           1e-6 * static_cast<double>(r.ru_utime.tv_usec + r.ru_stime.tv_usec);
+  };
+  const double burned = cpu_s(after) - cpu_s(before);
+
+  // While the job was in flight, (nearly) every other worker was parked on
+  // its eventcount — not yielding in a backoff loop.
+  EXPECT_GE(parked_mid_flight.load(), topo_.num_cores() - 2);
+  // 0.35 s of wall starvation x 5 idle workers would burn ~1.75 s spinning;
+  // parked workers leave only scheduling noise.
+  EXPECT_LT(burned, 0.5);
 }
 
 TEST_F(RtTest, StressManySmallTasksAllPolicies) {

@@ -50,6 +50,39 @@ TEST_F(SimTest, EventQueueOrdersByTimeThenSequence) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST_F(SimTest, EventQueuePopReadyBatchesIdenticalTimesInPopOrder) {
+  EventQueue<int> q;
+  q.push(2.0, 20);
+  q.push(1.0, 10);
+  q.push(1.0, 11);
+  q.push(1.0, 12);
+  std::vector<EventQueue<int>::Item> batch;
+  // First batch: every event tied at t=1.0, in insertion-sequence order.
+  ASSERT_EQ(q.pop_ready(batch), 3u);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].payload, 10);
+  EXPECT_EQ(batch[1].payload, 11);
+  EXPECT_EQ(batch[2].payload, 12);
+  // A same-time push AFTER the batch drains gets a larger sequence: it pops
+  // behind the batch exactly as one-at-a-time popping would order it.
+  q.push(2.0, 21);
+  batch.clear();
+  ASSERT_EQ(q.pop_ready(batch), 2u);
+  EXPECT_EQ(batch[0].payload, 20);
+  EXPECT_EQ(batch[1].payload, 21);
+  batch.clear();
+  EXPECT_EQ(q.pop_ready(batch), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_F(SimTest, EventQueueReservePreservesContentAndOrder) {
+  EventQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(static_cast<double>(100 - i), i);
+  q.reserve(100000);  // headroom for a big job release; no behaviour change
+  ASSERT_EQ(q.size(), 100u);
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(q.pop().payload, i);
+}
+
 TEST_F(SimTest, EveryTaskExecutesExactlyOnce) {
   for (Policy p : all_policies()) {
     Dag dag = small_dag();
