@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_dheft.dir/bench/baseline_dheft.cpp.o"
+  "CMakeFiles/baseline_dheft.dir/bench/baseline_dheft.cpp.o.d"
+  "bench/baseline_dheft"
+  "bench/baseline_dheft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_dheft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criticality_test.dir/tests/criticality_test.cpp.o"
+  "CMakeFiles/criticality_test.dir/tests/criticality_test.cpp.o.d"
+  "criticality_test"
+  "criticality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criticality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_topology.dir/examples/custom_topology.cpp.o"
+  "CMakeFiles/custom_topology.dir/examples/custom_topology.cpp.o.d"
+  "examples/custom_topology"
+  "examples/custom_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_test.dir/tests/dag_test.cpp.o"
+  "CMakeFiles/dag_test.dir/tests/dag_test.cpp.o.d"
+  "dag_test"
+  "dag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

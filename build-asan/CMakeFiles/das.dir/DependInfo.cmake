@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/criticality.cpp" "CMakeFiles/das.dir/src/core/criticality.cpp.o" "gcc" "CMakeFiles/das.dir/src/core/criticality.cpp.o.d"
+  "/root/repo/src/core/dag.cpp" "CMakeFiles/das.dir/src/core/dag.cpp.o" "gcc" "CMakeFiles/das.dir/src/core/dag.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "CMakeFiles/das.dir/src/core/policy.cpp.o" "gcc" "CMakeFiles/das.dir/src/core/policy.cpp.o.d"
+  "/root/repo/src/core/ptt.cpp" "CMakeFiles/das.dir/src/core/ptt.cpp.o" "gcc" "CMakeFiles/das.dir/src/core/ptt.cpp.o.d"
+  "/root/repo/src/core/task_type.cpp" "CMakeFiles/das.dir/src/core/task_type.cpp.o" "gcc" "CMakeFiles/das.dir/src/core/task_type.cpp.o.d"
+  "/root/repo/src/core/two_level_search.cpp" "CMakeFiles/das.dir/src/core/two_level_search.cpp.o" "gcc" "CMakeFiles/das.dir/src/core/two_level_search.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "CMakeFiles/das.dir/src/exec/executor.cpp.o" "gcc" "CMakeFiles/das.dir/src/exec/executor.cpp.o.d"
+  "/root/repo/src/kernels/copy.cpp" "CMakeFiles/das.dir/src/kernels/copy.cpp.o" "gcc" "CMakeFiles/das.dir/src/kernels/copy.cpp.o.d"
+  "/root/repo/src/kernels/cost_models.cpp" "CMakeFiles/das.dir/src/kernels/cost_models.cpp.o" "gcc" "CMakeFiles/das.dir/src/kernels/cost_models.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "CMakeFiles/das.dir/src/kernels/matmul.cpp.o" "gcc" "CMakeFiles/das.dir/src/kernels/matmul.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "CMakeFiles/das.dir/src/kernels/registry.cpp.o" "gcc" "CMakeFiles/das.dir/src/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "CMakeFiles/das.dir/src/kernels/stencil.cpp.o" "gcc" "CMakeFiles/das.dir/src/kernels/stencil.cpp.o.d"
+  "/root/repo/src/net/comm.cpp" "CMakeFiles/das.dir/src/net/comm.cpp.o" "gcc" "CMakeFiles/das.dir/src/net/comm.cpp.o.d"
+  "/root/repo/src/net/mailbox.cpp" "CMakeFiles/das.dir/src/net/mailbox.cpp.o" "gcc" "CMakeFiles/das.dir/src/net/mailbox.cpp.o.d"
+  "/root/repo/src/net/world.cpp" "CMakeFiles/das.dir/src/net/world.cpp.o" "gcc" "CMakeFiles/das.dir/src/net/world.cpp.o.d"
+  "/root/repo/src/platform/affinity.cpp" "CMakeFiles/das.dir/src/platform/affinity.cpp.o" "gcc" "CMakeFiles/das.dir/src/platform/affinity.cpp.o.d"
+  "/root/repo/src/platform/speed_model.cpp" "CMakeFiles/das.dir/src/platform/speed_model.cpp.o" "gcc" "CMakeFiles/das.dir/src/platform/speed_model.cpp.o.d"
+  "/root/repo/src/platform/throttle.cpp" "CMakeFiles/das.dir/src/platform/throttle.cpp.o" "gcc" "CMakeFiles/das.dir/src/platform/throttle.cpp.o.d"
+  "/root/repo/src/platform/topology.cpp" "CMakeFiles/das.dir/src/platform/topology.cpp.o" "gcc" "CMakeFiles/das.dir/src/platform/topology.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "CMakeFiles/das.dir/src/rt/runtime.cpp.o" "gcc" "CMakeFiles/das.dir/src/rt/runtime.cpp.o.d"
+  "/root/repo/src/rt/worker.cpp" "CMakeFiles/das.dir/src/rt/worker.cpp.o" "gcc" "CMakeFiles/das.dir/src/rt/worker.cpp.o.d"
+  "/root/repo/src/rt/wsq.cpp" "CMakeFiles/das.dir/src/rt/wsq.cpp.o" "gcc" "CMakeFiles/das.dir/src/rt/wsq.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "CMakeFiles/das.dir/src/scenario/scenario.cpp.o" "gcc" "CMakeFiles/das.dir/src/scenario/scenario.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/das.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/das.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/das.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/das.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/das.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/das.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/trace/reporter.cpp" "CMakeFiles/das.dir/src/trace/reporter.cpp.o" "gcc" "CMakeFiles/das.dir/src/trace/reporter.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "CMakeFiles/das.dir/src/trace/stats.cpp.o" "gcc" "CMakeFiles/das.dir/src/trace/stats.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "CMakeFiles/das.dir/src/trace/timeline.cpp.o" "gcc" "CMakeFiles/das.dir/src/trace/timeline.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "CMakeFiles/das.dir/src/util/format.cpp.o" "gcc" "CMakeFiles/das.dir/src/util/format.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/das.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/das.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "CMakeFiles/das.dir/src/util/time.cpp.o" "gcc" "CMakeFiles/das.dir/src/util/time.cpp.o.d"
+  "/root/repo/src/workloads/heat.cpp" "CMakeFiles/das.dir/src/workloads/heat.cpp.o" "gcc" "CMakeFiles/das.dir/src/workloads/heat.cpp.o.d"
+  "/root/repo/src/workloads/interference.cpp" "CMakeFiles/das.dir/src/workloads/interference.cpp.o" "gcc" "CMakeFiles/das.dir/src/workloads/interference.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "CMakeFiles/das.dir/src/workloads/kmeans.cpp.o" "gcc" "CMakeFiles/das.dir/src/workloads/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/synthetic_dag.cpp" "CMakeFiles/das.dir/src/workloads/synthetic_dag.cpp.o" "gcc" "CMakeFiles/das.dir/src/workloads/synthetic_dag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

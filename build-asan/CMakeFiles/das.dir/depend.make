@@ -1,0 +1,2 @@
+# Empty dependencies file for das.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dheft_test.dir/tests/dheft_test.cpp.o"
+  "CMakeFiles/dheft_test.dir/tests/dheft_test.cpp.o.d"
+  "dheft_test"
+  "dheft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dheft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

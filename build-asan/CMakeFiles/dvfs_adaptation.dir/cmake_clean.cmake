@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_adaptation.dir/examples/dvfs_adaptation.cpp.o"
+  "CMakeFiles/dvfs_adaptation.dir/examples/dvfs_adaptation.cpp.o.d"
+  "examples/dvfs_adaptation"
+  "examples/dvfs_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_heat_distributed.dir/bench/fig10_heat_distributed.cpp.o"
+  "CMakeFiles/fig10_heat_distributed.dir/bench/fig10_heat_distributed.cpp.o.d"
+  "bench/fig10_heat_distributed"
+  "bench/fig10_heat_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_heat_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_interference.dir/bench/fig4_interference.cpp.o"
+  "CMakeFiles/fig4_interference.dir/bench/fig4_interference.cpp.o.d"
+  "bench/fig4_interference"
+  "bench/fig4_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

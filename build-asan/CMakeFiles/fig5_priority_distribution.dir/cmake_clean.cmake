@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_priority_distribution.dir/bench/fig5_priority_distribution.cpp.o"
+  "CMakeFiles/fig5_priority_distribution.dir/bench/fig5_priority_distribution.cpp.o.d"
+  "bench/fig5_priority_distribution"
+  "bench/fig5_priority_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_priority_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

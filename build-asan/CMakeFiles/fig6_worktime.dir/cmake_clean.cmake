@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_worktime.dir/bench/fig6_worktime.cpp.o"
+  "CMakeFiles/fig6_worktime.dir/bench/fig6_worktime.cpp.o.d"
+  "bench/fig6_worktime"
+  "bench/fig6_worktime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_worktime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

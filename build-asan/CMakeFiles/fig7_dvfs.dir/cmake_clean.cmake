@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dvfs.dir/bench/fig7_dvfs.cpp.o"
+  "CMakeFiles/fig7_dvfs.dir/bench/fig7_dvfs.cpp.o.d"
+  "bench/fig7_dvfs"
+  "bench/fig7_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sensitivity.dir/bench/fig8_sensitivity.cpp.o"
+  "CMakeFiles/fig8_sensitivity.dir/bench/fig8_sensitivity.cpp.o.d"
+  "bench/fig8_sensitivity"
+  "bench/fig8_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

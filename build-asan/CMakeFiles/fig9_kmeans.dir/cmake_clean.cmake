@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_kmeans.dir/bench/fig9_kmeans.cpp.o"
+  "CMakeFiles/fig9_kmeans.dir/bench/fig9_kmeans.cpp.o.d"
+  "bench/fig9_kmeans"
+  "bench/fig9_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_distributed.dir/examples/heat_distributed.cpp.o"
+  "CMakeFiles/heat_distributed.dir/examples/heat_distributed.cpp.o.d"
+  "examples/heat_distributed"
+  "examples/heat_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

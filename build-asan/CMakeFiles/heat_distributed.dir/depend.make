@@ -1,0 +1,2 @@
+# Empty dependencies file for heat_distributed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_service_test.dir/tests/job_service_test.cpp.o"
+  "CMakeFiles/job_service_test.dir/tests/job_service_test.cpp.o.d"
+  "job_service_test"
+  "job_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

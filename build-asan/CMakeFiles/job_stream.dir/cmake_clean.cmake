@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_stream.dir/bench/job_stream.cpp.o"
+  "CMakeFiles/job_stream.dir/bench/job_stream.cpp.o.d"
+  "bench/job_stream"
+  "bench/job_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_clustering.dir/examples/kmeans_clustering.cpp.o"
+  "CMakeFiles/kmeans_clustering.dir/examples/kmeans_clustering.cpp.o.d"
+  "examples/kmeans_clustering"
+  "examples/kmeans_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsc_queue_test.dir/tests/mpsc_queue_test.cpp.o"
+  "CMakeFiles/mpsc_queue_test.dir/tests/mpsc_queue_test.cpp.o.d"
+  "mpsc_queue_test"
+  "mpsc_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsc_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_scaling.dir/bench/overhead_scaling.cpp.o"
+  "CMakeFiles/overhead_scaling.dir/bench/overhead_scaling.cpp.o.d"
+  "bench/overhead_scaling"
+  "bench/overhead_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

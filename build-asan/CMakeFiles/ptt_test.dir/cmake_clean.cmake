@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptt_test.dir/tests/ptt_test.cpp.o"
+  "CMakeFiles/ptt_test.dir/tests/ptt_test.cpp.o.d"
+  "ptt_test"
+  "ptt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

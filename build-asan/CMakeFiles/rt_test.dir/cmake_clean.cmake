@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_test.dir/tests/rt_test.cpp.o"
+  "CMakeFiles/rt_test.dir/tests/rt_test.cpp.o.d"
+  "rt_test"
+  "rt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_model_test.dir/tests/speed_model_test.cpp.o"
+  "CMakeFiles/speed_model_test.dir/tests/speed_model_test.cpp.o.d"
+  "speed_model_test"
+  "speed_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_schedulers.dir/bench/table1_schedulers.cpp.o"
+  "CMakeFiles/table1_schedulers.dir/bench/table1_schedulers.cpp.o.d"
+  "bench/table1_schedulers"
+  "bench/table1_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

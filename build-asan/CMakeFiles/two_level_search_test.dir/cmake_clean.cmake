@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_level_search_test.dir/tests/two_level_search_test.cpp.o"
+  "CMakeFiles/two_level_search_test.dir/tests/two_level_search_test.cpp.o.d"
+  "two_level_search_test"
+  "two_level_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_level_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_realruntime.dir/bench/validation_realruntime.cpp.o"
+  "CMakeFiles/validation_realruntime.dir/bench/validation_realruntime.cpp.o.d"
+  "bench/validation_realruntime"
+  "bench/validation_realruntime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_realruntime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

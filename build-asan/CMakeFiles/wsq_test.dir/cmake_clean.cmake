@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_test.dir/tests/wsq_test.cpp.o"
+  "CMakeFiles/wsq_test.dir/tests/wsq_test.cpp.o.d"
+  "wsq_test"
+  "wsq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
