@@ -36,7 +36,7 @@ std::vector<double> bottom_levels(const Dag& dag, const CriticalityOptions& opts
     const NodeId n = *it;
     const DagNode& node = dag.node(n);
     double best_succ = 0.0;
-    for (const DagEdge& e : node.successors)
+    for (const DagEdge& e : dag.successors(n))
       best_succ = std::max(best_succ, level[static_cast<std::size_t>(e.to)]);
     level[static_cast<std::size_t>(n)] = node_weight(node, opts) + best_succ;
   }
@@ -49,7 +49,7 @@ std::vector<double> top_levels(const Dag& dag, const CriticalityOptions& opts) {
   for (NodeId n : order) {
     const DagNode& node = dag.node(n);
     const double here = level[static_cast<std::size_t>(n)] + node_weight(node, opts);
-    for (const DagEdge& e : node.successors) {
+    for (const DagEdge& e : dag.successors(n)) {
       auto& succ = level[static_cast<std::size_t>(e.to)];
       succ = std::max(succ, here);
     }
@@ -80,7 +80,7 @@ int infer_criticality(Dag& dag, const CriticalityOptions& opts) {
       high = through >= longest - eps;
     }
     if (!high && opts.fanout_threshold > 0 &&
-        static_cast<int>(node.successors.size()) >= opts.fanout_threshold) {
+        static_cast<int>(dag.num_successors(n)) >= opts.fanout_threshold) {
       high = true;
     }
     node.priority = high ? Priority::kHigh : Priority::kLow;

@@ -6,6 +6,27 @@
 
 namespace das {
 
+std::size_t Dag::SuccessorRange::size() const {
+  std::size_t n = static_cast<std::size_t>(seg_end_ - seg_);
+  for (std::int32_t c = chain_; c >= 0;
+       c = (*pool_)[static_cast<std::size_t>(c)].next)
+    ++n;
+  return n;
+}
+
+const DagEdge& Dag::SuccessorRange::operator[](std::size_t i) const {
+  const std::size_t seg_len = static_cast<std::size_t>(seg_end_ - seg_);
+  if (i < seg_len) return seg_[i];
+  i -= seg_len;
+  std::int32_t c = chain_;
+  while (i > 0 && c >= 0) {
+    c = (*pool_)[static_cast<std::size_t>(c)].next;
+    --i;
+  }
+  DAS_CHECK_MSG(c >= 0, "successor index out of range");
+  return (*pool_)[static_cast<std::size_t>(c)].edge;
+}
+
 NodeId Dag::add_node(TaskTypeId type, Priority priority, TaskParams params,
                      WorkFn work) {
   DAS_CHECK(type != kInvalidTaskType);
@@ -23,19 +44,91 @@ void Dag::add_edge(NodeId from, NodeId to, double delay_s) {
   DAS_CHECK(to >= 0 && to < num_nodes());
   DAS_CHECK_MSG(from != to, "self-edges are not allowed");
   DAS_CHECK(delay_s >= 0.0);
-  nodes_[static_cast<std::size_t>(from)].successors.push_back(DagEdge{to, delay_s});
+  if (chain_head_.size() < nodes_.size()) {
+    chain_head_.resize(nodes_.size(), -1);
+    chain_tail_.resize(nodes_.size(), -1);
+  }
+  const std::int32_t cell = static_cast<std::int32_t>(pool_.size());
+  pool_.push_back(EdgeCell{DagEdge{to, delay_s}, -1});
+  const auto f = static_cast<std::size_t>(from);
+  if (chain_tail_[f] < 0) {
+    chain_head_[f] = cell;
+  } else {
+    pool_[static_cast<std::size_t>(chain_tail_[f])].next = cell;
+  }
+  chain_tail_[f] = cell;
   nodes_[static_cast<std::size_t>(to)].num_predecessors++;
+  if (preds_counts_.size() < nodes_.size()) preds_counts_.resize(nodes_.size(), 0);
+  preds_counts_[static_cast<std::size_t>(to)]++;
   num_edges_++;
 }
 
-DagNode& Dag::node(NodeId id) {
-  DAS_CHECK(id >= 0 && id < num_nodes());
-  return nodes_[static_cast<std::size_t>(id)];
+Dag::SuccessorRange Dag::successors(NodeId id) const {
+  DAS_ASSERT(id >= 0 && id < num_nodes());
+  const auto i = static_cast<std::size_t>(id);
+  const DagEdge* seg = nullptr;
+  const DagEdge* seg_end = nullptr;
+  if (i + 1 < csr_off_.size()) {
+    seg = csr_edges_.data() + csr_off_[i];
+    seg_end = csr_edges_.data() + csr_off_[i + 1];
+  }
+  const std::int32_t chain = i < chain_head_.size() ? chain_head_[i] : -1;
+  return SuccessorRange(seg, seg_end, &pool_, chain);
 }
 
-const DagNode& Dag::node(NodeId id) const {
-  DAS_CHECK(id >= 0 && id < num_nodes());
-  return nodes_[static_cast<std::size_t>(id)];
+void Dag::seal() const {
+  const std::size_t n = nodes_.size();
+  if (pool_.empty() && csr_off_.size() == n + 1) return;
+
+  std::vector<DagEdge> edges;
+  edges.reserve(num_edges_);
+  std::vector<std::int32_t> off(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    off[i] = static_cast<std::int32_t>(edges.size());
+    if (i + 1 < csr_off_.size()) {
+      for (std::int32_t k = csr_off_[i]; k < csr_off_[i + 1]; ++k)
+        edges.push_back(csr_edges_[static_cast<std::size_t>(k)]);
+    }
+    if (i < chain_head_.size()) {
+      for (std::int32_t c = chain_head_[i]; c >= 0;
+           c = pool_[static_cast<std::size_t>(c)].next)
+        edges.push_back(pool_[static_cast<std::size_t>(c)].edge);
+    }
+  }
+  off[n] = static_cast<std::int32_t>(edges.size());
+  DAS_ASSERT(edges.size() == num_edges_);
+
+  csr_edges_ = std::move(edges);
+  csr_off_ = std::move(off);
+  // Release the staging pool outright (swap, not clear): after a seal the
+  // arena owns every edge, and steady-state DAG reuse should not pin a
+  // second copy's worth of memory.
+  std::vector<EdgeCell>().swap(pool_);
+  std::vector<std::int32_t>().swap(chain_head_);
+  std::vector<std::int32_t>().swap(chain_tail_);
+
+  // Snapshot the submit metadata in one pass, so engines neither revalidate
+  // nor rescan the node array per submit (K-means resubmits the same sealed
+  // DAG every iteration and pays this once).
+  preds_counts_.resize(n, 0);
+  roots_cache_.clear();
+  distinct_types_.clear();
+  min_rank_ = n > 0 ? nodes_[0].rank : 0;
+  max_rank_ = min_rank_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DagNode& node = nodes_[i];
+    if (node.num_predecessors == 0)
+      roots_cache_.push_back(static_cast<NodeId>(i));
+    if (node.rank < min_rank_) min_rank_ = node.rank;
+    if (node.rank > max_rank_) max_rank_ = node.rank;
+    bool seen = false;
+    for (const TaskTypeId t : distinct_types_)
+      if (t == node.type) {
+        seen = true;
+        break;
+      }
+    if (!seen) distinct_types_.push_back(node.type);
+  }
 }
 
 std::vector<NodeId> Dag::roots() const {
@@ -46,6 +139,7 @@ std::vector<NodeId> Dag::roots() const {
 }
 
 bool Dag::is_acyclic() const {
+  seal();
   std::vector<int> indeg(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) indeg[i] = nodes_[i].num_predecessors;
   std::vector<NodeId> stack = roots();
@@ -54,13 +148,14 @@ bool Dag::is_acyclic() const {
     const NodeId n = stack.back();
     stack.pop_back();
     ++visited;
-    for (const DagEdge& e : nodes_[static_cast<std::size_t>(n)].successors)
+    for (const DagEdge& e : successors(n))
       if (--indeg[static_cast<std::size_t>(e.to)] == 0) stack.push_back(e.to);
   }
   return visited == nodes_.size();
 }
 
 std::vector<NodeId> Dag::topological_order() const {
+  seal();
   std::vector<int> indeg(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) indeg[i] = nodes_[i].num_predecessors;
   std::vector<NodeId> order;
@@ -70,7 +165,7 @@ std::vector<NodeId> Dag::topological_order() const {
     const NodeId n = stack.back();
     stack.pop_back();
     order.push_back(n);
-    for (const DagEdge& e : nodes_[static_cast<std::size_t>(n)].successors)
+    for (const DagEdge& e : successors(n))
       if (--indeg[static_cast<std::size_t>(e.to)] == 0) stack.push_back(e.to);
   }
   DAS_CHECK_MSG(order.size() == nodes_.size(), "DAG contains a cycle");
@@ -83,8 +178,7 @@ int Dag::longest_path_nodes() const {
   std::vector<int> depth(nodes_.size(), 1);
   int best = 1;
   for (NodeId n : order) {
-    const auto& node = nodes_[static_cast<std::size_t>(n)];
-    for (const DagEdge& e : node.successors) {
+    for (const DagEdge& e : successors(n)) {
       auto& d = depth[static_cast<std::size_t>(e.to)];
       d = std::max(d, depth[static_cast<std::size_t>(n)] + 1);
       best = std::max(best, d);

@@ -91,20 +91,9 @@ int Topology::cluster_index_of(int core) const {
   return cluster_of_[core];
 }
 
-bool Topology::is_valid_place(const ExecutionPlace& p) const {
-  if (p.leader < 0 || p.leader >= num_cores_ || p.width < 1) return false;
-  if (p.width > static_cast<int>(place_id_[p.leader].size()) - 1) return false;
-  return place_id_[p.leader][p.width] >= 0;
-}
-
 const ExecutionPlace& Topology::place_at(int place_id) const {
   DAS_CHECK(place_id >= 0 && place_id < num_places());
   return places_[place_id];
-}
-
-int Topology::place_id(const ExecutionPlace& p) const {
-  DAS_CHECK_MSG(is_valid_place(p), "invalid execution place " + to_string(p));
-  return place_id_[p.leader][p.width];
 }
 
 int Topology::leader_for(int core, int width) const {

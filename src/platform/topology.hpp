@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace das {
 
 struct ExecutionPlace {
@@ -87,14 +89,27 @@ class Topology {
 
   // --- Execution places ---------------------------------------------------
 
-  bool is_valid_place(const ExecutionPlace& p) const;
+  // Inline: the engines consult the place table two or three times per
+  // task; the table lookup IS the validity check.
+  bool is_valid_place(const ExecutionPlace& p) const {
+    if (p.leader < 0 || p.leader >= num_cores_ || p.width < 1) return false;
+    if (p.width >
+        static_cast<int>(place_id_[static_cast<std::size_t>(p.leader)].size()) - 1)
+      return false;
+    return place_id_[static_cast<std::size_t>(p.leader)]
+                    [static_cast<std::size_t>(p.width)] >= 0;
+  }
   /// All valid places, ordered by (leader, width); the index in this vector
   /// is the dense PlaceId used by the PTT.
   const std::vector<ExecutionPlace>& places() const { return places_; }
   int num_places() const { return static_cast<int>(places_.size()); }
   const ExecutionPlace& place_at(int place_id) const;
   /// Dense id of a valid place; DAS_CHECKs validity.
-  int place_id(const ExecutionPlace& p) const;
+  int place_id(const ExecutionPlace& p) const {
+    DAS_CHECK(is_valid_place(p));
+    return place_id_[static_cast<std::size_t>(p.leader)]
+                    [static_cast<std::size_t>(p.width)];
+  }
 
   /// Leader for `core` at `width`: core aligned down to the width boundary
   /// within its cluster. DAS_CHECKs that the width is valid for the cluster.

@@ -71,6 +71,10 @@ void Runtime::submit_roots(Job& job) {
 
 JobId Runtime::submit(const Dag& dag) {
   DAS_CHECK(dag.num_nodes() > 0);
+  // Compact any staged edges into the CSR arena before workers fan out
+  // through it. A no-op for the (usual) already-sealed DAG; submitting one
+  // UNSEALED Dag from several threads concurrently is the caller's race.
+  dag.seal();
   for (NodeId i = 0; i < dag.num_nodes(); ++i) {
     const DagNode& n = dag.node(i);
     DAS_CHECK_MSG(n.rank == 0, "the threaded runtime executes single-rank DAGs"

@@ -276,8 +276,8 @@ std::int64_t Runtime::run_work(int core, TaskRec* task, int rank) {
 
 void Runtime::finish_last(int core, TaskRec* task) {
   Job* job = task->job;
-  const DagNode& node = *task->node;
-  for (const DagEdge& e : node.successors) {
+  // CSR fan-out: the sealed adjacency arena makes this a flat-span walk.
+  for (const DagEdge& e : job->dag->successors(task->id)) {
     TaskRec* succ = &job->records[static_cast<std::size_t>(e.to)];
     if (succ->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       wake_task(succ, core, /*caller_is_worker=*/true);

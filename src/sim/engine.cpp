@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -12,9 +13,16 @@ SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
     : policy_kind_(policy), registry_(&registry), options_(options),
       rng_(options.seed) {
   DAS_CHECK(!ranks.empty());
+  int total_cores = 0;
+  for (const RankSpec& rs : ranks) {
+    DAS_CHECK(rs.topo != nullptr);
+    total_cores += rs.topo->num_cores();
+  }
+  rank_of_core_.reserve(static_cast<std::size_t>(total_cores));
+  ranks_.reserve(ranks.size());
+
   int next_core = 0;
   for (std::size_t r = 0; r < ranks.size(); ++r) {
-    DAS_CHECK(ranks[r].topo != nullptr);
     Rank rank;
     rank.topo = ranks[r].topo;
     rank.scenario = ranks[r].scenario;
@@ -26,12 +34,21 @@ SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
         options_.policy_options);
     rank.stats =
         std::make_unique<ExecutionStats>(*rank.topo, options_.stats_phases);
-    next_core += rank.topo->num_cores();
-    for (int c = 0; c < rank.topo->num_cores(); ++c)
+    for (int c = 0; c < rank.topo->num_cores(); ++c) {
       rank_of_core_.push_back(static_cast<int>(r));
+      first_core_of_core_.push_back(next_core);
+    }
+    next_core += rank.topo->num_cores();
     ranks_.push_back(std::move(rank));
   }
-  cores_.resize(static_cast<std::size_t>(next_core));
+  events_.set_num_lanes(kNumLanes);
+  cores_.resize(static_cast<std::size_t>(total_cores));
+  const std::size_t words = (static_cast<std::size_t>(total_cores) + 63) / 64;
+  idle_bits_.assign(words, 0);
+  wsq_bits_.assign(words, 0);
+  // Every core starts idle (no pending event).
+  for (int c = 0; c < total_cores; ++c)
+    idle_bits_[static_cast<std::size_t>(c) >> 6] |= std::uint64_t{1} << (c & 63);
 }
 
 SimEngine::SimEngine(const Topology& topo, Policy policy,
@@ -48,14 +65,28 @@ int SimEngine::rank_of_core(int core) const {
 }
 
 int SimEngine::local_core(int core) const {
-  return core - ranks_[static_cast<std::size_t>(rank_of_core(core))].first_core;
+  return core - first_core_of_core_[static_cast<std::size_t>(core)];
 }
 
 SimEngine::Job& SimEngine::job_of(JobId id) {
-  const auto it = jobs_.find(id);
-  DAS_CHECK_MSG(it != jobs_.end(),
+  const std::int64_t idx = id - lookup_base_;
+  DAS_CHECK_MSG(idx >= 0 &&
+                    idx < static_cast<std::int64_t>(job_lookup_.size()) &&
+                    job_lookup_[static_cast<std::size_t>(idx)] >= 0,
                 "job " + std::to_string(id) + " is not in flight");
-  return it->second;
+  return job_slots_[static_cast<std::size_t>(
+      job_lookup_[static_cast<std::size_t>(idx)])];
+}
+
+std::uint64_t SimEngine::masked_word(const std::vector<std::uint64_t>& bits,
+                                     int word, int lo, int hi) {
+  std::uint64_t w = bits[static_cast<std::size_t>(word)];
+  if (word == (lo >> 6)) w &= ~std::uint64_t{0} << (lo & 63);
+  if (word == ((hi - 1) >> 6)) {
+    const int top = hi - (word << 6);
+    if (top < 64) w &= (std::uint64_t{1} << top) - 1;
+  }
+  return w;
 }
 
 ExecutionStats& SimEngine::stats(int rank) {
@@ -79,7 +110,7 @@ PttStore& SimEngine::ptt(int rank) {
 }
 
 double SimEngine::completion_time(NodeId id) const {
-  DAS_CHECK(id >= 0 && id < static_cast<NodeId>(last_waited_tasks_.size()));
+  DAS_CHECK(id >= 0 && id < static_cast<NodeId>(last_waited_count_));
   return last_waited_tasks_[static_cast<std::size_t>(id)].completion;
 }
 
@@ -101,39 +132,68 @@ JobId SimEngine::submit(const Dag& dag, double arrival_offset_s) {
   DAS_CHECK(dag.num_nodes() > 0);
   DAS_CHECK_MSG(arrival_offset_s >= 0.0,
                 "submit: arrival offset must be >= 0");
-  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
+  // Compact any staged edges into the CSR arena once, up front: the release
+  // fan-out in handle_done then walks flat spans for the whole job.
+  dag.seal();
+  // Validation over the DAG's sealed metadata — O(#types + 1), not O(nodes),
+  // and entirely before any engine state mutates, so a rejected DAG leaves
+  // the engine untouched.
+  for (const TaskTypeId t : dag.distinct_types())
+    DAS_CHECK_MSG(registry_->info(t).cost != nullptr,
+                  "task type '" + registry_->info(t).name +
+                      "' has no cost model; the DES cannot execute it");
+  DAS_CHECK_MSG(dag.min_node_rank() >= 0 && dag.max_node_rank() < num_ranks(),
+                "dag node rank out of range");
+
+  const JobId id = next_job_++;
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::int32_t>(job_slots_.size());
+    job_slots_.emplace_back();
+  }
+  Job& job = job_slots_[static_cast<std::size_t>(slot)];
+  job.dag = &dag;
+  job.release_s = now_ + arrival_offset_s;
+  job.completed = 0;
+  job.finish_s = -1.0;
+  job.done = false;
+  // Overwrite allocation, no initialization: every entry is reset by
+  // make_ready, which each task passes exactly once before any other read
+  // of its TaskState.
+  const auto num_nodes = static_cast<std::size_t>(dag.num_nodes());
+  if (job.tasks_cap < num_nodes) {
+    job.tasks = std::make_unique_for_overwrite<TaskState[]>(num_nodes);
+    job.tasks_cap = num_nodes;
+  }
+  const std::vector<std::int32_t>& pc = dag.predecessor_counts();
+  job.preds.assign(pc.begin(), pc.end());
+
+  DAS_ASSERT(id - lookup_base_ ==
+             static_cast<std::int64_t>(job_lookup_.size()));
+  job_lookup_.push_back(slot);
+  ++live_jobs_;
+
+  // Pre-size the heap for the irregular events it still carries (roots,
+  // pending completions, jittered wakes) — the steady-state wake/release
+  // traffic lives in the FIFO lanes and needs no headroom here.
+  events_.reserve(dag.root_ids().size() +
+                  2 * rank_of_core_.size() + 64);
+
+  // Release the roots "from" their rank's core 0 (or the affinity core),
+  // in node order at the job's arrival instant. root_ids() is the sealed
+  // cache — only the roots are touched, not the whole node array.
+  for (const NodeId i : dag.root_ids()) {
     const DagNode& n = dag.node(i);
     DAS_CHECK_MSG(n.rank >= 0 && n.rank < num_ranks(),
                   "dag node rank out of range");
-    DAS_CHECK_MSG(registry_->info(n.type).cost != nullptr,
-                  "task type '" + registry_->info(n.type).name +
-                      "' has no cost model; the DES cannot execute it");
-  }
-
-  const JobId id = next_job_++;
-  Job job;
-  job.dag = &dag;
-  job.release_s = now_ + arrival_offset_s;
-  job.tasks.assign(static_cast<std::size_t>(dag.num_nodes()), TaskState{});
-  for (NodeId i = 0; i < dag.num_nodes(); ++i)
-    job.tasks[static_cast<std::size_t>(i)].preds = dag.node(i).num_predecessors;
-
-  // Pre-size the heap from the DAG's node count: the root pushes below plus
-  // the job's release/wake churn then grow the vector at most once instead
-  // of reallocating through the doubling ladder on million-node DAGs.
-  events_.reserve(static_cast<std::size_t>(dag.num_nodes()));
-
-  // Release the roots "from" their rank's core 0 (or the affinity core), in
-  // node order at the job's arrival instant.
-  for (NodeId i = 0; i < dag.num_nodes(); ++i) {
-    const DagNode& n = dag.node(i);
-    if (n.num_predecessors != 0) continue;
     const int local = n.affinity_core >= 0 ? n.affinity_core : 0;
     DAS_CHECK(local < ranks_[static_cast<std::size_t>(n.rank)].topo->num_cores());
     events_.push(job.release_s,
-                 Event{Ev::kRoot, -1, id, i, global_core(n.rank, local), 0.0});
+                 Event{Ev::kRoot, -1, id, i, global_core(n.rank, local)});
   }
-  jobs_.emplace(id, std::move(job));
   return id;
 }
 
@@ -156,28 +216,44 @@ double SimEngine::wait(JobId id) {
   for (auto& r : ranks_)
     r.stats->set_elapsed(r.stats->elapsed_s() + (now_ - elapsed_mark_));
   elapsed_mark_ = now_;
-  last_waited_tasks_ = std::move(job.tasks);
-  jobs_.erase(id);
+  // Swap, not move: the retired job's slot keeps its grown tasks array, so
+  // the next job reusing the slot writes into existing capacity.
+  std::swap(last_waited_tasks_, job.tasks);
+  std::swap(last_waited_cap_, job.tasks_cap);
+  last_waited_count_ = static_cast<std::size_t>(job.dag->num_nodes());
+
+  const auto idx = static_cast<std::size_t>(id - lookup_base_);
+  free_slots_.push_back(job_lookup_[idx]);
+  job_lookup_[idx] = -1;
+  --live_jobs_;
+  // Amortized dead-prefix trim keeps the lookup window proportional to the
+  // in-flight span, not the total jobs ever submitted.
+  while (lookup_dead_prefix_ < job_lookup_.size() &&
+         job_lookup_[lookup_dead_prefix_] < 0)
+    ++lookup_dead_prefix_;
+  if (lookup_dead_prefix_ > 64 &&
+      lookup_dead_prefix_ * 2 > job_lookup_.size()) {
+    job_lookup_.erase(job_lookup_.begin(),
+                      job_lookup_.begin() +
+                          static_cast<std::ptrdiff_t>(lookup_dead_prefix_));
+    lookup_base_ += static_cast<JobId>(lookup_dead_prefix_);
+    lookup_dead_prefix_ = 0;
+  }
   return makespan;
 }
 
 void SimEngine::step() {
-  if (ready_pos_ == ready_batch_.size()) {
-    // Refill: drain every event tied at the earliest instant in one heap
-    // sweep (EventQueue::pop_ready). The buffer is reused — clear() keeps
-    // its capacity, so steady-state stepping allocates nothing.
-    ready_batch_.clear();
-    ready_pos_ = 0;
-    events_.pop_ready(ready_batch_);
-    DAS_ASSERT(!ready_batch_.empty());
-  }
-  const auto& item = ready_batch_[ready_pos_++];
+  // Direct pop: with the lane/heap queue a pop is one source scan plus an
+  // O(1) ring pop for the dominant event classes — cheaper than staging
+  // identical-time batches through a side buffer was.
+  const EventQueue<Event>::Item item = events_.pop();
+  ++events_processed_;
   DAS_ASSERT(item.time + 1e-12 >= now_);
   now_ = std::max(now_, item.time);
   const Event& e = item.payload;
   switch (e.kind) {
     case Ev::kWake:
-      cores_[static_cast<std::size_t>(e.core)].active = false;
+      set_inactive(e.core);
       handle_wake(e.core, now_);
       break;
     case Ev::kDone:
@@ -193,12 +269,12 @@ void SimEngine::step() {
 }
 
 void SimEngine::activate(int core, double at, bool direct) {
-  CoreState& cs = cores_[static_cast<std::size_t>(core)];
-  if (cs.active) return;
-  cs.active = true;
+  if (cores_[static_cast<std::size_t>(core)].active) return;
+  set_active(core);
   if (direct) {
     // Explicit wake signal (steal-exempt placement): immediate.
-    events_.push(at, Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
+    events_.push_lane(kLaneImmediate, at,
+                      Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
     return;
   }
   // An inactive core is an idle worker in backoff sleep; it notices the new
@@ -209,13 +285,37 @@ void SimEngine::activate(int core, double at, bool direct) {
   // win the race (cores 3..5 would never work at low DAG parallelism).
   const double jitter = 0.5 + rng_.uniform();
   events_.push(at + options_.idle_wake_delay_s * jitter,
-               Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
+               Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+}
+
+void SimEngine::wake_idle_cores(int rank, double t) {
+  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
+  const int lo = r.first_core;
+  const int hi = lo + r.topo->num_cores();
+  for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+    // Snapshot the word: activate() only CLEARS bits (of the core being
+    // woken), so iterating the snapshot visits exactly the cores that were
+    // idle when the sweep began — the same set, in the same ascending
+    // order, as the old activate-every-core scan.
+    std::uint64_t bits = masked_word(idle_bits_, w, lo, hi);
+    while (bits != 0) {
+      const int core = (w << 6) + std::countr_zero(bits);
+      bits &= bits - 1;
+      activate(core, t);
+    }
+  }
 }
 
 void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
-  Job& job = job_of(job_id);
+  Job& job = job_at(job_id);
   const DagNode& n = node_of(job, id);
+  // Live bound check, not just the sealed-metadata snapshot submit saw: a
+  // caller that mutates node ranks on an already-sealed DAG must get a
+  // thrown precondition here, never an out-of-bounds ranks_ access.
+  DAS_CHECK_MSG(n.rank >= 0 && n.rank < num_ranks(),
+                "dag node rank out of range");
   TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
+  ts = TaskState{};  // first touch of this task: clear recycled slot state
   Rank& rank = ranks_[static_cast<std::size_t>(n.rank)];
 
   // Wakes crossing ranks land on the task's affinity core (or core 0 of its
@@ -229,7 +329,6 @@ void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
 
   const WakeDecision wd = rank.policy->on_ready(n.type, n.priority, local_waker);
   const int queue_core = global_core(n.rank, wd.queue_core);
-  CoreState& target = cores_[static_cast<std::size_t>(queue_core)];
 
   if (wd.has_fixed_place) {
     ts.has_fixed_place = true;
@@ -242,24 +341,24 @@ void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
   }
 
   if (wd.stealable) {
-    target.wsq.push_back(QueuedTask{job_id, id});
+    wsq_push(queue_core, QueuedTask{job_id, id});
     // The new task is visible to thieves: give every idle core of the rank a
     // chance to grab it (they re-idle immediately if they lose the race).
     activate(queue_core, t);
-    for (int c = 0; c < rank.topo->num_cores(); ++c)
-      activate(global_core(n.rank, c), t);
+    wake_idle_cores(n.rank, t);
   } else {
-    target.inbox.push_back(QueuedTask{job_id, id});
+    cores_[static_cast<std::size_t>(queue_core)].inbox.push_back(
+        QueuedTask{job_id, id});
     activate(queue_core, t, /*direct=*/true);
   }
 }
 
-void SimEngine::distribute(JobId job_id, NodeId id, const ExecutionPlace& place,
-                           int rank, double t) {
+void SimEngine::distribute(Job& job, JobId job_id, NodeId id,
+                           const ExecutionPlace& place, int rank, double t) {
   const Rank& r = ranks_[static_cast<std::size_t>(rank)];
   DAS_CHECK_MSG(r.topo->is_valid_place(place),
                 "policy produced invalid place " + to_string(place));
-  TaskState& ts = job_of(job_id).tasks[static_cast<std::size_t>(id)];
+  TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   ts.place = place;
   ts.has_fixed_place = true;
   for (int i = 0; i < place.width; ++i) {
@@ -304,42 +403,68 @@ void SimEngine::start_participation(int core, const Participation& p, double t) 
   CoreState& cs = cores_[static_cast<std::size_t>(core)];
   DAS_CHECK_MSG(!cs.busy, "core double-booked: a participation started while "
                           "another is still running");
-  Job& job = job_of(p.job);
+  Job& job = job_at(p.job);
   TaskState& ts = job.tasks[static_cast<std::size_t>(p.task)];
   if (ts.arrivals == 0) ts.first_arrival = t;
   ts.arrivals++;
   const double cost = participation_cost(job, p.task, core, p.rank_in_assembly, t);
   ts.max_cost = std::max(ts.max_cost, cost);
   const int rank = rank_of_core(core);
-  ranks_[static_cast<std::size_t>(rank)].stats->record_busy(
+  ranks_[static_cast<std::size_t>(rank)].stats->record_busy_st(
       local_core(core), static_cast<std::int64_t>(cost * 1e9));
+  // Timeline bookkeeping (node lookup, type-name resolution) is hoisted
+  // behind the null check: the common timeline-less run pays nothing.
   if (options_.timeline != nullptr) {
     const DagNode& n = node_of(job, p.task);
     options_.timeline->record(core, t, cost, registry_->info(n.type).name,
                               n.priority, ts.place.width);
   }
-  cs.active = true;
+  set_active(core);
   cs.busy = true;
-  events_.push(t + cost, Event{Ev::kDone, core, p.job, p.task, -1, cost});
+  events_.push(t + cost, Event{Ev::kDone, core, p.job, p.task, -1});
 }
 
 bool SimEngine::try_steal(int core, double t) {
   const int rank = rank_of_core(core);
   const Rank& r = ranks_[static_cast<std::size_t>(rank)];
-  std::vector<int> victims;
-  for (int c = 0; c < r.topo->num_cores(); ++c) {
-    const int gc = global_core(rank, c);
-    if (gc != core && !cores_[static_cast<std::size_t>(gc)].wsq.empty())
-      victims.push_back(gc);
+  const int lo = r.first_core;
+  const int hi = lo + r.topo->num_cores();
+  const int self_word = core >> 6;
+  const std::uint64_t self_mask = ~(std::uint64_t{1} << (core & 63));
+
+  // Victim count by bit rank over the occupancy bitmap — the same count,
+  // and below the same k-th victim in ascending core order, that the old
+  // scan-and-collect vector produced, so the seeded RNG stream (and with it
+  // every virtual-time result) is unchanged.
+  int n_victims = 0;
+  for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+    std::uint64_t bits = masked_word(wsq_bits_, w, lo, hi);
+    if (w == self_word) bits &= self_mask;
+    n_victims += std::popcount(bits);
   }
-  if (victims.empty()) return false;
-  const int victim =
-      victims[static_cast<std::size_t>(rng_.below(victims.size()))];
+  if (n_victims == 0) return false;
+
+  std::size_t k = rng_.below(static_cast<std::size_t>(n_victims));
+  int victim = -1;
+  for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+    std::uint64_t bits = masked_word(wsq_bits_, w, lo, hi);
+    if (w == self_word) bits &= self_mask;
+    const auto pc = static_cast<std::size_t>(std::popcount(bits));
+    if (k < pc) {
+      for (; k > 0; --k) bits &= bits - 1;  // drop k lowest set bits
+      victim = (w << 6) + std::countr_zero(bits);
+      break;
+    }
+    k -= pc;
+  }
+  DAS_ASSERT(victim >= 0);
+
   CoreState& vs = cores_[static_cast<std::size_t>(victim)];
   const QueuedTask qt = vs.wsq.front();  // thieves take the oldest task
-  vs.wsq.erase(vs.wsq.begin());
+  vs.wsq.pop_front();
+  wsq_mark_if_empty(victim);
 
-  Job& job = job_of(qt.job);
+  Job& job = job_at(qt.job);
   const DagNode& n = node_of(job, qt.task);
   TaskState& ts = job.tasks[static_cast<std::size_t>(qt.task)];
   const ExecutionPlace place =
@@ -348,56 +473,60 @@ bool SimEngine::try_steal(int core, double t) {
           : r.policy->on_execute(n.type, n.priority, local_core(core));
   // Mark the thief active first (one pending wake), then distribute after
   // the steal round-trip.
-  cores_[static_cast<std::size_t>(core)].active = true;
-  events_.push(t + options_.steal_latency_s + options_.dispatch_overhead_s,
-               Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
-  distribute(qt.job, qt.task, place, rank, t + options_.steal_latency_s);
+  set_active(core);
+  events_.push_lane(kLaneSteal,
+                    t + options_.steal_latency_s + options_.dispatch_overhead_s,
+                    Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+  distribute(job, qt.job, qt.task, place, rank, t + options_.steal_latency_s);
   return true;
 }
 
 void SimEngine::handle_wake(int core, double t) {
   CoreState& cs = cores_[static_cast<std::size_t>(core)];
-  const int rank = rank_of_core(core);
-  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
 
-  // 1. Assembly queue first: committed work.
+  // 1. Assembly queue first: committed work. (The rank lookups below are
+  // deferred past this branch — a wake that starts a queued participation
+  // never needs them.)
   if (!cs.aq.empty()) {
     const Participation p = cs.aq.front();
-    cs.aq.erase(cs.aq.begin());
+    cs.aq.pop_front();
     start_participation(core, p, t);
     return;
   }
+  const int rank = rank_of_core(core);
+  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
   // 2. Steal-exempt inbox: high-priority tasks with fixed places.
   if (!cs.inbox.empty()) {
     const QueuedTask qt = cs.inbox.front();
-    cs.inbox.erase(cs.inbox.begin());
-    const TaskState& ts =
-        job_of(qt.job).tasks[static_cast<std::size_t>(qt.task)];
+    cs.inbox.pop_front();
+    Job& job = job_at(qt.job);
+    const TaskState& ts = job.tasks[static_cast<std::size_t>(qt.task)];
     DAS_ASSERT(ts.has_fixed_place);
     // Mark THIS core active (single pending wake) before distribute() tries
     // to activate the participants — otherwise the distributor would get a
     // second wake event and could double-book itself.
-    cs.active = true;
-    events_.push(t + options_.dispatch_overhead_s,
-                 Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
-    distribute(qt.job, qt.task, ts.place, rank, t);
+    set_active(core);
+    events_.push_lane(kLaneDispatch, t + options_.dispatch_overhead_s,
+                      Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+    distribute(job, qt.job, qt.task, ts.place, rank, t);
     return;
   }
   // 3. Own WSQ (LIFO end).
   if (!cs.wsq.empty()) {
     const QueuedTask qt = cs.wsq.back();
     cs.wsq.pop_back();
-    Job& job = job_of(qt.job);
+    wsq_mark_if_empty(core);
+    Job& job = job_at(qt.job);
     const DagNode& n = node_of(job, qt.task);
     const TaskState& ts = job.tasks[static_cast<std::size_t>(qt.task)];
     const ExecutionPlace place =
         ts.has_fixed_place
             ? ts.place
             : r.policy->on_execute(n.type, n.priority, local_core(core));
-    cs.active = true;  // see the inbox branch: one pending wake only
-    events_.push(t + options_.dispatch_overhead_s,
-                 Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1, 0.0});
-    distribute(qt.job, qt.task, place, rank, t);
+    set_active(core);  // see the inbox branch: one pending wake only
+    events_.push_lane(kLaneDispatch, t + options_.dispatch_overhead_s,
+                      Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+    distribute(job, qt.job, qt.task, place, rank, t);
     return;
   }
   // 4. Steal from a random victim within the rank.
@@ -406,7 +535,7 @@ void SimEngine::handle_wake(int core, double t) {
 }
 
 void SimEngine::handle_done(const Event& e, double t) {
-  Job& job = job_of(e.job);
+  Job& job = job_at(e.job);
   const NodeId id = e.task;
   const DagNode& n = node_of(job, id);
   TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
@@ -424,12 +553,20 @@ void SimEngine::handle_done(const Event& e, double t) {
     const double span = t - ts.first_arrival;
     r.policy->record_sample(n.type, ts.place, ts.max_cost);
     const int place_id = r.topo->place_id(ts.place);
-    r.stats->record_task_at(n.priority, place_id, span, n.phase);
+    r.stats->record_task_at_st(n.priority, place_id, span, n.phase);
     ts.completion = t;
     job.completed++;
-    for (const DagEdge& edge : n.successors) {
-      events_.push(t + edge.delay_s,
-                   Event{Ev::kRelease, -1, e.job, edge.to, e.core, 0.0});
+    // Release fan-out over the sealed CSR arena: a flat span walk, no
+    // per-node vector indirection. The overwhelmingly common zero-delay
+    // edge releases at `t` exactly — FIFO-lane territory; only cross-rank
+    // edges with a wire delay pay the heap.
+    for (const DagEdge& edge : job.dag->successors(id)) {
+      const Event rel{Ev::kRelease, -1, e.job, edge.to, e.core};
+      if (edge.delay_s == 0.0) {
+        events_.push_lane(kLaneImmediate, t, rel);
+      } else {
+        events_.push(t + edge.delay_s, rel);
+      }
     }
     if (job.completed == job.dag->num_nodes()) {
       job.done = true;
@@ -442,16 +579,16 @@ void SimEngine::handle_done(const Event& e, double t) {
   CoreState& cs = cores_[static_cast<std::size_t>(e.core)];
   DAS_ASSERT(cs.busy);
   cs.busy = false;
-  cs.active = true;
-  events_.push(t + options_.completion_overhead_s,
-               Event{Ev::kWake, e.core, kInvalidJob, kInvalidNode, -1, 0.0});
+  set_active(e.core);
+  events_.push_lane(kLaneCompletion, t + options_.completion_overhead_s,
+                    Event{Ev::kWake, e.core, kInvalidJob, kInvalidNode, -1});
 }
 
 void SimEngine::handle_release(const Event& e, double t) {
-  Job& job = job_of(e.job);
-  TaskState& ts = job.tasks[static_cast<std::size_t>(e.task)];
-  DAS_ASSERT(ts.preds > 0);
-  if (--ts.preds == 0) make_ready(e.job, e.task, e.from_core, t);
+  Job& job = job_at(e.job);
+  std::int32_t& preds = job.preds[static_cast<std::size_t>(e.task)];
+  DAS_ASSERT(preds > 0);
+  if (--preds == 0) make_ready(e.job, e.task, e.from_core, t);
 }
 
 }  // namespace das::sim

@@ -16,6 +16,22 @@
 // interference are exact, and every figure regenerates bit-identically from
 // a seed.
 //
+// Hot-path design (bench/sim_throughput.cpp is the regression sentinel; the
+// golden determinism test pins that none of this perturbs the event or RNG
+// streams):
+//   - per-core queues are flat ring buffers reused across jobs (no
+//     steady-state allocation, O(1) pops at both WSQ ends);
+//   - an idle-core bitmap (bit set <=> no pending wake/done event) lets a
+//     stealable push wake exactly the idle cores of the rank in ascending
+//     core order without scanning every core;
+//   - a WSQ-occupancy bitmap gives try_steal its victim count and the k-th
+//     victim by bit rank, replacing the per-call victim vector while
+//     preserving the seeded victim-selection stream;
+//   - jobs live in a slot-indexed table (free-list reuse) with a flat
+//     JobId -> slot window, so per-event job resolution is two array
+//     loads, not a std::map walk;
+//   - release fan-out walks the DAG's sealed CSR adjacency arena.
+//
 // Job service: the engine executes a *stream* of independent DAGs (jobs)
 // over one persistent worker/PTT state. submit() releases a job's roots at
 // now() + arrival_offset in virtual time; wait() advances the event loop
@@ -29,7 +45,6 @@
 // scenario, policy, PTT and stats; work stealing never crosses ranks; DAG
 // edges between ranks carry a network delay (DagEdge::delay_s).
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -42,6 +57,7 @@
 #include "sim/event_queue.hpp"
 #include "trace/stats.hpp"
 #include "trace/timeline.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace das::sim {
@@ -105,9 +121,13 @@ class SimEngine {
   double run(const Dag& dag) { return wait(submit(dag)); }
 
   double now() const { return now_; }
+  /// Events dispatched since construction (wakes, completions, releases,
+  /// root drops). The simulator-throughput bench divides this by wall time;
+  /// it is also a cheap cross-check that two runs took identical paths.
+  std::uint64_t events_processed() const { return events_processed_; }
   int num_ranks() const { return static_cast<int>(ranks_.size()); }
   /// Jobs submitted but not yet wait()ed to completion.
-  int jobs_in_flight() const { return static_cast<int>(jobs_.size()); }
+  int jobs_in_flight() const { return live_jobs_; }
 
   ExecutionStats& stats(int rank = 0);
   const ExecutionStats& stats(int rank = 0) const;
@@ -125,8 +145,16 @@ class SimEngine {
     JobId job = kInvalidJob;   // owning job (kDone, kRelease, kRoot)
     NodeId task = kInvalidNode;
     int from_core = -1;        // releasing core (kRelease, kRoot)
-    double cost = 0.0;         // participation busy time (kDone)
   };
+
+  // FIFO lanes of the event queue (see sim/event_queue.hpp): each carries
+  // one class of event whose delay from now() is a fixed constant, so its
+  // timestamps are nondecreasing by construction and it needs no heap.
+  static constexpr int kLaneImmediate = 0;   // direct wakes, 0-delay releases
+  static constexpr int kLaneDispatch = 1;    // now + dispatch_overhead_s
+  static constexpr int kLaneCompletion = 2;  // now + completion_overhead_s
+  static constexpr int kLaneSteal = 3;       // now + steal + dispatch
+  static constexpr int kNumLanes = 4;
 
   /// A task reference as queued: jobs interleave on the same per-core
   /// queues, so every entry names its job.
@@ -141,16 +169,18 @@ class SimEngine {
     int rank_in_assembly;
   };
 
+  /// Per-core queues are flat rings, reused across jobs: pushing and
+  /// popping allocate nothing in steady state, and the thief-side FIFO pop
+  /// is O(1) instead of vector::erase(begin())'s memmove.
   struct CoreState {
-    std::vector<QueuedTask> inbox;      // steal-exempt FIFO (pop front)
-    std::vector<QueuedTask> wsq;        // owner pops back, thieves pop front
-    std::vector<Participation> aq;      // FIFO (pop front)
-    bool active = false;                // has a pending kWake/kDone event
-    bool busy = false;                  // mid-participation (invariant check)
+    RingBuffer<QueuedTask> inbox;      // steal-exempt FIFO (pop front)
+    RingBuffer<QueuedTask> wsq;        // owner pops back, thieves pop front
+    RingBuffer<Participation> aq;      // FIFO (pop front)
+    bool active = false;               // has a pending kWake/kDone event
+    bool busy = false;                 // mid-participation (invariant check)
   };
 
   struct TaskState {
-    int preds = 0;
     bool has_fixed_place = false;
     ExecutionPlace place{};
     int arrivals = 0;
@@ -161,9 +191,19 @@ class SimEngine {
   };
 
   /// One in-flight job: its DAG, per-node state, and completion accounting.
+  /// Lives in a reusable slot of job_slots_ (the tasks array's capacity
+  /// survives slot reuse, so job churn stops allocating). `tasks` is an
+  /// overwrite array, not a vector: entries are UNINITIALIZED until
+  /// make_ready's first-touch reset, so a million-node submit does not
+  /// sweep 50 MB of task state it is about to overwrite anyway.
   struct Job {
     const Dag* dag = nullptr;
-    std::vector<TaskState> tasks;
+    std::unique_ptr<TaskState[]> tasks;
+    std::size_t tasks_cap = 0;
+    /// Remaining-predecessor countdown, one int per node — separate from
+    /// TaskState so submit seeds it with one flat copy from the DAG's
+    /// sealed predecessor_counts() instead of a strided scatter.
+    std::vector<std::int32_t> preds;
     std::int64_t completed = 0;
     double release_s = 0.0;   ///< virtual arrival instant of the roots
     double finish_s = -1.0;   ///< completion of the last task; -1 while open
@@ -182,26 +222,63 @@ class SimEngine {
   int global_core(int rank, int local) const { return ranks_[static_cast<std::size_t>(rank)].first_core + local; }
   int rank_of_core(int core) const;
   int local_core(int core) const;
+  /// API-boundary resolution (submit/wait): throws on unknown ids.
   Job& job_of(JobId id);
+  /// Hot-path resolution: event payloads only ever name live jobs, so this
+  /// is two array loads behind an assert.
+  Job& job_at(JobId id) {
+    const auto idx = static_cast<std::size_t>(id - lookup_base_);
+    DAS_ASSERT(id >= lookup_base_ && idx < job_lookup_.size() &&
+               job_lookup_[idx] >= 0);
+    return job_slots_[static_cast<std::size_t>(job_lookup_[idx])];
+  }
   const DagNode& node_of(const Job& job, NodeId id) const { return job.dag->node(id); }
+
+  // --- core activity / occupancy bitmaps -----------------------------------
+  // idle_bits_ mirrors !CoreState::active (bit set = idle, may be woken);
+  // wsq_bits_ mirrors !CoreState::wsq.empty() (bit set = steal victim).
+  // Every transition routes through these helpers so the bitmaps can never
+  // drift from the per-core flags they index.
+  void set_active(int core) {
+    cores_[static_cast<std::size_t>(core)].active = true;
+    idle_bits_[static_cast<std::size_t>(core) >> 6] &=
+        ~(std::uint64_t{1} << (core & 63));
+  }
+  void set_inactive(int core) {
+    cores_[static_cast<std::size_t>(core)].active = false;
+    idle_bits_[static_cast<std::size_t>(core) >> 6] |=
+        std::uint64_t{1} << (core & 63);
+  }
+  void wsq_push(int core, const QueuedTask& qt) {
+    CoreState& cs = cores_[static_cast<std::size_t>(core)];
+    if (cs.wsq.empty())
+      wsq_bits_[static_cast<std::size_t>(core) >> 6] |=
+          std::uint64_t{1} << (core & 63);
+    cs.wsq.push_back(qt);
+  }
+  void wsq_mark_if_empty(int core) {
+    if (cores_[static_cast<std::size_t>(core)].wsq.empty())
+      wsq_bits_[static_cast<std::size_t>(core) >> 6] &=
+          ~(std::uint64_t{1} << (core & 63));
+  }
+  /// The rank's word range [lo, hi) masked out of `bits`, for bitmap scans.
+  static std::uint64_t masked_word(const std::vector<std::uint64_t>& bits,
+                                   int word, int lo, int hi);
 
   /// `direct` models an explicit wake signal to the target worker (used for
   /// steal-exempt placements): no backoff-sleep jitter is added.
   void activate(int core, double at, bool direct = false);
+  /// activate(c, t) for every idle core of the rank in ascending core
+  /// order — the bitmap replacement for the all-cores activation sweep.
+  void wake_idle_cores(int rank, double t);
   void step();  ///< dispatches one event (events_pending() must be true)
-  /// True while the ready batch or the heap still holds events. wait()
-  /// loops on this, never on events_.empty() alone: step() drains
-  /// identical-time events through ready_batch_ (one heap sweep per
-  /// distinct virtual instant), and a job can complete mid-batch.
-  bool events_pending() const {
-    return ready_pos_ < ready_batch_.size() || !events_.empty();
-  }
+  bool events_pending() const { return !events_.empty(); }
   void handle_wake(int core, double t);
   void handle_done(const Event& e, double t);
   void handle_release(const Event& e, double t);
   void make_ready(JobId job, NodeId id, int waking_core, double t);
-  void distribute(JobId job, NodeId id, const ExecutionPlace& place, int rank,
-                  double t);
+  void distribute(Job& job, JobId job_id, NodeId id,
+                  const ExecutionPlace& place, int rank, double t);
   void start_participation(int core, const Participation& p, double t);
   bool try_steal(int core, double t);
   double participation_cost(const Job& job, NodeId id, int core,
@@ -210,28 +287,35 @@ class SimEngine {
 
   std::vector<Rank> ranks_;
   std::vector<int> rank_of_core_;  // global core -> rank index
+  std::vector<int> first_core_of_core_;  // global core -> its rank's core 0
   Policy policy_kind_;
   const TaskTypeRegistry* registry_;
   SimOptions options_;
   Xoshiro256 rng_;
   EventQueue<Event> events_;
-  /// Identical-time batch buffer, reused across steps (allocation-free in
-  /// steady state). Handlers may push new events for the SAME instant while
-  /// a batch drains; those carry larger insertion sequences than anything
-  /// in the batch, so heap order == batch-then-heap order and the replay
-  /// stays bitwise identical to one-at-a-time popping.
-  std::vector<EventQueue<Event>::Item> ready_batch_;
-  std::size_t ready_pos_ = 0;
   double now_ = 0.0;
+  std::uint64_t events_processed_ = 0;
   std::vector<CoreState> cores_;
+  std::vector<std::uint64_t> idle_bits_;  // bit set <=> !cores_[c].active
+  std::vector<std::uint64_t> wsq_bits_;   // bit set <=> !cores_[c].wsq.empty()
 
-  // In-flight jobs, keyed by id. Ordered map: deterministic by construction
-  // (lookups only drive execution; iteration order never does), and cheap to
-  // reason about in the debugger.
-  std::map<JobId, Job> jobs_;
+  // Slot-indexed job table. JobIds are handed out monotonically, so the
+  // id -> slot resolution is a flat window [lookup_base_, next_job_): two
+  // array loads per event instead of a std::map walk. Completed ids mark
+  // their window entry -1; the dead prefix is trimmed amortized-O(1).
+  std::vector<Job> job_slots_;
+  std::vector<std::int32_t> free_slots_;
+  std::vector<std::int32_t> job_lookup_;  // [id - lookup_base_] -> slot | -1
+  JobId lookup_base_ = 0;
+  std::size_t lookup_dead_prefix_ = 0;
+  int live_jobs_ = 0;
   JobId next_job_ = 0;
   double elapsed_mark_ = 0.0;  ///< now_ at the end of the previous wait()
-  std::vector<TaskState> last_waited_tasks_;  // completion_time() source
+  // completion_time() source: the most recent wait()'s task array (swapped
+  // out of the retiring job, counted entries only are meaningful).
+  std::unique_ptr<TaskState[]> last_waited_tasks_;
+  std::size_t last_waited_cap_ = 0;
+  std::size_t last_waited_count_ = 0;
 };
 
 }  // namespace das::sim

@@ -4,12 +4,34 @@
 // Events are ordered by (time, insertion sequence): ties in virtual time are
 // resolved FIFO, so a simulation is a pure function of (DAG, topology,
 // scenario, seed) — the property the determinism tests pin down.
+//
+// Two storage tiers, one logical order:
+//
+//   - FIFO *lanes* for event classes whose timestamps are nondecreasing by
+//     construction. Virtual time never goes backwards, so "now + <fixed
+//     per-lane delay>" pushes arrive already sorted — a flat ring buffer
+//     holds them in pop order with O(1) push and pop, no heap at all. The
+//     engine routes its dominant traffic (dispatch/completion/steal wakes,
+//     zero-delay releases) through lanes; push_lane asserts the
+//     monotonicity contract.
+//   - a 4-ary array *heap* for irregular timestamps (cost-model completion
+//     times, jittered backoff wakes, job arrival offsets). Explicit 4-ary
+//     beats std::push_heap/std::pop_heap over a binary tree: half the
+//     sift depth and the four children sit in adjacent slots.
+//
+// pop() merges the tiers by (time, seq), which IS the global order — a lane
+// is internally sorted and the heap yields its minimum, so the earliest
+// head across sources is the earliest event outright. The pop sequence is
+// therefore bit-identical to a single binary heap's; only the internal
+// layout differs.
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace das::sim {
 
@@ -22,43 +44,47 @@ class EventQueue {
     Payload payload;
   };
 
+  /// Configures `n` FIFO lanes (ids 0..n-1). Must be called while empty;
+  /// engines do it once at construction.
+  void set_num_lanes(int n) {
+    DAS_CHECK(empty());
+    lanes_.resize(static_cast<std::size_t>(n));
+    heads_.assign(lanes_.size() + 1, Head{});
+  }
+
+  /// Heap push: any timestamp >= 0.
   void push(double time, Payload payload) {
     DAS_ASSERT(time >= 0.0);
     heap_.push_back(Item{time, seq_++, std::move(payload)});
-    std::push_heap(heap_.begin(), heap_.end(), After{});
+    sift_up(heap_.size() - 1);
+    ++size_;
+    heads_[0] = Head{heap_.front().time, heap_.front().seq};
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Lane push: `time` must be >= the lane's newest entry (the caller's
+  /// class-of-event guarantees it — virtual now() is nondecreasing and the
+  /// lane's delay is a constant).
+  void push_lane(int lane, double time, Payload payload) {
+    DAS_ASSERT(time >= 0.0);
+    RingBuffer<Item>& q = lanes_[static_cast<std::size_t>(lane)];
+    DAS_ASSERT(q.empty() || time >= q.back().time);
+    if (q.empty())
+      heads_[static_cast<std::size_t>(lane) + 1] = Head{time, seq_};
+    q.push_back(Item{time, seq_++, std::move(payload)});
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   const Item& top() const {
-    DAS_ASSERT(!heap_.empty());
-    return heap_.front();
+    DAS_ASSERT(!empty());
+    const int src = best_source();
+    return src < 0 ? heap_.front()
+                   : lanes_[static_cast<std::size_t>(src)].front();
   }
 
-  Item pop() {
-    DAS_ASSERT(!heap_.empty());
-    std::pop_heap(heap_.begin(), heap_.end(), After{});
-    Item item = std::move(heap_.back());
-    heap_.pop_back();
-    return item;
-  }
-
-  /// Appends to `out` every event tied with the earliest virtual time, in
-  /// (time, seq) order — exactly the order repeated pop() calls would
-  /// produce, so batch consumers replay bitwise. Returns the number popped.
-  /// Callers reuse one `out` buffer across calls (clearing, not
-  /// deallocating) to keep million-event runs free of per-step allocation.
-  std::size_t pop_ready(std::vector<Item>& out) {
-    if (heap_.empty()) return 0;
-    const double t = heap_.front().time;
-    std::size_t n = 0;
-    do {
-      out.push_back(pop());
-      ++n;
-    } while (!heap_.empty() && heap_.front().time == t);
-    return n;
-  }
+  Item pop() { return pop_from(best_source()); }
 
   /// Pre-sizes the heap for `n` more events than currently queued. Called
   /// at job release with the DAG's node count: root/release pushes then
@@ -72,20 +98,100 @@ class EventQueue {
       heap_.reserve(std::max(heap_.capacity() * 2, want));
   }
 
-  void clear() { heap_.clear(); }
+  void clear() {
+    heap_.clear();
+    for (auto& q : lanes_) q.clear();
+    heads_.assign(lanes_.size() + 1, Head{});
+    size_ = 0;
+  }
 
  private:
-  // std::push_heap builds a max-heap; After makes the *earliest* event the
-  // max element.
-  struct After {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  /// True when `a` pops strictly before `b`.
+  static bool before(const Item& a, const Item& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Removes and returns the head of `src` (lane index or -1 = heap).
+  Item pop_from(int src) {
+    DAS_ASSERT(!empty());
+    --size_;
+    if (src >= 0) {
+      RingBuffer<Item>& q = lanes_[static_cast<std::size_t>(src)];
+      Item out = std::move(q.front());
+      q.pop_front();
+      heads_[static_cast<std::size_t>(src) + 1] =
+          q.empty() ? Head{} : Head{q.front().time, q.front().seq};
+      return out;
     }
+    Item out = std::move(heap_.front());
+    Item last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = std::move(last);
+      sift_down(0);
+      heads_[0] = Head{heap_.front().time, heap_.front().seq};
+    } else {
+      heads_[0] = Head{};
+    }
+    return out;
+  }
+
+  /// Source holding the global (time, seq) minimum: lane index, or -1 for
+  /// the heap. Caller guarantees !empty(). Scans the contiguous head
+  /// summary (empty sources sit at +inf), not the sources themselves.
+  int best_source() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < heads_.size(); ++i) {
+      const Head& h = heads_[i];
+      const Head& b = heads_[best];
+      if (h.time < b.time || (h.time == b.time && h.seq < b.seq)) best = i;
+    }
+    DAS_ASSERT(heads_[best].time !=
+               std::numeric_limits<double>::infinity());
+    return static_cast<int>(best) - 1;
+  }
+
+  void sift_up(std::size_t i) {
+    Item item = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!before(item, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(item);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    Item item = std::move(heap_[i]);
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child = std::min(first_child + 4, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c)
+        if (before(heap_[c], heap_[best])) best = c;
+      if (!before(heap_[best], item)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(item);
+  }
+
+  /// Head summary of one source for the merge scan; empty = +inf sentinel
+  /// (never selected while any source holds a real event).
+  struct Head {
+    double time = std::numeric_limits<double>::infinity();
+    std::uint64_t seq = std::numeric_limits<std::uint64_t>::max();
   };
 
-  std::vector<Item> heap_;
+  std::vector<Item> heap_;            // 4-ary min-heap, irregular times
+  std::vector<RingBuffer<Item>> lanes_;  // per-class FIFOs, sorted by contract
+  std::vector<Head> heads_ = std::vector<Head>(1);  // [0]=heap, [1+i]=lane i
   std::uint64_t seq_ = 0;
+  std::size_t size_ = 0;              // heap + all lanes
 };
 
 }  // namespace das::sim

@@ -44,6 +44,23 @@ void ExecutionStats::record_task_at(Priority priority, int place_id, double span
   span_sum_ns_.fetch_add(s_to_ns(span_s), std::memory_order_relaxed);
 }
 
+void ExecutionStats::record_task_at_st(Priority priority, int place_id,
+                                       double span_s, int phase) {
+  const int ph = std::clamp(phase, 0, num_phases_ - 1);
+  std::atomic<std::int64_t>& c = counts_[index(priority, place_id, ph)];
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  span_sum_ns_.store(
+      span_sum_ns_.load(std::memory_order_relaxed) + s_to_ns(span_s),
+      std::memory_order_relaxed);
+}
+
+void ExecutionStats::record_busy_st(int core, std::int64_t busy_ns) {
+  DAS_ASSERT(core >= 0 && core < topo_->num_cores());
+  std::atomic<std::int64_t>& b = busy_ns_[static_cast<std::size_t>(core)].value;
+  b.store(b.load(std::memory_order_relaxed) + busy_ns,
+          std::memory_order_relaxed);
+}
+
 void ExecutionStats::record_busy(int core, std::int64_t busy_ns) {
   DAS_ASSERT(core >= 0 && core < topo_->num_cores());
   busy_ns_[static_cast<std::size_t>(core)].value.fetch_add(busy_ns,

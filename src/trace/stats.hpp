@@ -60,6 +60,15 @@ class ExecutionStats {
   /// Adds kernel busy time to a core (emulated time for throttled cores).
   void record_busy(int core, std::int64_t busy_ns);
 
+  /// Single-writer variants: same counters, but plain load+store instead of
+  /// an atomic RMW. Only for engines that record from ONE thread (the
+  /// discrete-event simulator) — a lock-prefixed fetch_add per simulated
+  /// task is pure waste there. Concurrent readers still see consistent
+  /// relaxed values.
+  void record_task_at_st(Priority priority, int place_id, double span_s,
+                         int phase);
+  void record_busy_st(int core, std::int64_t busy_ns);
+
   /// Engines set the experiment's elapsed (virtual or wall) seconds.
   /// Atomic: under the job service a worker closing the last job's window
   /// may publish elapsed while another thread snapshots.

@@ -1,0 +1,91 @@
+#pragma once
+// Flat ring buffer (single-threaded).
+//
+// The discrete-event engine's per-core queues (WSQ, inbox, assembly queue)
+// need O(1) pushes and pops at BOTH ends: the owner pops its WSQ LIFO while
+// thieves take the oldest entry FIFO, and the inbox/AQ are plain FIFOs.
+// std::vector gives O(n) front pops (erase(begin()) memmoves the whole
+// queue — quadratic when a wide DAG parks thousands of stealable tasks) and
+// std::deque allocates per block. This ring keeps one power-of-two array
+// that is reused across jobs: after warm-up, pushing and popping allocate
+// nothing, and clear() keeps the capacity.
+//
+// Not thread-safe — the simulator is single-threaded by design. The
+// real-thread engine's queues (rt/wsq.hpp, util/mpsc_queue.hpp) own the
+// concurrent story.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace das {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask()] = v;
+    ++size_;
+  }
+
+  T& front() {
+    DAS_ASSERT(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    DAS_ASSERT(size_ > 0);
+    return buf_[head_];
+  }
+  T& back() {
+    DAS_ASSERT(size_ > 0);
+    return buf_[(head_ + size_ - 1) & mask()];
+  }
+  const T& back() const {
+    DAS_ASSERT(size_ > 0);
+    return buf_[(head_ + size_ - 1) & mask()];
+  }
+
+  /// FIFO end (thief / dispatch order).
+  void pop_front() {
+    DAS_ASSERT(size_ > 0);
+    head_ = (head_ + 1) & mask();
+    --size_;
+  }
+
+  /// LIFO end (owner order).
+  void pop_back() {
+    DAS_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  /// Drops every entry but keeps the storage: steady-state reuse across
+  /// jobs is the point of this container.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t mask() const { return buf_.size() - 1; }
+
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = buf_[(head_ + i) & mask()];
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;     // capacity is always 0 or a power of two
+  std::size_t head_ = 0;   // index of front(); wraps via mask()
+  std::size_t size_ = 0;
+};
+
+}  // namespace das

@@ -125,6 +125,7 @@ Dag HeatRank::make_iteration_dag(int phase) {
     dag.node(n).phase = phase;
     dag.add_edge(comm_node, n);
   }
+  dag.seal();  // builders hand out sealed (CSR-compacted) DAGs
   return dag;
 }
 
@@ -248,6 +249,7 @@ Dag make_heat_sim_dag(const HeatConfig& cfg, TaskTypeId heat_compute_type,
     }
     prev_compute = std::move(compute);
   }
+  dag.seal();  // builders hand out sealed (CSR-compacted) DAGs
   return dag;
 }
 

@@ -89,6 +89,7 @@ Dag build_iteration_dag(const KMeansConfig& cfg, int num_big,
       dag.add_node(reduce_type, Priority::kLow, rp, std::move(reduce_work));
   dag.node(reduce).phase = phase;
   for (NodeId m : maps) dag.add_edge(m, reduce);
+  dag.seal();  // builders hand out sealed (CSR-compacted) DAGs
   return dag;
 }
 

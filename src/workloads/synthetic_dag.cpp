@@ -24,6 +24,7 @@ Dag make_synthetic_dag(const SyntheticDagSpec& spec) {
     prev_critical = critical;
   }
   DAS_ASSERT(dag.num_nodes() == layers * spec.parallelism);
+  dag.seal();  // builders hand out sealed (CSR-compacted) DAGs
   return dag;
 }
 

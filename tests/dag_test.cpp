@@ -23,8 +23,17 @@ TEST(Dag, BuilderBasics) {
   d.add_edge(a, c, 0.5);
   EXPECT_EQ(d.num_nodes(), 3);
   EXPECT_EQ(d.num_edges(), 2u);
-  EXPECT_EQ(d.node(a).successors.size(), 2u);
-  EXPECT_DOUBLE_EQ(d.node(a).successors[1].delay_s, 0.5);
+  EXPECT_EQ(d.successors(a).size(), 2u);
+  EXPECT_DOUBLE_EQ(d.successors(a)[1].delay_s, 0.5);
+  // The same answers after CSR compaction, and for edges staged on top of a
+  // sealed arena (the dynamic-DAG overflow path).
+  d.seal();
+  EXPECT_EQ(d.successors(a).size(), 2u);
+  EXPECT_DOUBLE_EQ(d.successors(a)[1].delay_s, 0.5);
+  d.add_edge(b, c, 0.25);
+  EXPECT_EQ(d.num_edges(), 3u);
+  EXPECT_EQ(d.successors(b).size(), 1u);
+  EXPECT_DOUBLE_EQ(d.successors(b)[0].delay_s, 0.25);
   EXPECT_EQ(d.node(b).num_predecessors, 1);
   EXPECT_EQ(d.node(a).priority, Priority::kHigh);
   EXPECT_EQ(d.node(b).priority, Priority::kLow);
@@ -122,9 +131,9 @@ TEST_P(SyntheticDagTest, StructureMatchesSpec) {
     const DagNode& n = d.node(i);
     const bool last_layer = i >= (20 - 1) * P;
     if (n.priority == Priority::kHigh && !last_layer) {
-      EXPECT_EQ(n.successors.size(), static_cast<std::size_t>(P));
+      EXPECT_EQ(d.successors(i).size(), static_cast<std::size_t>(P));
     } else {
-      EXPECT_TRUE(n.successors.empty());
+      EXPECT_TRUE(d.successors(i).empty());
     }
   }
 }

@@ -50,28 +50,24 @@ TEST_F(SimTest, EventQueueOrdersByTimeThenSequence) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST_F(SimTest, EventQueuePopReadyBatchesIdenticalTimesInPopOrder) {
+TEST_F(SimTest, EventQueueMergesLanesAndHeapInGlobalTimeSeqOrder) {
+  // Lane events (nondecreasing per lane, as the engine's fixed-delay event
+  // classes guarantee) must interleave with heap events purely by
+  // (time, insertion seq) — the order a single heap would produce.
   EventQueue<int> q;
-  q.push(2.0, 20);
-  q.push(1.0, 10);
-  q.push(1.0, 11);
-  q.push(1.0, 12);
-  std::vector<EventQueue<int>::Item> batch;
-  // First batch: every event tied at t=1.0, in insertion-sequence order.
-  ASSERT_EQ(q.pop_ready(batch), 3u);
-  ASSERT_EQ(batch.size(), 3u);
-  EXPECT_EQ(batch[0].payload, 10);
-  EXPECT_EQ(batch[1].payload, 11);
-  EXPECT_EQ(batch[2].payload, 12);
-  // A same-time push AFTER the batch drains gets a larger sequence: it pops
-  // behind the batch exactly as one-at-a-time popping would order it.
-  q.push(2.0, 21);
-  batch.clear();
-  ASSERT_EQ(q.pop_ready(batch), 2u);
-  EXPECT_EQ(batch[0].payload, 20);
-  EXPECT_EQ(batch[1].payload, 21);
-  batch.clear();
-  EXPECT_EQ(q.pop_ready(batch), 0u);
+  q.set_num_lanes(2);
+  q.push(2.0, 20);            // heap, seq 0
+  q.push_lane(0, 1.0, 10);    // lane 0, seq 1
+  q.push_lane(1, 1.0, 11);    // lane 1, seq 2: same time, later seq
+  q.push_lane(0, 2.0, 12);    // lane 0, seq 3: ties with heap's 2.0, later seq
+  q.push(0.5, 5);             // heap, seq 4: earliest time wins regardless
+  ASSERT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.pop().payload, 5);
+  EXPECT_EQ(q.top().payload, 10);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 11);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 12);
   EXPECT_TRUE(q.empty());
 }
 

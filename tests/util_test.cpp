@@ -10,6 +10,7 @@
 
 #include "util/aligned.hpp"
 #include "util/assert.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
@@ -154,6 +155,39 @@ TEST(Format, RowRequiredBeforeAdd) {
 TEST(Format, Percent) {
   EXPECT_EQ(fmt_percent(0.425), "42.5%");
   EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(RingBuffer, FifoAndLifoPopsAcrossWrapAndGrowth) {
+  RingBuffer<int> r;
+  EXPECT_TRUE(r.empty());
+  // Fill past the initial capacity so growth relinearizes a wrapped ring.
+  for (int i = 0; i < 5; ++i) r.push_back(i);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.front(), i);
+    r.pop_front();
+  }
+  // head_ is now mid-array: the next pushes wrap.
+  for (int i = 0; i < 20; ++i) r.push_back(i);
+  EXPECT_EQ(r.size(), 20u);
+  EXPECT_EQ(r.front(), 0);
+  EXPECT_EQ(r.back(), 19);
+  // Owner LIFO end and thief FIFO end interleaved.
+  r.pop_back();            // drops 19
+  EXPECT_EQ(r.back(), 18);
+  r.pop_front();           // drops 0
+  EXPECT_EQ(r.front(), 1);
+  EXPECT_EQ(r.size(), 18u);
+}
+
+TEST(RingBuffer, ClearKeepsCapacityForSteadyStateReuse) {
+  RingBuffer<int> r;
+  for (int i = 0; i < 100; ++i) r.push_back(i);
+  const std::size_t cap = r.capacity();
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.capacity(), cap);
+  for (int i = 0; i < 100; ++i) r.push_back(i);
+  EXPECT_EQ(r.capacity(), cap);  // no reallocation on refill
 }
 
 TEST(Assert, CheckThrowsWithMessage) {

@@ -73,7 +73,7 @@ TEST_F(WorkloadsTest, KMeansIterationDagShape) {
   // The reduce node is the single sink with cfg.chunks predecessors.
   const DagNode& reduce = dag.node(dag.num_nodes() - 1);
   EXPECT_EQ(reduce.num_predecessors, cfg.chunks);
-  EXPECT_TRUE(reduce.successors.empty());
+  EXPECT_TRUE(dag.successors(dag.num_nodes() - 1).empty());
 }
 
 TEST_F(WorkloadsTest, KMeansParallelMatchesSerialReference) {
@@ -140,7 +140,7 @@ TEST_F(WorkloadsTest, HeatSimDagStructure) {
       EXPECT_EQ(n.priority, Priority::kHigh) << "comm tasks are critical";
       ++comm_high;
     }
-    for (const DagEdge& e : n.successors)
+    for (const DagEdge& e : dag.successors(i))
       if (e.delay_s > 0.0) {
         found_delayed_edge = true;
         EXPECT_NE(dag.node(e.to).rank, n.rank)
