@@ -1,0 +1,813 @@
+// Engine behind chk.hpp: cooperative token-passing scheduler over a small
+// pool of real threads, plus the weak-memory simulator (store histories,
+// vector clocks, fence/SC modeling, race and deadlock detection). See the
+// header comment for the model's semantics and documented simplifications.
+//
+// Serialization invariant: exactly one virtual thread holds the token at a
+// time, and the main thread only runs between schedules (make/check), so
+// ALL model state (store histories, clocks, g_sc) is mutated single-
+// threadedly and needs no lock. The engine's real mutex guards only the
+// cross-thread scheduler plumbing: token handoff, statuses, generation,
+// abort and the finished count.
+
+#include "chk/chk.hpp"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+
+namespace das::chk {
+namespace detail {
+
+namespace {
+
+constexpr int kMainTid = kMaxThreads;
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+struct AbortSchedule {};
+
+bool has_acquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_consume ||
+         o == std::memory_order_acq_rel || o == std::memory_order_seq_cst;
+}
+bool has_release(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+Mutant g_mutant = Mutant::kNone;
+bool mut_store_release() { return g_mutant == Mutant::kStoreReleaseToRelaxed; }
+bool mut_load_acquire() { return g_mutant == Mutant::kLoadAcquireToRelaxed; }
+bool mut_fence_seqcst() {
+  return g_mutant == Mutant::kFenceSeqCstToRelaxed ||
+         g_mutant == Mutant::kWsqFenceSeqCstToRelaxed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+
+struct VC {
+  std::array<std::uint32_t, kMaxThreads + 1> v{};
+  void join(const VC& o) {
+    for (int i = 0; i <= kMaxThreads; ++i) v[i] = std::max(v[i], o.v[i]);
+  }
+  bool leq(const VC& o) const {
+    for (int i = 0; i <= kMaxThreads; ++i)
+      if (v[i] > o.v[i]) return false;
+    return true;
+  }
+};
+
+enum class TStatus { kReady, kBlockedMutex, kBlockedCv, kFinished };
+
+struct ThreadCtx {
+  VC clock;
+  VC fence_rel;     // clock at the last release fence (relaxed-store stamp)
+  VC acq_pending;   // banked msg clocks of relaxed loads (acquire fence joins)
+  TStatus status = TStatus::kReady;
+  bool low_prio = false;
+  MutexState* waiting_mutex = nullptr;
+};
+
+struct Store {
+  std::uint64_t val;
+  VC msg;    // what an acquire reader joins (release message)
+  VC event;  // writer's full clock at the store (visibility floor)
+};
+
+struct LocState {
+  std::vector<Store> stores;
+  std::array<int, kMaxThreads + 1> last_seen{};  // per-thread coherence floor
+};
+
+struct VarState {
+  std::uint64_t val = 0;
+  int last_writer = -1;
+  std::uint32_t write_stamp = 0;
+  std::array<std::uint32_t, kMaxThreads + 1> read_stamp{};
+};
+
+struct MutexState {
+  bool locked = false;
+  int owner = -1;
+  VC clock;  // release clock of the last unlock
+};
+
+struct CondVarState {
+  std::vector<int> waiters;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+
+class Engine {
+ public:
+  explicit Engine(const Options& opts)
+      : opts_(opts), rng_(opts.seed),
+        random_(opts.mode == Options::Mode::kRandom) {}
+
+  ~Engine() {
+    {
+      std::unique_lock<std::mutex> l(m_);
+      shutdown_ = true;
+      cv_.notify_all();
+    }
+    for (auto& w : workers_) w.join();
+  }
+
+  Options opts_;
+
+  // Scheduler plumbing (guarded by m_).
+  std::mutex m_;
+  std::condition_variable cv_;
+  int running_ = kMainTid;
+  bool abort_ = false;
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;
+  int n_threads_ = 0;
+  int finished_ = 0;
+  std::vector<std::function<void()>>* bodies_ = nullptr;
+  std::vector<std::thread> workers_;
+
+  // Model state (token-serialized, lock-free).
+  std::array<ThreadCtx, kMaxThreads + 1> th_;
+  VC g_sc_;
+  /// Join of every atomic store's event clock. spin_yield() joins it into
+  /// the spinner's clock: a thread that yields after observing no progress
+  /// reads fresh values on retry (the eventual-visibility fairness real
+  /// hardware provides). Without this, exhaustive DFS has infinite
+  /// schedules where a retry loop re-reads the same stale store forever.
+  VC g_progress_;
+  std::uint64_t steps_ = 0;
+
+  // Exploration state.
+  struct Choice {
+    int n;
+    int taken;
+  };
+  std::vector<Choice> stack_;
+  std::size_t pos_ = 0;
+  std::mt19937_64 rng_;
+  bool random_;
+  std::uint64_t hash_ = kFnvOffset;
+  std::string violation_;
+
+  void begin_schedule() {
+    std::unique_lock<std::mutex> l(m_);
+    steps_ = 0;
+    g_sc_ = VC{};
+    g_progress_ = VC{};
+    for (auto& t : th_) t = ThreadCtx{};
+    pos_ = 0;
+    hash_ = kFnvOffset;
+    violation_.clear();
+    abort_ = false;
+  }
+
+  [[noreturn]] void fail_locked(const std::string& msg) {
+    if (violation_.empty()) violation_ = msg;
+    abort_ = true;
+    cv_.notify_all();
+    throw AbortSchedule{};
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    std::unique_lock<std::mutex> l(m_);
+    fail_locked(msg);
+  }
+
+  int choose_locked(int n) {
+    if (n <= 1) return 0;
+    int taken;
+    if (random_) {
+      taken = static_cast<int>(rng_() % static_cast<std::uint64_t>(n));
+    } else if (pos_ < stack_.size()) {
+      if (stack_[pos_].n != n)
+        fail_locked("internal: nondeterministic replay (choice arity changed)");
+      taken = stack_[pos_].taken;
+      ++pos_;
+    } else {
+      stack_.push_back({n, 0});
+      ++pos_;
+      taken = 0;
+    }
+    hash_ = (hash_ ^ (static_cast<std::uint64_t>(n) * 131u +
+                      static_cast<std::uint64_t>(taken) + 1u)) *
+            kFnvPrime;
+    return taken;
+  }
+
+  /// Pops exhausted suffix, bumps the deepest unexhausted choice. False when
+  /// the DFS is complete.
+  bool advance_dfs() {
+    while (!stack_.empty() && stack_.back().taken + 1 >= stack_.back().n)
+      stack_.pop_back();
+    if (stack_.empty()) return false;
+    ++stack_.back().taken;
+    return true;
+  }
+
+  std::vector<int> candidates_locked() const {
+    std::vector<int> c;
+    for (int i = 0; i < n_threads_; ++i)
+      if (th_[i].status == TStatus::kReady && !th_[i].low_prio) c.push_back(i);
+    if (c.empty())
+      for (int i = 0; i < n_threads_; ++i)
+        if (th_[i].status == TStatus::kReady) c.push_back(i);
+    return c;
+  }
+
+  std::string blocked_summary_locked() const {
+    std::ostringstream os;
+    os << "deadlock:";
+    for (int i = 0; i < n_threads_; ++i) {
+      os << " t" << i << "=";
+      switch (th_[i].status) {
+        case TStatus::kReady: os << "ready"; break;
+        case TStatus::kBlockedMutex: os << "blocked-on-mutex"; break;
+        case TStatus::kBlockedCv: os << "blocked-on-condvar"; break;
+        case TStatus::kFinished: os << "finished"; break;
+      }
+    }
+    return os.str();
+  }
+
+  /// Preemption point: every model operation calls this first. Charges the
+  /// step budget and lets the scheduler switch to any other ready thread.
+  /// Returns false when the schedule is aborting while the caller is
+  /// unwinding an AbortSchedule already (a unique_lock destructor calling
+  /// Mutex::unlock mid-abort must not throw a second exception); the
+  /// caller bails out, side effects are fine - the schedule is discarded.
+  bool op_point(int self) {
+    std::unique_lock<std::mutex> l(m_);
+    if (abort_) {
+      if (std::uncaught_exceptions() > 0) return false;
+      throw AbortSchedule{};
+    }
+    if (++steps_ > opts_.max_steps)
+      fail_locked(
+          "step budget exceeded - livelock (retry loop without "
+          "chk::spin_yield?)");
+    auto cands = candidates_locked();
+    const int next =
+        cands[static_cast<std::size_t>(choose_locked(static_cast<int>(cands.size())))];
+    th_[next].low_prio = false;
+    if (next != self) {
+      running_ = next;
+      cv_.notify_all();
+      cv_.wait(l, [&] { return abort_ || running_ == self; });
+      if (abort_) {
+        if (std::uncaught_exceptions() > 0) return false;
+        throw AbortSchedule{};
+      }
+    }
+    return true;
+  }
+
+  /// Caller has marked itself blocked (not kReady): hand the token to some
+  /// ready thread and sleep until rescheduled. Detects deadlock.
+  void deschedule_locked(std::unique_lock<std::mutex>& l, int self) {
+    auto cands = candidates_locked();
+    if (cands.empty()) fail_locked(blocked_summary_locked());
+    const int next =
+        cands[static_cast<std::size_t>(choose_locked(static_cast<int>(cands.size())))];
+    th_[next].low_prio = false;
+    running_ = next;
+    cv_.notify_all();
+    cv_.wait(l, [&] { return abort_ || running_ == self; });
+    if (abort_) throw AbortSchedule{};
+  }
+
+  void finish_handoff_locked() {
+    if (abort_ || finished_ == n_threads_) {
+      cv_.notify_all();
+      return;
+    }
+    auto cands = candidates_locked();
+    if (cands.empty()) {
+      try {
+        fail_locked(blocked_summary_locked());
+      } catch (AbortSchedule&) {
+      }
+      return;
+    }
+    const int next =
+        cands[static_cast<std::size_t>(choose_locked(static_cast<int>(cands.size())))];
+    th_[next].low_prio = false;
+    running_ = next;
+    cv_.notify_all();
+  }
+
+  void worker_main(int i);
+
+  void run_schedule(std::vector<std::function<void()>>& bodies) {
+    std::unique_lock<std::mutex> l(m_);
+    for (int i = static_cast<int>(workers_.size());
+         i < static_cast<int>(bodies.size()); ++i)
+      workers_.emplace_back([this, i] { worker_main(i); });
+    bodies_ = &bodies;
+    n_threads_ = static_cast<int>(bodies.size());
+    finished_ = 0;
+    for (int i = 0; i < n_threads_; ++i) {
+      th_[i] = ThreadCtx{};
+      th_[i].clock = th_[kMainTid].clock;  // spawn edge
+    }
+    ++generation_;
+    auto cands = candidates_locked();
+    const int first =
+        cands[static_cast<std::size_t>(choose_locked(static_cast<int>(cands.size())))];
+    th_[first].low_prio = false;
+    running_ = first;
+    cv_.notify_all();
+    cv_.wait(l, [&] { return finished_ == n_threads_; });
+    running_ = kMainTid;
+  }
+
+  void sc_join(ThreadCtx& t) {
+    t.clock.join(g_sc_);
+    g_sc_.join(t.clock);
+  }
+};
+
+namespace {
+
+Engine* g_engine = nullptr;
+thread_local int g_tid = -1;
+
+void bump(Engine* e, int tid) { ++e->th_[tid].clock.v[tid]; }
+
+/// True when the caller is a scheduled virtual thread of a live engine (the
+/// only context where the full model applies; make()/check() on the main
+/// thread and accidental outside-explore use take the plain path).
+bool vthread(Engine** e_out) {
+  *e_out = g_engine;
+  return g_engine != nullptr && g_tid >= 0 && g_tid != kMainTid;
+}
+
+}  // namespace
+
+void Engine::worker_main(int i) {
+  g_tid = i;
+  std::unique_lock<std::mutex> l(m_);
+  std::uint64_t last_gen = 0;
+  for (;;) {
+    cv_.wait(l, [&] { return shutdown_ || generation_ != last_gen; });
+    if (shutdown_) return;
+    last_gen = generation_;
+    if (i >= n_threads_) continue;
+    cv_.wait(l, [&] { return abort_ || running_ == i; });
+    if (!abort_) {
+      l.unlock();
+      try {
+        (*bodies_)[static_cast<std::size_t>(i)]();
+      } catch (AbortSchedule&) {
+      }
+      l.lock();
+    }
+    th_[i].status = TStatus::kFinished;
+    ++finished_;
+    finish_handoff_locked();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic locations
+
+AtomicBase::AtomicBase(std::uint64_t init) : s_(new LocState) {
+  Store st{init, VC{}, VC{}};
+  Engine* e = g_engine;
+  if (e != nullptr && g_tid >= 0) {
+    // Stamp the init store with the constructing thread: it is visible to
+    // exactly the threads that happen-after construction (spawn edge for
+    // make()-time objects, the publishing edge for mid-run ones, e.g. a
+    // grown WsDeque array reached via the release store of array_).
+    bump(e, g_tid);
+    st.msg = e->th_[g_tid].clock;
+    st.event = e->th_[g_tid].clock;
+    s_->last_seen[g_tid] = 0;
+  }
+  s_->stores.push_back(st);
+}
+
+AtomicBase::~AtomicBase() = default;
+
+std::uint64_t AtomicBase::load_(std::memory_order o) const {
+  LocState* s = s_.get();
+  Engine* e;
+  if (mut_load_acquire() && o == std::memory_order_acquire)
+    o = std::memory_order_relaxed;
+  if (!vthread(&e)) return s->stores.back().val;  // make/check/plain
+  e->op_point(g_tid);
+  ThreadCtx& t = e->th_[g_tid];
+  bump(e, g_tid);
+  if (o == std::memory_order_seq_cst) e->sc_join(t);
+  // Visibility floor: may not read older than anything already seen, nor
+  // older than the latest store whose EVENT happens-before this load.
+  int lo = s->last_seen[g_tid];
+  const int size = static_cast<int>(s->stores.size());
+  for (int j = size - 1; j > lo; --j) {
+    if (s->stores[static_cast<std::size_t>(j)].event.leq(t.clock)) {
+      lo = j;
+      break;
+    }
+  }
+  int pick = lo;
+  if (size - lo > 1) {
+    std::unique_lock<std::mutex> l(e->m_);
+    pick = lo + e->choose_locked(size - lo);
+  }
+  s->last_seen[g_tid] = pick;
+  const Store& st = s->stores[static_cast<std::size_t>(pick)];
+  if (has_acquire(o))
+    t.clock.join(st.msg);
+  else
+    t.acq_pending.join(st.msg);
+  return st.val;
+}
+
+void AtomicBase::store_(std::uint64_t v, std::memory_order o) {
+  LocState* s = s_.get();
+  Engine* e;
+  if (mut_store_release() && o == std::memory_order_release)
+    o = std::memory_order_relaxed;
+  if (!vthread(&e)) {
+    Store st{v, VC{}, VC{}};
+    if (g_engine != nullptr && g_tid == kMainTid) {
+      bump(g_engine, g_tid);
+      st.msg = g_engine->th_[g_tid].clock;
+      st.event = st.msg;
+    }
+    s->stores.push_back(st);
+    if (g_tid >= 0) s->last_seen[g_tid] = static_cast<int>(s->stores.size()) - 1;
+    return;
+  }
+  e->op_point(g_tid);
+  ThreadCtx& t = e->th_[g_tid];
+  bump(e, g_tid);
+  if (o == std::memory_order_seq_cst) e->sc_join(t);
+  Store st{v, has_release(o) ? t.clock : t.fence_rel, t.clock};
+  s->stores.push_back(st);
+  s->last_seen[g_tid] = static_cast<int>(s->stores.size()) - 1;
+  e->g_progress_.join(t.clock);
+}
+
+std::uint64_t AtomicBase::rmw_(
+    const std::function<std::uint64_t(std::uint64_t)>& f, std::memory_order o) {
+  LocState* s = s_.get();
+  Engine* e;
+  if (!vthread(&e)) {
+    const std::uint64_t old = s->stores.back().val;
+    s->stores.push_back({f(old), VC{}, VC{}});
+    return old;
+  }
+  e->op_point(g_tid);
+  ThreadCtx& t = e->th_[g_tid];
+  bump(e, g_tid);
+  if (o == std::memory_order_seq_cst) e->sc_join(t);
+  // An RMW reads the latest store in modification order and its own write
+  // continues that store's release sequence.
+  const Store prev = s->stores.back();
+  if (has_acquire(o))
+    t.clock.join(prev.msg);
+  else
+    t.acq_pending.join(prev.msg);
+  Store st{f(prev.val), has_release(o) ? t.clock : t.fence_rel, t.clock};
+  st.msg.join(prev.msg);
+  s->stores.push_back(st);
+  s->last_seen[g_tid] = static_cast<int>(s->stores.size()) - 1;
+  e->g_progress_.join(t.clock);
+  return prev.val;
+}
+
+bool AtomicBase::cas_(std::uint64_t& expected, std::uint64_t desired,
+                      std::memory_order success, std::memory_order failure) {
+  LocState* s = s_.get();
+  Engine* e;
+  if (!vthread(&e)) {
+    const std::uint64_t cur = s->stores.back().val;
+    if (cur != expected) {
+      expected = cur;
+      return false;
+    }
+    s->stores.push_back({desired, VC{}, VC{}});
+    return true;
+  }
+  e->op_point(g_tid);
+  ThreadCtx& t = e->th_[g_tid];
+  bump(e, g_tid);
+  // A failed CAS is a load with the failure order; a successful one is an
+  // RMW with the success order. Both read the newest store (conservative-
+  // strong for the failure case: a real failed CAS may read stale).
+  const Store prev = s->stores.back();
+  const bool won = prev.val == expected;
+  const std::memory_order o = won ? success : failure;
+  if (o == std::memory_order_seq_cst) e->sc_join(t);
+  if (has_acquire(o))
+    t.clock.join(prev.msg);
+  else
+    t.acq_pending.join(prev.msg);
+  if (!won) {
+    expected = prev.val;
+    s->last_seen[g_tid] = static_cast<int>(s->stores.size()) - 1;
+    return false;
+  }
+  Store st{desired, has_release(o) ? t.clock : t.fence_rel, t.clock};
+  st.msg.join(prev.msg);
+  s->stores.push_back(st);
+  s->last_seen[g_tid] = static_cast<int>(s->stores.size()) - 1;
+  e->g_progress_.join(t.clock);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Non-atomic cells (race detection)
+
+VarBase::VarBase(std::uint64_t init) : s_(new VarState) {
+  s_->val = init;
+  Engine* e = g_engine;
+  if (e != nullptr && g_tid >= 0) {
+    bump(e, g_tid);
+    s_->last_writer = g_tid;
+    s_->write_stamp = e->th_[g_tid].clock.v[g_tid];
+  }
+}
+
+VarBase::~VarBase() = default;
+
+std::uint64_t VarBase::read_() const {
+  VarState* s = s_.get();
+  Engine* e;
+  if (!vthread(&e)) return s->val;
+  ThreadCtx& t = e->th_[g_tid];
+  bump(e, g_tid);
+  if (s->last_writer >= 0 && s->write_stamp > t.clock.v[s->last_writer])
+    e->fail("data race on non-atomic var: read unordered with last write");
+  s->read_stamp[g_tid] = t.clock.v[g_tid];
+  return s->val;
+}
+
+void VarBase::write_(std::uint64_t v) {
+  VarState* s = s_.get();
+  Engine* e;
+  if (!vthread(&e)) {
+    s->val = v;
+    if (g_engine != nullptr && g_tid == kMainTid) {
+      bump(g_engine, g_tid);
+      s->last_writer = g_tid;
+      s->write_stamp = g_engine->th_[g_tid].clock.v[g_tid];
+      s->read_stamp.fill(0);
+    }
+    return;
+  }
+  ThreadCtx& t = e->th_[g_tid];
+  bump(e, g_tid);
+  if (s->last_writer >= 0 && s->write_stamp > t.clock.v[s->last_writer])
+    e->fail("data race on non-atomic var: write unordered with last write");
+  for (int u = 0; u <= kMaxThreads; ++u)
+    if (s->read_stamp[static_cast<std::size_t>(u)] > t.clock.v[u])
+      e->fail("data race on non-atomic var: write unordered with a read");
+  s->last_writer = g_tid;
+  s->write_stamp = t.clock.v[g_tid];
+  s->read_stamp.fill(0);
+  s->val = v;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Fences, mutex, condvar (outside detail, per the header)
+
+using detail::Engine;
+using detail::g_engine;  // NOLINT(build/namespaces) - internal linkage pair
+using detail::g_tid;
+
+void thread_fence(std::memory_order o) {
+  if (detail::mut_fence_seqcst() && o == std::memory_order_seq_cst)
+    o = std::memory_order_relaxed;
+  Engine* e;
+  if (!detail::vthread(&e)) return;
+  e->op_point(g_tid);
+  detail::ThreadCtx& t = e->th_[g_tid];
+  detail::bump(e, g_tid);
+  if (detail::has_acquire(o)) t.clock.join(t.acq_pending);
+  if (o == std::memory_order_seq_cst) e->sc_join(t);
+  if (detail::has_release(o)) t.fence_rel = t.clock;
+}
+
+Mutex::Mutex() : s_(new detail::MutexState) {}
+Mutex::~Mutex() = default;
+
+void Mutex::lock() {
+  Engine* e;
+  detail::MutexState* ms = s_.get();
+  if (!detail::vthread(&e)) {
+    ms->locked = true;
+    ms->owner = g_tid;
+    return;
+  }
+  for (;;) {
+    e->op_point(g_tid);
+    if (!ms->locked) {
+      ms->locked = true;
+      ms->owner = g_tid;
+      detail::bump(e, g_tid);
+      e->th_[g_tid].clock.join(ms->clock);
+      return;
+    }
+    std::unique_lock<std::mutex> l(e->m_);
+    if (e->abort_) throw detail::AbortSchedule{};
+    e->th_[g_tid].status = detail::TStatus::kBlockedMutex;
+    e->th_[g_tid].waiting_mutex = ms;
+    e->deschedule_locked(l, g_tid);
+  }
+}
+
+void Mutex::unlock() {
+  Engine* e;
+  detail::MutexState* ms = s_.get();
+  if (!detail::vthread(&e)) {
+    ms->locked = false;
+    ms->owner = -1;
+    return;
+  }
+  e->op_point(g_tid);
+  detail::bump(e, g_tid);
+  ms->clock.join(e->th_[g_tid].clock);
+  ms->locked = false;
+  ms->owner = -1;
+  std::unique_lock<std::mutex> l(e->m_);
+  for (int u = 0; u < e->n_threads_; ++u) {
+    if (e->th_[u].status == detail::TStatus::kBlockedMutex &&
+        e->th_[u].waiting_mutex == ms) {
+      e->th_[u].status = detail::TStatus::kReady;
+      e->th_[u].waiting_mutex = nullptr;
+    }
+  }
+}
+
+CondVar::CondVar() : s_(new detail::CondVarState) {}
+CondVar::~CondVar() = default;
+
+void CondVar::wait(std::unique_lock<Mutex>& g) {
+  Engine* e;
+  if (!detail::vthread(&e)) return;  // meaningless outside exploration
+  Mutex* mu = g.mutex();
+  detail::MutexState* ms = mu->s_.get();
+  e->op_point(g_tid);
+  if (ms->owner != g_tid) e->fail("condvar wait without holding the mutex");
+  // Atomically (under the token): release the mutex and park on the cv.
+  detail::bump(e, g_tid);
+  ms->clock.join(e->th_[g_tid].clock);
+  ms->locked = false;
+  ms->owner = -1;
+  {
+    std::unique_lock<std::mutex> l(e->m_);
+    for (int u = 0; u < e->n_threads_; ++u) {
+      if (e->th_[u].status == detail::TStatus::kBlockedMutex &&
+          e->th_[u].waiting_mutex == ms) {
+        e->th_[u].status = detail::TStatus::kReady;
+        e->th_[u].waiting_mutex = nullptr;
+      }
+    }
+    s_->waiters.push_back(g_tid);
+    e->th_[g_tid].status = detail::TStatus::kBlockedCv;
+    e->deschedule_locked(l, g_tid);
+  }
+  // Woken: re-acquire the mutex (may block again; we hold the token).
+  for (;;) {
+    if (!ms->locked) {
+      ms->locked = true;
+      ms->owner = g_tid;
+      detail::bump(e, g_tid);
+      e->th_[g_tid].clock.join(ms->clock);
+      return;
+    }
+    std::unique_lock<std::mutex> l(e->m_);
+    if (e->abort_) throw detail::AbortSchedule{};
+    e->th_[g_tid].status = detail::TStatus::kBlockedMutex;
+    e->th_[g_tid].waiting_mutex = ms;
+    e->deschedule_locked(l, g_tid);
+  }
+}
+
+void CondVar::notify_all() {
+  Engine* e;
+  if (!detail::vthread(&e)) return;
+  e->op_point(g_tid);
+  std::unique_lock<std::mutex> l(e->m_);
+  for (int u : s_->waiters)
+    if (e->th_[u].status == detail::TStatus::kBlockedCv)
+      e->th_[u].status = detail::TStatus::kReady;
+  s_->waiters.clear();
+}
+
+void CondVar::notify_one() {
+  Engine* e;
+  if (!detail::vthread(&e)) return;
+  e->op_point(g_tid);
+  std::unique_lock<std::mutex> l(e->m_);
+  while (!s_->waiters.empty()) {
+    const int u = s_->waiters.front();
+    s_->waiters.erase(s_->waiters.begin());
+    if (e->th_[u].status == detail::TStatus::kBlockedCv) {
+      e->th_[u].status = detail::TStatus::kReady;
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+
+void set_mutant(Mutant m) { detail::g_mutant = m; }
+Mutant mutant() { return detail::g_mutant; }
+
+Mutant mutant_from_env() {
+  const char* v = std::getenv("DAS_CHK_MUTANT");
+  if (v == nullptr || *v == '\0') return Mutant::kNone;
+  return static_cast<Mutant>(std::atoi(v));
+}
+
+void expect(bool cond, const char* msg) {
+  if (cond) return;
+  if (g_engine != nullptr) g_engine->fail(msg);
+  std::fprintf(stderr, "chk::expect failed outside exploration: %s\n", msg);
+  std::abort();
+}
+
+void spin_yield() {
+  Engine* e;
+  if (!detail::vthread(&e)) return;
+  e->th_[g_tid].low_prio = true;
+  e->op_point(g_tid);
+  // Eventual visibility: a spinner that observed no progress reads fresh
+  // state on its next attempt (see g_progress_). This is what bounds the
+  // DFS: without it, "retry forever on the same stale store" is a valid
+  // infinite schedule.
+  e->th_[g_tid].clock.join(e->g_progress_);
+}
+
+int choice(int n) {
+  Engine* e;
+  if (!detail::vthread(&e) || n <= 1) return 0;
+  e->op_point(g_tid);
+  std::unique_lock<std::mutex> l(e->m_);
+  return e->choose_locked(n);
+}
+
+Result explore(const Options& opts, const std::function<Scenario()>& make) {
+  Engine e(opts);
+  g_engine = &e;
+  g_tid = detail::kMainTid;
+  Result r;
+  std::unordered_set<std::uint64_t> hashes;
+  bool stop = false;
+  while (!stop && r.schedules < opts.max_schedules) {
+    e.begin_schedule();
+    {
+      Scenario s = make();
+      if (static_cast<int>(s.threads.size()) > kMaxThreads) {
+        r.ok = false;
+        r.violation = "scenario exceeds chk::kMaxThreads";
+        break;
+      }
+      if (!s.threads.empty()) e.run_schedule(s.threads);
+      if (e.violation_.empty() && s.check) {
+        try {
+          s.check();
+        } catch (detail::AbortSchedule&) {
+        }
+      }
+    }  // scenario state (and every model object in it) dies here
+    ++r.schedules;
+    if (e.random_) hashes.insert(e.hash_);
+    if (!e.violation_.empty()) {
+      r.ok = false;
+      std::ostringstream os;
+      os << e.violation_ << " [schedule " << r.schedules
+         << (e.random_ ? ", random seed " + std::to_string(opts.seed)
+                       : std::string(", exhaustive dfs"))
+         << "]";
+      r.violation = os.str();
+      stop = true;
+    } else if (!e.random_ && !e.advance_dfs()) {
+      r.exhausted = true;
+      stop = true;
+    }
+  }
+  r.distinct_interleavings = e.random_ ? hashes.size() : r.schedules;
+  g_engine = nullptr;
+  g_tid = -1;
+  return r;
+}
+
+}  // namespace das::chk

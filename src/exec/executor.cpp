@@ -82,7 +82,7 @@ JobId Executor::submit(const Dag& dag, double arrival_offset_s) {
   DAS_CHECK_MSG(arrival_offset_s >= 0.0,
                 "submit: arrival offset must be >= 0");
   const JobTicket ticket = submit_job(dag, arrival_offset_s);
-  std::lock_guard<std::mutex> g(pending_mu_);
+  MutexLock g(pending_mu_);
   pending_.emplace(ticket.id, Pending{ticket.arrival_s, dag.num_nodes()});
   return ticket.id;
 }
@@ -93,7 +93,7 @@ RunResult Executor::wait(JobId id) {
   // here instead of racing into the engine.
   Pending pending;
   {
-    std::lock_guard<std::mutex> g(pending_mu_);
+    MutexLock g(pending_mu_);
     const auto it = pending_.find(id);
     DAS_CHECK_MSG(it != pending_.end(),
                   "job " + std::to_string(id) +
@@ -133,7 +133,7 @@ std::vector<RunResult> Executor::drain() {
     JobId id;
     Pending pending;
     {
-      std::lock_guard<std::mutex> g(pending_mu_);
+      MutexLock g(pending_mu_);
       if (pending_.empty()) break;
       const auto it = pending_.begin();
       id = it->first;

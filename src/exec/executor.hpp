@@ -29,7 +29,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,7 +45,9 @@
 #include "trace/stats.hpp"
 #include "trace/timeline.hpp"
 #include "util/cli.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace das {
 
@@ -245,8 +246,8 @@ class Executor {
   /// Blocks on the claimed job and assembles its RunResult.
   RunResult finish_wait(JobId id, const Pending& pending);
 
-  std::mutex pending_mu_;
-  std::map<JobId, Pending> pending_;  // guarded by pending_mu_
+  Mutex pending_mu_;
+  std::map<JobId, Pending> pending_ DAS_GUARDED_BY(pending_mu_);
 };
 
 /// Single-domain factory: one topology, optional scenario in `config`.

@@ -8,7 +8,6 @@
 // moves, negligible against millisecond kernels.
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -37,7 +36,7 @@ class WorkspacePool {
   double* acquire() {
     for (;;) {
       {
-        std::lock_guard<Spinlock> g(lock_);
+        SpinlockGuard g(lock_);
         if (!free_.empty()) {
           double* b = free_.back();
           free_.pop_back();
@@ -50,7 +49,7 @@ class WorkspacePool {
 
   void release(double* buffer) {
     DAS_CHECK(buffer != nullptr);
-    std::lock_guard<Spinlock> g(lock_);
+    SpinlockGuard g(lock_);
     DAS_ASSERT(free_.size() < buffers_.size());
     free_.push_back(buffer);
   }
@@ -58,7 +57,7 @@ class WorkspacePool {
  private:
   std::size_t doubles_each_;
   std::vector<std::unique_ptr<double[]>> buffers_;
-  std::vector<double*> free_;
+  std::vector<double*> free_ DAS_GUARDED_BY(lock_);
   Spinlock lock_;
 };
 

@@ -77,15 +77,14 @@ void Comm::broadcast(double* data, std::size_t n, int root) {
 }
 
 void Comm::barrier() {
-  std::unique_lock<std::mutex> g(world_->barrier_mu_);
+  MutexLock g(world_->barrier_mu_);
   const std::uint64_t gen = world_->barrier_generation_;
   if (++world_->barrier_waiting_ == size()) {
     world_->barrier_waiting_ = 0;
     ++world_->barrier_generation_;
     world_->barrier_cv_.notify_all();
   } else {
-    world_->barrier_cv_.wait(
-        g, [&] { return world_->barrier_generation_ != gen; });
+    while (world_->barrier_generation_ == gen) world_->barrier_cv_.wait(g);
   }
 }
 

@@ -6,7 +6,7 @@ namespace das::net {
 
 void Mailbox::deliver(Message msg) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     messages_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -19,7 +19,7 @@ std::deque<Message>::iterator Mailbox::find_locked(int src, int tag) {
 }
 
 Message Mailbox::take(int src, int tag) {
-  std::unique_lock<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (;;) {
     auto it = find_locked(src, tag);
     if (it != messages_.end()) {
@@ -32,7 +32,7 @@ Message Mailbox::take(int src, int tag) {
 }
 
 bool Mailbox::try_take(int src, int tag, Message& out) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto it = find_locked(src, tag);
   if (it == messages_.end()) return false;
   out = std::move(*it);
@@ -41,7 +41,7 @@ bool Mailbox::try_take(int src, int tag, Message& out) {
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return messages_.size();
 }
 

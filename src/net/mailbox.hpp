@@ -5,12 +5,13 @@
 // (source, tag) pair — the MPI non-overtaking guarantee, which the Heat
 // ghost-cell exchange relies on.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace das::net {
 
@@ -32,11 +33,12 @@ class Mailbox {
 
  private:
   // Returns an iterator to the oldest match, or end().
-  std::deque<Message>::iterator find_locked(int src, int tag);
+  std::deque<Message>::iterator find_locked(int src, int tag)
+      DAS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> messages_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Message> messages_ DAS_GUARDED_BY(mu_);
 };
 
 }  // namespace das::net

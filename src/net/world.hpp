@@ -8,6 +8,8 @@
 
 #include "net/comm.hpp"
 #include "net/mailbox.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace das::net {
 
@@ -35,10 +37,10 @@ class World {
   std::vector<std::unique_ptr<Comm>> comms_;
 
   // Sense-reversing central barrier.
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  Mutex barrier_mu_;
+  CondVar barrier_cv_;
+  int barrier_waiting_ DAS_GUARDED_BY(barrier_mu_) = 0;
+  std::uint64_t barrier_generation_ DAS_GUARDED_BY(barrier_mu_) = 0;
 };
 
 }  // namespace das::net

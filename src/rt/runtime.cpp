@@ -49,7 +49,7 @@ Runtime::~Runtime() {
 double Runtime::scenario_now() const { return ns_to_s(now_ns() - epoch_ns_); }
 
 int Runtime::jobs_in_flight() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return static_cast<int>(jobs_.size());
 }
 
@@ -104,7 +104,7 @@ JobId Runtime::submit(const Dag& dag) {
 
   Job* raw = job.get();
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     raw->id = next_job_++;
     jobs_.emplace(raw->id, std::move(job));
     // Open the stats busy-window when the pool goes idle -> active.
@@ -119,7 +119,7 @@ JobId Runtime::submit(const Dag& dag) {
 }
 
 double Runtime::wait(JobId id) {
-  std::unique_lock<std::mutex> g(mu_);
+  MutexLock g(mu_);
   const auto it = jobs_.find(id);
   DAS_CHECK_MSG(it != jobs_.end(),
                 "job " + std::to_string(id) + " is not in flight");
@@ -127,7 +127,7 @@ double Runtime::wait(JobId id) {
   // mapped values); the ITERATOR does not — a concurrent submit() can
   // rehash jobs_ while cv_.wait has mu_ released — so re-erase by key.
   Job* job = it->second.get();
-  cv_.wait(g, [&] { return job->done; });
+  while (!job->done) cv_.wait(g);
   const double elapsed = ns_to_s(job->done_ns - job->submit_ns);
   // The latch fired: no worker touches this job any more. Erasing here
   // frees the record block and AQ arena, keeping jobs_ bounded by the jobs

@@ -60,9 +60,7 @@
 // effective speed would need (platform/throttle.hpp explains why this
 // preserves the scheduling problem).
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -79,7 +77,9 @@
 #include "util/aligned.hpp"
 #include "util/eventcount.hpp"
 #include "util/mpsc_queue.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace das::rt {
 
@@ -189,7 +189,10 @@ class Runtime {
     std::atomic<std::int64_t> outstanding{0};
     std::int64_t submit_ns = 0;
     std::int64_t done_ns = 0;
-    bool done = false;  // guarded by mu_
+    // Guarded by the owning Runtime's mu_ (a nested struct cannot name the
+    // outer instance's member in a guarded_by attribute; complete_job and
+    // wait() only touch it under MutexLock).
+    bool done = false;
 
     ~Job() {
       if (auto* dir = wide_dir.load(std::memory_order_acquire)) {
@@ -265,15 +268,15 @@ class Runtime {
   // mu_; cv_ is the per-job completion latch (workers park on their
   // eventcounts, not on cv_). active_jobs_ is atomic so complete_job can
   // close the stats window without re-reading the map.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   std::atomic<int> active_jobs_{0};
-  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;  // guarded by mu_
-  JobId next_job_ = 0;                                    // guarded by mu_
+  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_ DAS_GUARDED_BY(mu_);
+  JobId next_job_ DAS_GUARDED_BY(mu_) = 0;
   // Stats attribution: elapsed accumulates only wall time while >= 1 job is
   // in flight (the union of job windows), so overlapping jobs are not
   // double-counted and sequential runs sum exactly as before.
-  std::int64_t busy_window_start_ns_ = 0;  // guarded by mu_
+  std::int64_t busy_window_start_ns_ DAS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace das::rt

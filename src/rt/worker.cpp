@@ -99,6 +99,12 @@ void Runtime::notify_stealers(int from_core) {
   }
 }
 
+// daslint: begin-hot-path(rt-dispatch)
+// Steady-state dispatch: every task popped anywhere in the pool flows
+// through these functions. The project linter (tools/daslint) forbids
+// allocation and lock acquisition between the hot-path markers — the
+// no-alloc/no-lock property the runtime's overhead gate depends on is
+// enforced textually on every push, not just measured.
 bool Runtime::try_make_progress(int core) {
   Worker& w = *workers_[static_cast<std::size_t>(core)];
 
@@ -204,6 +210,7 @@ void Runtime::distribute(int core, TaskRec* task, const ExecutionPlace& place) {
     if (c != core) workers[static_cast<std::size_t>(c)]->ec.notify();
   }
 }
+// daslint: end-hot-path
 
 MpscQueue::Node* Runtime::wide_hooks(Job* job, NodeId id) {
   // Level 1: the chunk directory (one atomic pointer per kWideChunkTasks
@@ -340,6 +347,8 @@ void Runtime::participate(int core, TaskRec* task) {
   finish_last(core, task);
 }
 
+// daslint: begin-hot-path(rt-wakeup)
+// Per-task wake-up/handoff: runs once per DAG edge that becomes ready.
 void Runtime::wake_task(TaskRec* task, int waking_core, bool caller_is_worker) {
   const DagNode& node = *task->node;
   const WakeDecision wd = policy_->on_ready(node.type, node.priority, waking_core);
@@ -393,11 +402,12 @@ void Runtime::push_stealable(int target_core, TaskRec* task, bool from_owner) {
   target.feeder.push(&task->ready_hook, task);
   target.ec.notify();
 }
+// daslint: end-hot-path
 
 void Runtime::complete_job(Job* job) {
   const std::int64_t done_ns = now_ns();
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     job->done_ns = done_ns;
     job->done = true;  // fires the per-job latch wait(id) blocks on
     // Close the stats busy-window when the pool goes active -> idle:

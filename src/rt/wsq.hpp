@@ -12,13 +12,48 @@
 // whole runtime, so leaking a handful of small arrays until then is the
 // standard, safe choice.
 //
-// ThreadSanitizer does not model std::atomic_thread_fence, so the
-// owner->thief publication edge (release fence + relaxed bottom_ store,
-// paired with the thief's acquire bottom_ load) is invisible to it and
-// every dereference of a stolen item would be reported as racing with the
-// item's construction. Instrumented builds therefore strengthen the
-// bottom_ publish to a release STORE — a strictly stronger ordering that
-// TSan does model — keeping the fence-based fast path for real builds.
+// Why the fence-based publish in push_bottom is correct (audit, PR 6).
+// push_bottom writes the item into its slot, then
+//
+//     atomic_thread_fence(release);           (F)
+//     bottom_.store(b + 1, relaxed);          (W)
+//
+// and a thief reads
+//
+//     b = bottom_.load(acquire);              (R)
+//     ... a->get(t) ... top_.CAS ...          (D)
+//
+// [atomics.fences]p2 (C++20 32.9.2): a release fence F synchronizes with
+// an acquire operation R when R observes the value of SOME atomic write W
+// sequenced after F. Here W is the relaxed bottom_ store sequenced after
+// the fence; when the thief's acquire load R reads that value (or any
+// later bottom_ value — each later store is also fence-preceded), F
+// synchronizes-with R, so the slot write sequenced before F happens-before
+// the thief's dereference D. The item the thief is ALLOWED to take is
+// bounded by top_ <= index < bottom_, and every index below the bottom_
+// value R read was published before the fence that preceded that store —
+// so a stolen pointer is always dereferenced after its construction, under
+// the plain C++ memory model, with no release store on the owner's
+// per-task hot path (on weak ISAs the fence amortizes: one barrier
+// instruction vs. a store-release per push).
+//
+// ThreadSanitizer, however, does not model atomic_thread_fence, so this
+// edge is invisible to it and every stolen-item dereference would be
+// reported as racing with the item's construction. Instrumented builds
+// therefore strengthen the bottom_ publish to a release STORE — a strictly
+// stronger ordering (release store = release fence + relaxed store
+// combined, minus the fence's cumulative effect on OTHER later stores,
+// which nothing here relies on) — keeping the fence-based fast path for
+// real builds. The deterministic model checker (src/chk) models fences
+// faithfully and re-verifies the fence-based variant on every CI run:
+// tests/model_check_test exhausts small-bound schedules of exactly this
+// code (owner + thieves) and proves no item is lost, taken twice, or
+// dereferenced unpublished — and that downgrading the seq_cst fences in
+// pop_bottom/steal_top (the Dekker duel on the last item) is caught.
+//
+// Templated on a synchronization model (util/sync_model.hpp): production
+// code uses WsDeque<T> (RealModel — identical codegen); the checker
+// instantiates WsDeque<T, chk::Model>.
 
 #include <atomic>
 #include <cstdint>
@@ -26,6 +61,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/sync_model.hpp"
 
 #if defined(__SANITIZE_THREAD__)
 #define DAS_WSQ_TSAN 1
@@ -41,12 +77,12 @@
 namespace das::rt {
 
 /// Ordering for the owner's bottom_ publish in push_bottom: the release
-/// fence above it carries the real edge, but TSan cannot see fences (see
-/// the header comment), so instrumented builds promote the store itself.
+/// fence above it carries the real edge (see the header audit), but TSan
+/// cannot see fences, so instrumented builds promote the store itself.
 inline constexpr std::memory_order kWsqPublishOrder =
     DAS_WSQ_TSAN ? std::memory_order_release : std::memory_order_relaxed;
 
-template <typename T>
+template <typename T, class Model = RealModel>
 class WsDeque {
  public:
   explicit WsDeque(std::int64_t initial_capacity = 256)
@@ -68,7 +104,7 @@ class WsDeque {
     Array* a = array_.load(std::memory_order_relaxed);
     if (b - t > a->capacity - 1) a = grow(a, t, b);
     a->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
+    Model::thread_fence(std::memory_order_release);
     bottom_.store(b + 1, kWsqPublishOrder);
   }
 
@@ -77,7 +113,7 @@ class WsDeque {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Array* a = array_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Model::thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     T* item = nullptr;
     if (t <= b) {
@@ -100,7 +136,7 @@ class WsDeque {
   /// treat both as a failed steal attempt).
   T* steal_top() {
     std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Model::thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
     Array* a = array_.load(std::memory_order_acquire);
@@ -125,16 +161,17 @@ class WsDeque {
   struct Array {
     explicit Array(std::int64_t cap)
         : capacity(cap), mask(cap - 1),
-          slots(std::make_unique<std::atomic<T*>[]>(static_cast<std::size_t>(cap))) {}
+          slots(std::make_unique<Slot[]>(static_cast<std::size_t>(cap))) {}
     T* get(std::int64_t i) const {
       return slots[static_cast<std::size_t>(i & mask)].load(std::memory_order_relaxed);
     }
     void put(std::int64_t i, T* v) {
       slots[static_cast<std::size_t>(i & mask)].store(v, std::memory_order_relaxed);
     }
+    using Slot = typename Model::template atomic<T*>;
     std::int64_t capacity;
     std::int64_t mask;
-    std::unique_ptr<std::atomic<T*>[]> slots;
+    std::unique_ptr<Slot[]> slots;
   };
 
   Array* grow(Array* old, std::int64_t t, std::int64_t b) {
@@ -146,9 +183,9 @@ class WsDeque {
     return raw;
   }
 
-  std::atomic<std::int64_t> top_;
-  std::atomic<std::int64_t> bottom_;
-  std::atomic<Array*> array_;
+  typename Model::template atomic<std::int64_t> top_;
+  typename Model::template atomic<std::int64_t> bottom_;
+  typename Model::template atomic<Array*> array_;
   std::vector<std::unique_ptr<Array>> retired_;
 };
 

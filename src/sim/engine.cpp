@@ -242,6 +242,10 @@ double SimEngine::wait(JobId id) {
   return makespan;
 }
 
+// daslint: begin-hot-path(sim-step)
+// The event-loop inner step: one pop + one handler per simulated event.
+// tools/daslint forbids allocation and lock acquisition here (the handlers
+// it calls reuse per-core flat queues; see sim's throughput gate).
 void SimEngine::step() {
   // Direct pop: with the lane/heap queue a pop is one source scan plus an
   // O(1) ring pop for the dominant event classes — cheaper than staging
@@ -267,6 +271,7 @@ void SimEngine::step() {
       break;
   }
 }
+// daslint: end-hot-path
 
 void SimEngine::activate(int core, double at, bool direct) {
   if (cores_[static_cast<std::size_t>(core)].active) return;

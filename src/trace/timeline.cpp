@@ -1,7 +1,5 @@
 #include "trace/timeline.hpp"
 
-#include <mutex>
-
 #include "util/assert.hpp"
 
 namespace das {
@@ -10,23 +8,23 @@ void Timeline::record(int core, double start_s, double duration_s,
                       std::string name, Priority priority, int width) {
   DAS_CHECK(core >= 0);
   DAS_CHECK(duration_s >= 0.0);
-  std::lock_guard<Spinlock> g(lock_);
+  SpinlockGuard g(lock_);
   intervals_.push_back(
       Interval{core, start_s, duration_s, std::move(name), priority, width});
 }
 
 std::size_t Timeline::size() const {
-  std::lock_guard<Spinlock> g(lock_);
+  SpinlockGuard g(lock_);
   return intervals_.size();
 }
 
 void Timeline::clear() {
-  std::lock_guard<Spinlock> g(lock_);
+  SpinlockGuard g(lock_);
   intervals_.clear();
 }
 
 void Timeline::write_chrome_json(std::ostream& os) const {
-  std::lock_guard<Spinlock> g(lock_);
+  SpinlockGuard g(lock_);
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const Interval& iv : intervals_) {

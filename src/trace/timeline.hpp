@@ -41,7 +41,7 @@ class Timeline {
   };
 
   mutable Spinlock lock_;  // the real-thread engine records concurrently
-  std::vector<Interval> intervals_;
+  std::vector<Interval> intervals_ DAS_GUARDED_BY(lock_);
 };
 
 }  // namespace das

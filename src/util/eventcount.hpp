@@ -31,19 +31,28 @@
 //
 // The rt engine embeds one EventCount per worker (only that worker ever
 // waits on it), so notify_all degenerates to waking at most one thread.
+//
+// Templated on a synchronization model (util/sync_model.hpp): production
+// code uses the `EventCount` alias (RealModel — std atomics, identical
+// codegen); the deterministic model checker (src/chk) instantiates
+// `BasicEventCount<chk::Model>` and proves the no-lost-wakeup claim by
+// exhausting small-bound schedules — including that downgrading either
+// seq_cst fence deadlocks a waiter (mutant mode, tests/model_check_test).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 
+#include "util/sync_model.hpp"
+
 namespace das {
 
-class EventCount {
+template <class Model = RealModel>
+class BasicEventCount {
  public:
-  EventCount() = default;
-  EventCount(const EventCount&) = delete;
-  EventCount& operator=(const EventCount&) = delete;
+  BasicEventCount() = default;
+  BasicEventCount(const BasicEventCount&) = delete;
+  BasicEventCount& operator=(const BasicEventCount&) = delete;
 
   /// Phase 1: announce the intent to sleep and snapshot the epoch. Must be
   /// followed by exactly one cancel_wait() or commit_wait(key).
@@ -51,7 +60,7 @@ class EventCount {
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     // Belt over the RMW's braces: the predicate loads that follow must not
     // be hoisted above the waiter announcement on any implementation.
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Model::thread_fence(std::memory_order_seq_cst);
     return epoch_.load(std::memory_order_seq_cst);
   }
 
@@ -61,8 +70,8 @@ class EventCount {
   /// Phase 2b: sleep until a notify() that started after prepare_wait().
   /// Returns immediately if one already happened (epoch moved past `key`).
   void commit_wait(std::uint64_t key) {
-    std::unique_lock<std::mutex> g(mu_);
-    cv_.wait(g, [&] { return epoch_.load(std::memory_order_relaxed) != key; });
+    std::unique_lock<typename Model::mutex> g(mu_);
+    while (epoch_.load(std::memory_order_relaxed) == key) cv_.wait(g);
     g.unlock();
     waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
@@ -72,14 +81,14 @@ class EventCount {
   /// this call sees their waiter count, or the waiter's predicate re-check
   /// sees the new state. Fast path (no waiter): one fence + one load.
   void notify() {
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Model::thread_fence(std::memory_order_seq_cst);
     if (waiters_.load(std::memory_order_relaxed) == 0) return;
     {
-      // The epoch bump must happen under mu_: commit_wait's predicate is
-      // re-evaluated with mu_ held, so a waiter is either not yet inside
+      // The epoch bump must happen under mu_: commit_wait's wait condition
+      // is re-evaluated with mu_ held, so a waiter is either not yet inside
       // cv_.wait (and will see the bumped epoch) or is parked (and gets the
       // notify_all).
-      std::lock_guard<std::mutex> g(mu_);
+      std::lock_guard<typename Model::mutex> g(mu_);
       epoch_.fetch_add(1, std::memory_order_seq_cst);
     }
     cv_.notify_all();
@@ -90,10 +99,13 @@ class EventCount {
   int waiters() const { return waiters_.load(std::memory_order_seq_cst); }
 
  private:
-  std::atomic<std::uint64_t> epoch_{0};
-  std::atomic<int> waiters_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  typename Model::template atomic<std::uint64_t> epoch_{0};
+  typename Model::template atomic<int> waiters_{0};
+  typename Model::mutex mu_;
+  typename Model::cond_var cv_;
 };
+
+/// The production instantiation every engine uses.
+using EventCount = BasicEventCount<>;
 
 }  // namespace das

@@ -30,27 +30,39 @@
 //     through an EventCount-style protocol (util/eventcount.hpp): the
 //     producer completes the link *before* it signals, so a parked consumer
 //     is always woken after the node becomes poppable.
+//
+// The class is templated on a synchronization model (util/sync_model.hpp):
+// production code uses the `MpscQueue` alias (= RealModel, identical
+// codegen to plain std::atomic), and the deterministic model checker
+// (src/chk) instantiates `BasicMpscQueue<chk::Model>` to run this exact
+// algorithm under exhaustive interleavings and a weak-memory simulator —
+// including the FIFO-per-producer, payload-publication and
+// unlink-before-reuse claims above. `tag` is a Model::var: the checker
+// flags any schedule where the consumer could read it without the release
+// edge the contract promises.
 
 #include <atomic>
 
 #include "util/assert.hpp"
+#include "util/sync_model.hpp"
 
 namespace das {
 
-class MpscQueue {
+template <class Model = RealModel>
+class BasicMpscQueue {
  public:
   /// Intrusive hook. `tag` carries the payload pointer back out of pop()
   /// (embedding objects at arbitrary offsets stays free of offsetof
   /// gymnastics on non-standard-layout types).
   struct Node {
-    std::atomic<Node*> next{nullptr};
-    void* tag = nullptr;
+    typename Model::template atomic<Node*> next{nullptr};
+    typename Model::template var<void*> tag{nullptr};
   };
 
-  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+  BasicMpscQueue() : head_(&stub_), tail_(&stub_) {}
 
-  MpscQueue(const MpscQueue&) = delete;
-  MpscQueue& operator=(const MpscQueue&) = delete;
+  BasicMpscQueue(const BasicMpscQueue&) = delete;
+  BasicMpscQueue& operator=(const BasicMpscQueue&) = delete;
 
   /// Any thread. Wait-free (one exchange). `n` must not currently be in any
   /// queue; `tag` must be non-null (pop() uses nullptr for "empty").
@@ -111,12 +123,18 @@ class MpscQueue {
     prev->next.store(n, std::memory_order_release);
   }
 
-  std::atomic<Node*> head_;  ///< newest node (producers exchange onto it)
+  /// newest node (producers exchange onto it)
+  typename Model::template atomic<Node*> head_;
   /// Consumer cursor: oldest unconsumed, or stub. Written only by the
   /// consumer (relaxed is enough — same-thread ordering); atomic so
   /// producer-side empty() probes stay defined behaviour.
-  std::atomic<Node*> tail_;
-  Node stub_;                ///< queue-owned dummy; in the chain when idle
+  typename Model::template atomic<Node*> tail_;
+  Node stub_;  ///< queue-owned dummy; in the chain when idle
+
+  static_assert(sizeof(Node*) <= sizeof(void*));
 };
+
+/// The production instantiation every engine uses.
+using MpscQueue = BasicMpscQueue<>;
 
 }  // namespace das

@@ -1,0 +1,80 @@
+#pragma once
+// Annotated mutex / condition-variable wrappers.
+//
+// Thin shims over std::mutex and std::condition_variable that carry clang
+// Thread Safety Analysis attributes (util/thread_annotations.hpp), so
+// `DAS_GUARDED_BY(mu_)` members are statically checked under the CI clang
+// cell. libstdc++'s std::mutex has no capability annotations, which is why
+// the wrapper exists at all — the analysis needs an annotated type to track.
+//
+// Usage mirrors the std types:
+//
+//     Mutex mu_;
+//     CondVar cv_;
+//     int guarded_ DAS_GUARDED_BY(mu_);
+//
+//     MutexLock g(mu_);             // scoped acquire (std::unique_lock)
+//     while (!guarded_) cv_.wait(g);
+//
+// Prefer explicit `while (!pred) cv.wait(g);` loops over predicate lambdas:
+// the analysis cannot see that a lambda body runs with the lock held, so a
+// predicate reading guarded state would need an opt-out annotation.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace das {
+
+class DAS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DAS_ACQUIRE() { mu_.lock(); }
+  void unlock() DAS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DAS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; also the handle CondVar::wait() parks on (the wait
+/// releases and reacquires the underlying std::mutex through it).
+class DAS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DAS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() DAS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable waiting on a MutexLock. No capability of its own:
+/// the guarded predicate is re-evaluated by the caller's while-loop, which
+/// the analysis checks against the MutexLock in scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `g`'s mutex and sleeps; the mutex is reheld on
+  /// return. Spurious wakeups happen — always wait in a predicate loop.
+  void wait(MutexLock& g) { cv_.wait(g.lock_); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace das

@@ -13,6 +13,13 @@
 // Not thread-safe — the simulator is single-threaded by design. The
 // real-thread engine's queues (rt/wsq.hpp, util/mpsc_queue.hpp) own the
 // concurrent story.
+//
+// The kMutantWrap parameter exists only for the correctness harness
+// (tests/model_check_test.cpp): it re-introduces the classic grow-time bug
+// of copying by raw index instead of logical position, which corrupts the
+// queue exactly when growth happens with head_ mid-ring (wrapped). Keeping
+// the buggy variant compiled-in (but never instantiated by production
+// code) proves the edge-case tests would catch a regression of this shape.
 
 #include <cstddef>
 #include <vector>
@@ -21,7 +28,7 @@
 
 namespace das {
 
-template <typename T>
+template <typename T, bool kMutantWrap = false>
 class RingBuffer {
  public:
   bool empty() const { return size_ == 0; }
@@ -29,7 +36,7 @@ class RingBuffer {
   std::size_t capacity() const { return buf_.size(); }
 
   void push_back(const T& v) {
-    if (size_ == buf_.size()) grow();
+    if (size_ == buf_.size()) grow(buf_.empty() ? 8 : buf_.size() * 2);
     buf_[(head_ + size_) & mask()] = v;
     ++size_;
   }
@@ -71,14 +78,30 @@ class RingBuffer {
     size_ = 0;
   }
 
+  /// Grows storage to at least `min_capacity` (rounded up to a power of
+  /// two), preserving contents and order. Works while non-empty and while
+  /// head_ is wrapped — the relocation loop walks logical positions, not
+  /// raw indices (see tests/ring_buffer_edge_test.cpp).
+  void reserve(std::size_t min_capacity) {
+    if (min_capacity <= buf_.size()) return;
+    std::size_t cap = buf_.empty() ? 8 : buf_.size();
+    while (cap < min_capacity) cap *= 2;
+    grow(cap);
+  }
+
  private:
   std::size_t mask() const { return buf_.size() - 1; }
 
-  void grow() {
-    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+  void grow(std::size_t new_cap) {
     std::vector<T> next(new_cap);
-    for (std::size_t i = 0; i < size_; ++i)
-      next[i] = buf_[(head_ + i) & mask()];
+    if constexpr (kMutantWrap) {
+      // Deliberately wrong: copies by raw slot index, so a wrapped queue
+      // (head_ + size_ > capacity) lands permuted. Harness-only.
+      for (std::size_t i = 0; i < size_; ++i) next[i] = buf_[i];
+    } else {
+      for (std::size_t i = 0; i < size_; ++i)
+        next[i] = buf_[(head_ + i) & mask()];
+    }
     buf_ = std::move(next);
     head_ = 0;
   }

@@ -1,11 +1,16 @@
 #pragma once
 // Test-and-test-and-set spinlock with exponential-ish backoff.
 //
-// Used where critical sections are a handful of instructions (assembly-queue
-// push/pop, stats accumulation) and a futex round-trip would dominate.
-// Satisfies Lockable so it composes with std::lock_guard.
+// Used where critical sections are a handful of instructions (workspace
+// freelist push/pop, timeline appends) and a futex round-trip would
+// dominate. Satisfies Lockable so it composes with std::lock_guard, but
+// prefer SpinlockGuard: it carries the clang Thread Safety Analysis scope,
+// so DAS_GUARDED_BY members are statically checked (libstdc++'s lock_guard
+// is not annotated and would not register the acquisition).
 
 #include <atomic>
+
+#include "util/thread_annotations.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -23,13 +28,13 @@ inline void cpu_relax() {
 #endif
 }
 
-class Spinlock {
+class DAS_CAPABILITY("spinlock") Spinlock {
  public:
   Spinlock() = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() {
+  void lock() DAS_ACQUIRE() {
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       // Spin read-only until the lock looks free; bounded pause burst keeps
@@ -42,15 +47,30 @@ class Spinlock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() DAS_TRY_ACQUIRE(true) {
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() DAS_RELEASE() { flag_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for Spinlock, visible to the thread-safety analysis.
+class DAS_SCOPED_CAPABILITY SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& lock) DAS_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinlockGuard() DAS_RELEASE() { lock_.unlock(); }
+
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
 };
 
 }  // namespace das

@@ -1,0 +1,51 @@
+#pragma once
+// Clang Thread Safety Analysis annotations.
+//
+// These macros expand to clang's `capability` attribute family when the
+// compiler supports it and to nothing otherwise (GCC builds see plain
+// declarations). CI compiles the tree with clang and
+// `-Wthread-safety -Werror`, so every annotated lock acquisition/guarded
+// access is checked statically on every push; local GCC builds are
+// unaffected.
+//
+// Vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   DAS_CAPABILITY(name)    - the type is a lock ("capability")
+//   DAS_SCOPED_CAPABILITY   - RAII type that acquires on ctor / releases on dtor
+//   DAS_GUARDED_BY(mu)      - data member readable/writable only with mu held
+//   DAS_PT_GUARDED_BY(mu)   - pointee guarded (the pointer itself is not)
+//   DAS_REQUIRES(mu)        - function must be called with mu held
+//   DAS_EXCLUDES(mu)        - function must be called with mu NOT held
+//   DAS_ACQUIRE(mu...)      - function acquires mu (member fn: `this`)
+//   DAS_RELEASE(mu...)      - function releases mu
+//   DAS_TRY_ACQUIRE(b, mu)  - try-lock: acquires mu when returning `b`
+//   DAS_NO_THREAD_SAFETY_ANALYSIS - opt a function out (document why!)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DAS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DAS_THREAD_ANNOTATION
+#define DAS_THREAD_ANNOTATION(x)
+#endif
+
+#define DAS_CAPABILITY(x) DAS_THREAD_ANNOTATION(capability(x))
+#define DAS_SCOPED_CAPABILITY DAS_THREAD_ANNOTATION(scoped_lockable)
+#define DAS_GUARDED_BY(x) DAS_THREAD_ANNOTATION(guarded_by(x))
+#define DAS_PT_GUARDED_BY(x) DAS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define DAS_REQUIRES(...) \
+  DAS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DAS_REQUIRES_SHARED(...) \
+  DAS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define DAS_EXCLUDES(...) DAS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define DAS_ACQUIRE(...) \
+  DAS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DAS_RELEASE(...) \
+  DAS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DAS_TRY_ACQUIRE(...) \
+  DAS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define DAS_RETURN_CAPABILITY(x) DAS_THREAD_ANNOTATION(lock_returned(x))
+#define DAS_ASSERT_CAPABILITY(x) \
+  DAS_THREAD_ANNOTATION(assert_capability(x))
+#define DAS_NO_THREAD_SAFETY_ANALYSIS \
+  DAS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,11 @@
+// Planted violation: allocation inside a hot-path region.
+#include <memory>
+
+int* planted_allocation() {
+  // daslint: begin-hot-path(selftest)
+  int* p = new int(42);
+  auto q = std::make_unique<int>(7);
+  // daslint: end-hot-path
+  *p += *q;
+  return p;
+}

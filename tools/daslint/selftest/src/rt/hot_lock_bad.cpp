@@ -1,0 +1,12 @@
+// Planted violation: lock acquisition inside a hot-path region.
+#include <mutex>
+
+std::mutex g_mu;
+int g_counter = 0;
+
+void planted_lock() {
+  // daslint: begin-hot-path(selftest)
+  std::lock_guard<std::mutex> g(g_mu);
+  ++g_counter;
+  // daslint: end-hot-path
+}

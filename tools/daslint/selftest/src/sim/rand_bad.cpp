@@ -1,0 +1,8 @@
+// Planted violation: ambient randomness in simulator code.
+#include <cstdlib>
+#include <random>
+
+int planted_rand() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}

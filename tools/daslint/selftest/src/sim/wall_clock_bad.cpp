@@ -1,0 +1,7 @@
+// Planted violation: wall-clock read in simulator code.
+#include <chrono>
+
+double planted_wall_clock() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

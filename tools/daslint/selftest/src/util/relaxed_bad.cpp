@@ -1,0 +1,6 @@
+// Planted violation: memory_order_relaxed in a non-whitelisted file.
+#include <atomic>
+
+std::atomic<int> g_flag{0};
+
+int planted_relaxed() { return g_flag.load(std::memory_order_relaxed); }
