@@ -4,8 +4,7 @@
 // workers, shared learned PTT) and reports per-job latency percentiles
 // (p50/p95/p99) per Table-1 policy, under any --scenario= from the catalog.
 // This is the job-stream regime the related scheduling literature evaluates
-// (many applications sharing a runtime) and the layer every future scaling
-// PR — admission control, sharding, cross-tenant priorities — builds on.
+// (many applications sharing a runtime).
 //
 // Two driving modes:
 //   open loop (default; --arrival=poisson:<rate>|fixed:<gap>, default
@@ -18,10 +17,24 @@
 //     triggers the next submission — the classic throughput-oriented
 //     driver.
 //
+// Multi-tenant regime (--tenants=N, the scheduler-as-a-service driver):
+// jobs are split across N weighted sessions (--weights=, deterministic
+// smooth weighted round-robin assignment so every tenant's arrival share
+// matches its entitlement), released by the service layer's deficit-
+// round-robin scheduler under --tenant-inflight/--service-inflight bounds.
+// Reported per tenant: sojourn (admission -> completion, i.e. DRR queueing
+// + makespan) p50/p95/p99 and the released-task share over the contended
+// window (up to the earliest tenant's last release — beyond it that tenant
+// has no backlog and shares are arrival-limited, not scheduler-limited).
+// Fairness = Jain index over weight-normalised shares + max relative share
+// error; both are gated against a checked-in baseline (--baseline=PATH,
+// exit 1 on a >--tolerance regression; --update-baseline rewrites it).
+//
 // Per-job latency = release -> completion (RunResult::makespan_s): on the
 // open loop it includes queueing behind earlier jobs, which is the point.
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -39,6 +52,15 @@ struct StreamResult {
   /// The arrival process actually driven (the default open loop derives its
   /// Poisson rate from a calibration run, so the flag alone can't tell).
   cli::Arrival effective{};
+  std::vector<TenantCounters> counters;  ///< per tenant (multi-tenant runs)
+};
+
+/// One gated fairness metric: "<label>/jain" wants HIGHER (floor gate),
+/// "<label>/share_err" wants LOWER (ceiling gate).
+struct FairnessCell {
+  std::string label;
+  double value = 0.0;
+  bool higher_is_better = false;
 };
 
 // One job = one small fork-join synthetic DAG; jobs differ only in their
@@ -80,10 +102,56 @@ std::vector<double> make_gaps(const Bench& b, const cli::Arrival& a) {
   return gaps;
 }
 
-StreamResult run_stream(Bench& b, Policy policy, const SpeedScenario* scenario) {
+/// Deterministic smooth weighted round-robin: job j goes to the tenant with
+/// the highest accumulated credit, which then pays the total weight back.
+/// Every tenant's arrival share converges on weight/Σweights, so under
+/// saturation each stays backlogged through the contended window and the
+/// measured release shares isolate the DRR scheduler, not the arrival mix.
+std::vector<int> make_tenant_assignment(const Bench& b) {
+  std::vector<int> owner(static_cast<std::size_t>(b.jobs), 0);
+  if (b.tenants <= 1) return owner;
+  double total = 0.0;
+  for (int t = 0; t < b.tenants; ++t) total += b.tenant_weight(t);
+  std::vector<double> credit(static_cast<std::size_t>(b.tenants), 0.0);
+  for (int j = 0; j < b.jobs; ++j) {
+    int best = 0;
+    for (int t = 0; t < b.tenants; ++t) {
+      credit[static_cast<std::size_t>(t)] += b.tenant_weight(t);
+      if (credit[static_cast<std::size_t>(t)] >
+          credit[static_cast<std::size_t>(best)])
+        best = t;
+    }
+    credit[static_cast<std::size_t>(best)] -= total;
+    owner[static_cast<std::size_t>(j)] = best;
+  }
+  return owner;
+}
+
+StreamResult run_stream(Bench& b, Policy policy,
+                        const SpeedScenario* scenario) {
   ExecutorConfig cfg = b.make_config();
+  cfg.service.max_service_inflight = b.service_inflight;
   auto exec = b.make(policy, scenario, cfg);
   const workloads::SyntheticDagSpec spec = job_spec(b);
+
+  // Weighted sessions for the multi-tenant regime. kReject + a 0 budget
+  // means nothing is refused by default; --queue-tasks arms admission.
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int t = 0; t < b.tenants && b.tenants > 1; ++t) {
+    TenantConfig tc;
+    tc.name = "tenant" + std::to_string(t);
+    tc.weight = b.tenant_weight(t);
+    tc.max_in_flight = b.tenant_inflight;
+    tc.max_queued_tasks = b.queue_tasks;
+    tc.overload = Overload::kReject;
+    sessions.push_back(exec->open_session(tc));
+  }
+  const std::vector<int> owner = make_tenant_assignment(b);
+  const auto submit = [&](const Dag& dag, int j, const SubmitOptions& opts) {
+    if (sessions.empty()) return exec->submit(dag, opts);
+    const auto t = static_cast<std::size_t>(owner[static_cast<std::size_t>(j)]);
+    return sessions[t]->submit(dag, opts);
+  };
 
   // Calibration run (not measured): trains the PTT a little and yields the
   // service-time estimate the default arrival rate derives from.
@@ -104,13 +172,18 @@ StreamResult run_stream(Bench& b, Policy policy, const SpeedScenario* scenario) 
     // Closed loop: keep K jobs in flight; completions trigger submissions.
     std::vector<JobId> window;
     int next = 0;
-    while (next < b.jobs && static_cast<int>(window.size()) < b.inflight)
-      window.push_back(exec->submit(dags[static_cast<std::size_t>(next++)]));
+    while (next < b.jobs && static_cast<int>(window.size()) < b.inflight) {
+      window.push_back(submit(dags[static_cast<std::size_t>(next)], next, {}));
+      ++next;
+    }
     std::size_t head = 0;
     while (head < window.size()) {
       out.jobs.push_back(exec->wait(window[head++]));
-      if (next < b.jobs)
-        window.push_back(exec->submit(dags[static_cast<std::size_t>(next++)]));
+      if (next < b.jobs) {
+        window.push_back(
+            submit(dags[static_cast<std::size_t>(next)], next, {}));
+        ++next;
+      }
     }
   } else {
     const std::vector<double> gaps = make_gaps(b, eff);
@@ -121,7 +194,9 @@ StreamResult run_stream(Bench& b, Policy policy, const SpeedScenario* scenario) 
       std::vector<JobId> ids;
       for (int j = 0; j < b.jobs; ++j) {
         offset += gaps[static_cast<std::size_t>(j)];
-        ids.push_back(exec->submit(dags[static_cast<std::size_t>(j)], offset));
+        SubmitOptions opts;
+        opts.arrival_offset_s = offset;
+        ids.push_back(submit(dags[static_cast<std::size_t>(j)], j, opts));
       }
       for (JobId id : ids) out.jobs.push_back(exec->wait(id));
     } else {
@@ -131,12 +206,129 @@ StreamResult run_stream(Bench& b, Policy policy, const SpeedScenario* scenario) 
       for (int j = 0; j < b.jobs; ++j) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(
             s_to_ns(gaps[static_cast<std::size_t>(j)])));
-        ids.push_back(exec->submit(dags[static_cast<std::size_t>(j)]));
+        ids.push_back(submit(dags[static_cast<std::size_t>(j)], j, {}));
       }
       for (JobId id : ids) out.jobs.push_back(exec->wait(id));
     }
   }
+  for (const auto& s : sessions) out.counters.push_back(s->counters());
   return out;
+}
+
+/// Per-tenant aggregation of one multi-tenant stream.
+struct TenantAgg {
+  std::string name;
+  double weight = 1.0;
+  std::vector<double> sojourn_s;  ///< admission -> completion, non-rejected
+  std::int64_t jobs = 0;
+  std::int64_t rejected = 0;
+  std::int64_t window_tasks = 0;  ///< tasks released inside the window
+  double last_release_s = 0.0;
+  double share = 0.0;      ///< window_tasks / Σ window_tasks
+  double want = 0.0;       ///< weight / Σ weights
+  double share_err = 0.0;  ///< |share - want| / want
+};
+
+struct Fairness {
+  std::vector<TenantAgg> tenants;
+  double jain = 0.0;
+  double max_share_err = 0.0;
+  double window_s = 0.0;
+};
+
+Fairness fairness_of(const Bench& b, const StreamResult& r) {
+  Fairness f;
+  f.tenants.resize(static_cast<std::size_t>(b.tenants));
+  double total_weight = 0.0;
+  for (int t = 0; t < b.tenants; ++t) total_weight += b.tenant_weight(t);
+  for (int t = 0; t < b.tenants; ++t) {
+    TenantAgg& a = f.tenants[static_cast<std::size_t>(t)];
+    a.name = "tenant" + std::to_string(t);
+    a.weight = b.tenant_weight(t);
+    a.want = a.weight / total_weight;
+  }
+  const auto agg_of = [&](const RunResult& j) -> TenantAgg* {
+    for (TenantAgg& a : f.tenants)
+      if (a.name == j.tenant) return &a;
+    return nullptr;
+  };
+  // The contended window: [0, earliest tenant's last release]. Past it that
+  // tenant has nothing queued, so capacity shares stop being the
+  // scheduler's decision.
+  for (const RunResult& j : r.jobs) {
+    TenantAgg* a = agg_of(j);
+    if (a == nullptr) continue;
+    ++a->jobs;
+    if (j.rejected) {
+      ++a->rejected;
+      continue;
+    }
+    a->sojourn_s.push_back(j.queue_s + j.makespan_s);
+    a->last_release_s = std::max(a->last_release_s, j.arrival_s + j.queue_s);
+  }
+  f.window_s = f.tenants.front().last_release_s;
+  for (const TenantAgg& a : f.tenants)
+    f.window_s = std::min(f.window_s, a.last_release_s);
+  for (const RunResult& j : r.jobs) {
+    if (j.rejected) continue;
+    TenantAgg* a = agg_of(j);
+    if (a != nullptr && j.arrival_s + j.queue_s <= f.window_s)
+      a->window_tasks += j.tasks;
+  }
+  std::int64_t window_total = 0;
+  for (const TenantAgg& a : f.tenants) window_total += a.window_tasks;
+  double sum_x = 0.0, sum_x2 = 0.0;
+  for (TenantAgg& a : f.tenants) {
+    a.share = window_total > 0 ? static_cast<double>(a.window_tasks) /
+                                     static_cast<double>(window_total)
+                               : 0.0;
+    a.share_err = std::abs(a.share - a.want) / a.want;
+    f.max_share_err = std::max(f.max_share_err, a.share_err);
+    const double x = static_cast<double>(a.window_tasks) / a.weight;
+    sum_x += x;
+    sum_x2 += x * x;
+  }
+  f.jain = sum_x2 > 0.0 ? (sum_x * sum_x) / (static_cast<double>(b.tenants) *
+                                             sum_x2)
+                        : 0.0;
+  return f;
+}
+
+json::Value fairness_json(const Fairness& f,
+                          const std::vector<TenantCounters>& counters) {
+  json::Value tenants = json::Value::array();
+  for (std::size_t t = 0; t < f.tenants.size(); ++t) {
+    const TenantAgg& a = f.tenants[t];
+    json::Value rec = json::Value::object();
+    rec.set("tenant", a.name);
+    rec.set("weight", a.weight);
+    rec.set("jobs", a.jobs);
+    rec.set("rejected", a.rejected);
+    json::Value lat = json::Value::object();
+    lat.set("p50", percentile(a.sojourn_s, 0.50));
+    lat.set("p95", percentile(a.sojourn_s, 0.95));
+    lat.set("p99", percentile(a.sojourn_s, 0.99));
+    rec.set("sojourn_s", std::move(lat));
+    rec.set("window_tasks", a.window_tasks);
+    rec.set("share", a.share);
+    rec.set("want", a.want);
+    rec.set("share_err", a.share_err);
+    if (t < counters.size()) {
+      const TenantCounters& c = counters[t];
+      rec.set("submitted", c.submitted);
+      rec.set("released", c.released);
+      rec.set("completed", c.completed);
+    }
+    tenants.push_back(std::move(rec));
+  }
+  json::Value fair = json::Value::object();
+  fair.set("jain", f.jain);
+  fair.set("max_share_err", f.max_share_err);
+  fair.set("window_s", f.window_s);
+  json::Value extra = json::Value::object();
+  extra.set("tenants", std::move(tenants));
+  extra.set("fairness", std::move(fair));
+  return extra;
 }
 
 }  // namespace
@@ -144,24 +336,36 @@ StreamResult run_stream(Bench& b, Policy policy, const SpeedScenario* scenario) 
 int main(int argc, char** argv) {
   Bench b(argc, argv, "job_stream", /*job_stream_flags=*/true);
   if (!b.scale_explicit && b.backend == Backend::kRt) b.scale = 0.01;
-  if (!b.jobs_explicit) b.jobs = 16;  // a 1-job "stream" has no percentiles
+  if (!b.jobs_explicit) b.jobs = b.tenants > 1 ? 32 * b.tenants : 16;
   print_backend(b);
   std::cout << "jobs " << b.jobs
             << (b.inflight > 0
                     ? "  closed loop, inflight " + std::to_string(b.inflight)
-                    : std::string("  open loop"))
-            << "\n";
+                    : std::string("  open loop"));
+  if (b.tenants > 1) {
+    std::cout << "  tenants " << b.tenants << " (weights";
+    for (int t = 0; t < b.tenants; ++t)
+      std::cout << " " << fmt_double(b.tenant_weight(t), 2);
+    std::cout << ", tenant-inflight " << b.tenant_inflight
+              << ", service-inflight " << b.service_inflight << ")";
+  }
+  std::cout << "\n";
 
   const SpeedScenario scenario =
       b.make_scenario(b.topo, [](SpeedScenario&) { /* clean by default */ });
 
   print_title("Job stream: per-job latency [s] by scheduler");
   TextTable t({"scheduler", "p50", "p95", "p99", "mean", "max", "stream [s]"});
+  TextTable ft({"scheduler", "tenant", "w", "jobs", "rej", "p50", "p95", "p99",
+                "share", "want", "err"});
+  std::vector<FairnessCell> cells;
+  bool any_tenant_rows = false;
   for (Policy p : b.policies()) {
     const StreamResult r = run_stream(b, p, &scenario);
     std::vector<double> lat;
     double sum = 0.0, max = 0.0, last_finish = 0.0;
     for (const RunResult& j : r.jobs) {
+      if (j.rejected) continue;
       lat.push_back(j.makespan_s);
       sum += j.makespan_s;
       max = std::max(max, j.makespan_s);
@@ -176,8 +380,116 @@ int main(int argc, char** argv) {
         .add(sum / static_cast<double>(lat.size()), 4)
         .add(max, 4)
         .add(last_finish - first_arrival, 4);
-    b.report_job_stream("job stream", r.jobs, r.effective);
+    json::Value extra = json::Value::object();
+    if (b.tenants > 1) {
+      const Fairness f = fairness_of(b, r);
+      any_tenant_rows = true;
+      for (const TenantAgg& a : f.tenants)
+        ft.row()
+            .add(policy_name(p))
+            .add(a.name)
+            .add(a.weight, 1)
+            .add(static_cast<double>(a.jobs), 0)
+            .add(static_cast<double>(a.rejected), 0)
+            .add(percentile(a.sojourn_s, 0.50), 4)
+            .add(percentile(a.sojourn_s, 0.95), 4)
+            .add(percentile(a.sojourn_s, 0.99), 4)
+            .add(a.share, 3)
+            .add(a.want, 3)
+            .add(a.share_err, 3);
+      std::cout << policy_name(p) << ": jain "
+                << fmt_double(f.jain, 4) << ", max share err "
+                << fmt_double(f.max_share_err, 4) << " over window "
+                << fmt_double(f.window_s, 4) << " s\n";
+      const std::string label = std::string("js/") + policy_name(p) + "/" +
+                                b.scenario_name() +
+                                "/t=" + std::to_string(b.tenants) +
+                                "/jobs=" + std::to_string(b.jobs);
+      cells.push_back(FairnessCell{label + "/jain", f.jain, true});
+      cells.push_back(FairnessCell{label + "/share_err", f.max_share_err,
+                                   false});
+      extra = fairness_json(f, r.counters);
+    }
+    b.report_job_stream("job stream", r.jobs, r.effective, std::move(extra));
   }
   t.print(std::cout);
+  if (any_tenant_rows) {
+    print_title("Multi-tenant fairness: sojourn [s] and released-task shares");
+    ft.print(std::cout);
+  }
+
+  // --- fairness baseline gate ----------------------------------------------
+  if (b.update_baseline) {
+    json::Value cells_json = json::Value::object();
+    try {
+      const json::Value old = json::parse_file(b.baseline_path);
+      if (const json::Value* oc = old.find("cells"); oc && oc->is_object())
+        for (const auto& [label, v] : oc->members()) cells_json.set(label, v);
+    } catch (const json::Error&) {
+      // No (readable) previous baseline: start fresh.
+    }
+    for (const FairnessCell& c : cells) cells_json.set(c.label, c.value);
+    json::Value doc = json::Value::object();
+    doc.set("schema_version", kResultSchemaVersion);
+    doc.set("bench", "job_stream_baseline");
+    doc.set("note",
+            "multi-tenant fairness per cell: */jain must stay within "
+            "--tolerance below its reference (floor), */share_err within "
+            "--tolerance above (ceiling, +0.02 absolute slack). Sim cells "
+            "are deterministic from the seed; refresh with "
+            "--update-baseline after intentional scheduler changes.");
+    doc.set("cells", std::move(cells_json));
+    std::ofstream out(b.baseline_path, std::ios::binary | std::ios::trunc);
+    out << doc.dump(2) << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write baseline to '" << b.baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::cout << "updated baseline " << b.baseline_path << "\n";
+  } else if (!b.baseline_path.empty() && !cells.empty()) {
+    int regressions = 0;
+    try {
+      const json::Value doc = json::parse_file(b.baseline_path);
+      const json::Value* cells_json = doc.find("cells");
+      if (cells_json == nullptr || !cells_json->is_object())
+        throw json::Error(b.baseline_path + ": missing 'cells' object");
+      for (const FairnessCell& c : cells) {
+        const json::Value* ref = cells_json->find(c.label);
+        if (ref == nullptr) {
+          std::cout << "baseline: no reference for cell '" << c.label
+                    << "' (skipped)\n";
+          continue;
+        }
+        const bool bad =
+            c.higher_is_better
+                ? c.value < ref->as_number() * (1.0 - b.tolerance)
+                : c.value > ref->as_number() * (1.0 + b.tolerance) + 0.02;
+        if (bad) {
+          std::cerr << "REGRESSION " << c.label << ": "
+                    << fmt_double(c.value, 4)
+                    << (c.higher_is_better ? " < floor from baseline "
+                                           : " > ceiling from baseline ")
+                    << fmt_double(ref->as_number(), 4) << " (tolerance "
+                    << b.tolerance * 100 << "%)\n";
+          ++regressions;
+        } else {
+          std::cout << "ok " << c.label << ": " << fmt_double(c.value, 4)
+                    << " (baseline " << fmt_double(ref->as_number(), 4)
+                    << ")\n";
+        }
+      }
+    } catch (const json::Error& e) {
+      std::cerr << "error: cannot read baseline: " << e.what() << "\n";
+      return 2;
+    }
+    if (regressions > 0) {
+      std::cerr << regressions << " fairness cell(s) regressed beyond "
+                << b.tolerance * 100
+                << "% — investigate or refresh with --update-baseline\n";
+      const int rc = b.finish();
+      return rc != 0 ? rc : 1;
+    }
+  }
   return b.finish();
 }

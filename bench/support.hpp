@@ -46,8 +46,16 @@ inline constexpr std::uint64_t kFigureSeed = 2020;  // ICPP'20
 inline constexpr double kRtDefaultScale = 0.02;
 /// Schema v2 = v1 (unchanged fields) + optional per-run job-stream data:
 /// "jobs", "latency_s" percentiles, "arrival" metadata, "per_job" records
-/// (see report_job_stream and README "JSON result schema").
+/// — each carrying the owning "tenant" ("" for bare submits) — and, for
+/// multi-tenant streams, per-tenant percentiles plus a "fairness" object
+/// (see report_job_stream, bench/job_stream.cpp and README "JSON result
+/// schema").
 inline constexpr int kResultSchemaVersion = 2;
+
+/// per_job record cap: a 100k-job acceptance sweep must not write a
+/// multi-hundred-MB JSON file. Capped streams set "per_job_capped": true;
+/// the aggregate percentiles always cover every job.
+inline constexpr std::size_t kMaxPerJobRecords = 50000;
 
 /// Latency percentile over `values` (q in [0,1], nearest-rank method).
 inline double percentile(std::vector<double> values, double q) {
@@ -104,7 +112,10 @@ struct Bench {
     cli::require_no_positionals(flags);
     if (job_stream_flags) {
       flags.require_known({"backend", "policy", "scenario", "json", "scale",
-                           "seed", "help", "jobs", "arrival", "inflight"});
+                           "seed", "help", "jobs", "arrival", "inflight",
+                           "tenants", "weights", "tenant-inflight",
+                           "service-inflight", "queue-tasks", "baseline",
+                           "update-baseline", "tolerance"});
       jobs_explicit = flags.has("jobs");
       jobs = static_cast<int>(flags.get_int("jobs", jobs));
       if (jobs < 1) cli::die("--jobs must be >= 1");
@@ -114,6 +125,51 @@ struct Bench {
       if (arrival && inflight > 0)
         cli::die("--arrival (open loop) and --inflight (closed loop) are "
                  "mutually exclusive");
+      // Multi-tenant regime (the scheduler-as-a-service driver): --weights
+      // alone implies the tenant count; both given must agree.
+      if (flags.has("weights")) {
+        for (const std::string& part : cli::split(flags.get("weights"), ',')) {
+          double w = 0.0;
+          try {
+            std::size_t pos = 0;
+            w = std::stod(part, &pos);
+            if (pos != part.size()) throw std::invalid_argument(part);
+          } catch (const std::exception&) {
+            w = 0.0;
+          }
+          if (!(w > 0.0))
+            cli::die("--weights expects a comma-separated list of positive "
+                     "numbers, got '" + part + "'");
+          tenant_weights.push_back(w);
+        }
+      }
+      tenants = static_cast<int>(flags.get_int(
+          "tenants", tenant_weights.empty()
+                         ? 1
+                         : static_cast<std::int64_t>(tenant_weights.size())));
+      if (tenants < 1) cli::die("--tenants must be >= 1");
+      if (!tenant_weights.empty() &&
+          static_cast<int>(tenant_weights.size()) != tenants)
+        cli::die("--weights must list exactly one weight per --tenants");
+      tenant_inflight =
+          static_cast<int>(flags.get_int("tenant-inflight", tenant_inflight));
+      if (tenant_inflight < 0)
+        cli::die("--tenant-inflight must be >= 0 (0 = unbounded)");
+      service_inflight =
+          static_cast<int>(flags.get_int("service-inflight", service_inflight));
+      if (service_inflight < 0)
+        cli::die("--service-inflight must be >= 0 (0 = unbounded)");
+      queue_tasks = flags.get_int("queue-tasks", queue_tasks);
+      if (queue_tasks < 0)
+        cli::die("--queue-tasks must be >= 0 (0 = unbounded)");
+      baseline_path = flags.get("baseline");
+      update_baseline = flags.has("update-baseline");
+      if (update_baseline && baseline_path.empty())
+        cli::die("--update-baseline needs --baseline=PATH to know where to "
+                 "write");
+      tolerance = flags.get_double("tolerance", tolerance);
+      if (!(tolerance > 0.0 && tolerance < 1.0))
+        cli::die("--tolerance must be in (0, 1)");
     } else {
       flags.require_known(
           {"backend", "policy", "scenario", "json", "scale", "seed", "help"});
@@ -268,12 +324,18 @@ struct Bench {
     std::vector<double> latencies;
     latencies.reserve(stream.size());
     json::Value per_job = json::Value::array();
+    std::size_t recorded = 0;
     for (const RunResult& r : stream) {
       latencies.push_back(r.makespan_s);
+      if (recorded == kMaxPerJobRecords) continue;
+      ++recorded;
       json::Value j = json::Value::object();
       j.set("job", r.job);
+      j.set("tenant", r.tenant);
       j.set("arrival_s", r.arrival_s);
+      j.set("queue_s", r.queue_s);
       j.set("latency_s", r.makespan_s);
+      if (r.rejected) j.set("rejected", true);
       per_job.push_back(std::move(j));
     }
     json::Value lat = json::Value::object();
@@ -295,6 +357,7 @@ struct Bench {
     rec.set("tasks_stream_total", stream_tasks);
     rec.set("latency_s", std::move(lat));
     rec.set("arrival", arrival_meta(effective));
+    if (stream.size() > kMaxPerJobRecords) rec.set("per_job_capped", true);
     rec.set("per_job", std::move(per_job));
     for (const auto& [key, value] : extra.members()) rec.set(key, value);
     report(label, stream.back(), std::move(rec));
@@ -345,6 +408,21 @@ struct Bench {
   bool jobs_explicit = false;  ///< --jobs was given on the command line
   int inflight = 0;   ///< --inflight=K: closed loop concurrency; 0 = open
   std::optional<cli::Arrival> arrival;  ///< --arrival=; nullopt = batch
+  // Multi-tenant job-stream flags (scheduler-as-a-service regime).
+  int tenants = 1;                      ///< --tenants=N: sessions per stream
+  std::vector<double> tenant_weights;   ///< --weights=; empty = all 1.0
+  int tenant_inflight = 4;              ///< --tenant-inflight: per-tenant cap
+  int service_inflight = 0;             ///< --service-inflight: global cap
+  std::int64_t queue_tasks = 0;         ///< --queue-tasks: admission budget
+  std::string baseline_path;            ///< --baseline=PATH: fairness gate
+  bool update_baseline = false;         ///< --update-baseline
+  double tolerance = 0.25;              ///< --tolerance=F: gate slack
+
+  /// Tenant i's DRR weight: the --weights entry, or 1.0 when unset.
+  double tenant_weight(int i) const {
+    return tenant_weights.empty() ? 1.0
+                                  : tenant_weights[static_cast<std::size_t>(i)];
+  }
   std::vector<Policy> policy_filter;
   std::optional<scenario::ScenarioSpec> scenario_override;
   std::string json_path;

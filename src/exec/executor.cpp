@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <thread>
 
 #include "rt/runtime.hpp"
 #include "util/assert.hpp"
@@ -78,76 +80,9 @@ SpeedScenario build_scenario_or_exit(const scenario::ScenarioSpec& spec,
   }
 }
 
-JobId Executor::submit(const Dag& dag, double arrival_offset_s) {
-  DAS_CHECK_MSG(arrival_offset_s >= 0.0,
-                "submit: arrival offset must be >= 0");
-  const JobTicket ticket = submit_job(dag, arrival_offset_s);
-  MutexLock g(pending_mu_);
-  pending_.emplace(ticket.id, Pending{ticket.arrival_s, dag.num_nodes()});
-  return ticket.id;
-}
-
-RunResult Executor::wait(JobId id) {
-  // Claim (erase) the pending entry BEFORE blocking: exactly one waiter can
-  // own a job, so a concurrent drain()/wait() on the same id fails fast
-  // here instead of racing into the engine.
-  Pending pending;
-  {
-    MutexLock g(pending_mu_);
-    const auto it = pending_.find(id);
-    DAS_CHECK_MSG(it != pending_.end(),
-                  "job " + std::to_string(id) +
-                      " was not submitted through this executor (or was "
-                      "already waited)");
-    pending = it->second;
-    pending_.erase(it);
-  }
-  return finish_wait(id, pending);
-}
-
-RunResult Executor::finish_wait(JobId id, const Pending& pending) {
-  RunResult r;
-  r.makespan_s = wait_job(id);
-  r.tasks = pending.tasks;
-  r.tasks_per_s = r.makespan_s > 0.0
-                      ? static_cast<double>(pending.tasks) / r.makespan_s
-                      : 0.0;
-  r.backend = backend();
-  r.policy = policy_kind();
-  r.job = id;
-  r.arrival_s = pending.arrival_s;
-  r.stats.reserve(static_cast<std::size_t>(num_ranks()));
-  for (int rank = 0; rank < num_ranks(); ++rank)
-    r.stats.push_back(stats(rank).snapshot());
-  r.timeline = timeline_;
-  return r;
-}
-
-std::vector<RunResult> Executor::drain() {
-  // Claim one unclaimed job at a time (lowest id first = submission order):
-  // the claim and the erase are one critical section, so jobs another
-  // thread already claimed are simply not ours to drain and drain()
-  // composes with concurrent wait()ers on the rt backend.
-  std::vector<RunResult> results;
-  for (;;) {
-    JobId id;
-    Pending pending;
-    {
-      MutexLock g(pending_mu_);
-      if (pending_.empty()) break;
-      const auto it = pending_.begin();
-      id = it->first;
-      pending = it->second;
-      pending_.erase(it);
-    }
-    results.push_back(finish_wait(id, pending));
-  }
-  return results;
-}
-
-void Executor::reset_stats() {
-  for (int rank = 0; rank < num_ranks(); ++rank) stats(rank).reset();
-}
+// Executor's service-layer methods (submit/wait/drain/sessions) live in
+// exec/service.cpp; this file keeps the CLI helpers and the two engine
+// adapters.
 
 namespace {
 
@@ -188,9 +123,16 @@ class SimExecutor final : public Executor {
   SimExecutor(std::vector<sim::RankSpec> ranks, Policy policy,
               const TaskTypeRegistry& registry, const ExecutorConfig& cfg,
               OwnedScenarios owned)
-      : Executor(policy, cfg.timeline),
+      : Executor(policy, cfg.timeline, cfg.service),
         owned_scenarios_(std::move(owned)),
-        engine_(std::move(ranks), policy, registry, to_sim_options(cfg)) {}
+        engine_(std::move(ranks), policy, registry, to_sim_options(cfg)) {
+    // Deferred notifications only: installing the hooks adds no events and
+    // changes no engine decision, so bare submits stay bitwise-identical
+    // to a hook-less engine (tests/sim_determinism_test.cpp).
+    engine_.set_service_hooks(
+        [this](JobId id, double) { on_engine_job_done(id); },
+        [this](std::uint64_t token, double) { on_timer(token); });
+  }
 
   Backend backend() const override { return Backend::kSim; }
   int num_ranks() const override { return engine_.num_ranks(); }
@@ -207,7 +149,34 @@ class SimExecutor final : public Executor {
     const JobId id = engine_.submit(dag, arrival_offset_s);
     return JobTicket{id, engine_.now() + arrival_offset_s};
   }
-  double wait_job(JobId id) override { return engine_.wait(id); }
+  double wait_job(JobId id) override {
+    // Pump instead of calling engine_.wait's internal loop so deferred
+    // service notifications (job-done, timers) are delivered between
+    // steps; the step sequence itself is identical.
+    while (!engine_.job_done(id))
+      DAS_CHECK_MSG(engine_.pump_one(),
+                    "deadlock: job " + std::to_string(id) +
+                        " is waiting on an empty event queue");
+    return engine_.wait(id);
+  }
+  void svc_block_until(SvcWait cond, JobId id) override {
+    // Single driving thread: nothing else advances the service, so pump
+    // virtual time until the condition (release/admission) resolves.
+    for (;;) {
+      {
+        MutexLock g(svc_mu_);
+        if (svc_cond_locked(cond, id)) return;
+      }
+      DAS_CHECK_MSG(engine_.pump_one(),
+                    "service deadlock: job " + std::to_string(id) +
+                        " cannot progress with no engine events pending "
+                        "(blocked admission with nothing in flight?)");
+    }
+  }
+  void svc_arm_timer(double offset_s, std::uint64_t token) override {
+    engine_.schedule_timer(offset_s, token);
+  }
+  bool engine_defers_arrivals() const override { return true; }
 
  private:
   OwnedScenarios owned_scenarios_;  // declared before engine_: outlives it
@@ -219,9 +188,27 @@ class RtExecutor final : public Executor {
   RtExecutor(const Topology& topo, Policy policy,
              const TaskTypeRegistry& registry, const ExecutorConfig& cfg,
              OwnedScenarios owned)
-      : Executor(policy, /*timeline=*/nullptr),  // rt records no timeline yet
+      : Executor(policy, /*timeline=*/nullptr,  // rt records no timeline yet
+                 cfg.service),
         owned_scenarios_(std::move(owned)),
-        runtime_(topo, policy, registry, to_rt_options(cfg)) {}
+        runtime_(topo, policy, registry, to_rt_options(cfg)) {
+    // Completion hook fires on the finishing worker's thread with the
+    // runtime lock released; the service layer may re-enter submit() from
+    // it (lock order svc_mu_ -> runtime mu_ holds on every path).
+    runtime_.set_job_done_hook([this](JobId id) { on_engine_job_done(id); });
+  }
+
+  ~RtExecutor() override {
+    // Stop the pacer BEFORE runtime_ is destroyed: a late timer would
+    // submit into a dead runtime. Undelivered timers are dropped — jobs
+    // still pending at destruction were never completable anyway.
+    {
+      MutexLock g(pacer_mu_);
+      pacer_stop_ = true;
+    }
+    pacer_cv_.notify_all();
+    if (pacer_.joinable()) pacer_.join();
+  }
 
   Backend backend() const override { return Backend::kRt; }
   int num_ranks() const override { return 1; }
@@ -245,19 +232,81 @@ class RtExecutor final : public Executor {
 
  protected:
   JobTicket submit_job(const Dag& dag, double arrival_offset_s) override {
-    // The real runtime cannot defer a release on a virtual clock: open-loop
-    // drivers pace rt arrivals in wall time and submit with offset 0.
+    // The real runtime has no virtual clock: future arrivals never reach
+    // it. The service layer paces them in wall time (svc_arm_timer) and
+    // releases with offset 0.
     DAS_CHECK_MSG(arrival_offset_s == 0.0,
-                  "Backend::kRt cannot schedule future arrivals; submit with "
-                  "offset 0 and pace arrivals in wall time");
+                  "Backend::kRt releases are immediate; future arrivals are "
+                  "paced by the service layer");
     const double arrival = runtime_.scenario_now();
     return JobTicket{runtime_.submit(dag), arrival};
   }
   double wait_job(JobId id) override { return runtime_.wait(id); }
+  void svc_block_until(SvcWait cond, JobId id) override {
+    MutexLock g(svc_mu_);
+    while (!svc_cond_locked(cond, id)) svc_cv_.wait(g);
+  }
+  void svc_arm_timer(double offset_s, std::uint64_t token) override {
+    const std::int64_t deadline =
+        steady_now_ns() + static_cast<std::int64_t>(offset_s * 1e9);
+    MutexLock g(pacer_mu_);
+    // Lazy start: single-shot rt drivers never pay for the thread.
+    if (!pacer_.joinable()) pacer_ = std::thread([this] { pacer_main(); });
+    pacer_q_.emplace(deadline, token);
+    pacer_cv_.notify_one();
+  }
+  bool engine_defers_arrivals() const override { return false; }
 
  private:
+  static std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Wall-clock timer thread: sleeps until the earliest deadline, then
+  /// delivers the due tokens OUTSIDE pacer_mu_ (on_timer takes svc_mu_ and
+  /// may submit into the runtime).
+  void pacer_main() {
+    std::vector<std::uint64_t> due;
+    while (pacer_collect_due(due)) {
+      for (const std::uint64_t token : due) on_timer(token);
+      due.clear();
+    }
+  }
+
+  /// Blocks until timers are due (filling `due`, returns true) or shutdown
+  /// (returns false).
+  bool pacer_collect_due(std::vector<std::uint64_t>& due) {
+    MutexLock g(pacer_mu_);
+    for (;;) {
+      if (pacer_stop_) return false;
+      if (pacer_q_.empty()) {
+        pacer_cv_.wait(g);
+        continue;
+      }
+      const std::int64_t now = steady_now_ns();
+      const std::int64_t head = pacer_q_.begin()->first;
+      if (head > now) {
+        pacer_cv_.wait_for(g, std::chrono::nanoseconds(head - now));
+        continue;
+      }
+      while (!pacer_q_.empty() && pacer_q_.begin()->first <= now) {
+        due.push_back(pacer_q_.begin()->second);
+        pacer_q_.erase(pacer_q_.begin());
+      }
+      return true;
+    }
+  }
+
   OwnedScenarios owned_scenarios_;  // declared before runtime_: outlives it
   rt::Runtime runtime_;
+  Mutex pacer_mu_;
+  CondVar pacer_cv_;
+  /// deadline (steady ns) -> public-JobId token.
+  std::multimap<std::int64_t, std::uint64_t> pacer_q_ DAS_GUARDED_BY(pacer_mu_);
+  bool pacer_stop_ DAS_GUARDED_BY(pacer_mu_) = false;
+  std::thread pacer_;  // started under pacer_mu_; joined in the dtor
 };
 
 }  // namespace

@@ -1,0 +1,426 @@
+#include <utility>
+
+#include "exec/executor.hpp"
+#include "util/assert.hpp"
+
+// Multi-tenant service layer over the engine facade: admission control,
+// deficit-round-robin fair release, claim-ownership job finishing. The
+// header (exec/executor.hpp) and exec/session.hpp carry the contracts;
+// this file is pure bookkeeping around two engine-provided primitives —
+// submit_job() and the svc_* bridge virtuals.
+//
+// Locking: svc_mu_ guards every service structure and is held ACROSS
+// submit_job (lock order svc_mu_ -> engine lock; nothing takes them in the
+// other order), but never across wait_job — completion latches are engine
+// business. On sim, everything below runs on the one driving thread and
+// the lock is uncontended by construction.
+
+namespace das {
+
+JobId Executor::submit(const Dag& dag, const SubmitOptions& opts) {
+  return submit_impl(dag, opts, /*tenant=*/-1);
+}
+
+JobId Executor::submit_impl(const Dag& dag, const SubmitOptions& opts,
+                            int tenant) {
+  DAS_CHECK_MSG(opts.arrival_offset_s >= 0.0,
+                "submit: arrival offset must be >= 0");
+  const auto tasks = static_cast<std::int64_t>(dag.num_nodes());
+  JobId id = kInvalidJob;
+  bool block = false;
+  {
+    MutexLock g(svc_mu_);
+    id = next_public_++;
+    ServiceJob job;
+    job.tenant = tenant;
+    job.dag = &dag;
+    job.tasks = tasks;
+    job.priority = opts.priority;
+    if (tenant < 0 &&
+        (opts.arrival_offset_s == 0.0 || engine_defers_arrivals())) {
+      // Bare submit on the engine's own arrival path: no queue, no timer,
+      // no hook registration — byte-for-byte the pre-service behavior
+      // (single-tenant sim streams stay bitwise-reproducible).
+      const JobTicket ticket = submit_job(dag, opts.arrival_offset_s);
+      job.engine_id = ticket.id;
+      job.arrival_s = ticket.arrival_s;
+      job.release_s = ticket.arrival_s;
+      job.arrived = true;
+      job.released = true;
+      jobs_.emplace(id, std::move(job));
+      return id;
+    }
+    if (tenant >= 0) {
+      DAS_CHECK_MSG(static_cast<std::size_t>(tenant) < tenants_.size(),
+                    "submit: unknown tenant");
+      const TenantConfig& cfg = tenants_[static_cast<std::size_t>(tenant)].cfg;
+      if (cfg.overload == Overload::kBlock) {
+        // A blocking admission decision cannot be deferred to a timer, and
+        // an over-budget job would never fit however long it waits.
+        DAS_CHECK_MSG(opts.arrival_offset_s == 0.0,
+                      "Overload::kBlock tenants cannot defer arrivals "
+                      "(arrival_offset_s must be 0)");
+        DAS_CHECK_MSG(
+            cfg.max_queued_tasks == 0 || tasks <= cfg.max_queued_tasks,
+                      "submit: job (" + std::to_string(tasks) +
+                          " tasks) exceeds tenant '" + cfg.name +
+                          "' queued-task budget " +
+                          std::to_string(cfg.max_queued_tasks) +
+                          " — an Overload::kBlock submit would never unblock");
+      }
+    }
+    jobs_.emplace(id, std::move(job));
+    if (opts.arrival_offset_s > 0.0) {
+      // Deferred arrival: bare rt release pacing (tenant < 0) or a session
+      // job whose admission check runs at arrival time, both driven by the
+      // engine-appropriate timer (virtual event on sim, pacer thread on rt).
+      svc_arm_timer(opts.arrival_offset_s, static_cast<std::uint64_t>(id));
+      return id;
+    }
+    block = !try_admit_locked(id);
+  }
+  if (block) svc_block_until(SvcWait::kAdmissionDecided, id);
+  return id;
+}
+
+bool Executor::try_admit_locked(JobId id) {
+  ServiceJob& job = jobs_.at(id);
+  if (job.arrived || job.rejected) return true;  // idempotent on retries
+  TenantState& t = tenants_[static_cast<std::size_t>(job.tenant)];
+  if (t.cfg.max_queued_tasks > 0 &&
+      t.pending_tasks + job.tasks > t.cfg.max_queued_tasks) {
+    if (t.cfg.overload == Overload::kReject) {
+      job.rejected = true;
+      job.arrival_s = now();
+      ++t.counters.rejected;
+      svc_cv_.notify_all();
+      return true;
+    }
+    return false;  // kBlock: the submitter parks and retries on drain
+  }
+  job.arrived = true;
+  job.arrival_s = now();
+  ++t.counters.submitted;
+  t.pending_tasks += job.tasks;
+  t.buckets[job.priority].push_back(id);
+  if (!t.in_ring) {
+    t.in_ring = true;
+    ring_.push_back(static_cast<std::size_t>(job.tenant));
+  }
+  pump_locked();
+  return true;
+}
+
+void Executor::pump_locked() {
+  // Deficit round-robin over the backlogged-tenant ring: visit the tenant
+  // at the cursor, credit one weighted quantum (once per visit — see
+  // cursor_credited_), release whole jobs while the deficit covers their
+  // task counts, advance. Tenants at their OWN in-flight bound are skipped
+  // WITHOUT credit (deficit must not accumulate while the tenant cannot
+  // use it — it would burst on unblock); a burst cut short by the GLOBAL
+  // bound keeps the cursor so the tenant resumes its turn, un-re-credited,
+  // when capacity frees. The loop exits only when every backlogged tenant
+  // is bound-blocked or the ring is empty: release is work-conserving.
+  for (;;) {
+    if (svc_.max_service_inflight > 0 &&
+        service_inflight_ >= svc_.max_service_inflight)
+      return;
+    const std::size_t n = ring_.size();
+    if (n == 0) return;
+    std::size_t pos = 0;
+    bool found = false;
+    for (std::size_t scanned = 0; scanned < n; ++scanned) {
+      pos = (ring_cursor_ + scanned) % n;
+      const TenantState& t = tenants_[ring_[pos]];
+      if (t.cfg.max_in_flight > 0 &&
+          t.released_in_flight >= t.cfg.max_in_flight)
+        continue;
+      found = true;
+      break;
+    }
+    if (!found) return;
+    if (pos != ring_cursor_) {
+      ring_cursor_ = pos;
+      cursor_credited_ = false;
+    }
+    TenantState& t = tenants_[ring_[pos]];
+    if (!cursor_credited_) {
+      t.deficit += t.cfg.weight * static_cast<double>(svc_.drr_quantum_tasks);
+      cursor_credited_ = true;
+    }
+    bool global_blocked = false;
+    while (!t.buckets.empty()) {
+      if (svc_.max_service_inflight > 0 &&
+          service_inflight_ >= svc_.max_service_inflight) {
+        global_blocked = true;
+        break;
+      }
+      if (t.cfg.max_in_flight > 0 &&
+          t.released_in_flight >= t.cfg.max_in_flight)
+        break;
+      auto head = t.buckets.begin();
+      const JobId id = head->second.front();
+      const auto cost = static_cast<double>(jobs_.at(id).tasks);
+      if (t.deficit < cost) break;
+      t.deficit -= cost;
+      head->second.pop_front();
+      if (head->second.empty()) t.buckets.erase(head);
+      release_locked(id);
+    }
+    if (global_blocked) return;  // resume THIS tenant when capacity frees
+    cursor_credited_ = false;
+    if (t.buckets.empty()) {
+      // Drained: drop the residual credit (classic DRR — an idle tenant
+      // must not bank credit against its next burst) and leave the ring.
+      t.deficit = 0.0;
+      t.in_ring = false;
+      ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(pos));
+      if (ring_cursor_ > pos) --ring_cursor_;
+      if (!ring_.empty()) ring_cursor_ %= ring_.size();
+      else ring_cursor_ = 0;
+    } else {
+      ring_cursor_ = (pos + 1) % ring_.size();
+    }
+  }
+}
+
+void Executor::release_locked(JobId id) {
+  ServiceJob& job = jobs_.at(id);
+  const JobTicket ticket = submit_job(*job.dag, 0.0);
+  job.engine_id = ticket.id;
+  job.release_s = ticket.arrival_s;
+  job.released = true;
+  if (job.tenant < 0) {
+    // Paced bare release: arrival == release, mirroring the engine path.
+    job.arrived = true;
+    job.arrival_s = ticket.arrival_s;
+  }
+  if (job.tenant >= 0) {
+    engine_to_public_.emplace(ticket.id, id);
+    ++service_inflight_;
+    TenantState& t = tenants_[static_cast<std::size_t>(job.tenant)];
+    ++t.released_in_flight;
+    t.pending_tasks -= job.tasks;
+    ++t.counters.released;
+    t.counters.released_tasks += job.tasks;
+  }
+  svc_cv_.notify_all();
+}
+
+void Executor::on_engine_job_done(JobId engine_id) {
+  {
+    MutexLock g(svc_mu_);
+    const auto it = engine_to_public_.find(engine_id);
+    if (it == engine_to_public_.end()) return;  // bare job: nothing to track
+    const JobId id = it->second;
+    engine_to_public_.erase(it);
+    --service_inflight_;
+    TenantState& t =
+        tenants_[static_cast<std::size_t>(jobs_.at(id).tenant)];
+    --t.released_in_flight;
+    ++t.counters.completed;
+    // A completion frees in-flight headroom: release what it unblocks.
+    pump_locked();
+  }
+  svc_cv_.notify_all();
+}
+
+void Executor::on_timer(std::uint64_t token) {
+  {
+    MutexLock g(svc_mu_);
+    const auto it = jobs_.find(static_cast<JobId>(token));
+    if (it == jobs_.end()) return;
+    if (it->second.tenant < 0) {
+      release_locked(it->first);  // paced bare release (rt future arrival)
+    } else {
+      (void)try_admit_locked(it->first);  // deferred session arrival
+    }
+  }
+  svc_cv_.notify_all();
+}
+
+bool Executor::svc_cond_locked(SvcWait cond, JobId id) {
+  switch (cond) {
+    case SvcWait::kReleased: {
+      const ServiceJob& job = jobs_.at(id);
+      return job.released || job.rejected;
+    }
+    case SvcWait::kAdmissionDecided:
+      return try_admit_locked(id);
+  }
+  DAS_CHECK_MSG(false, "svc_cond_locked: unknown condition");
+  return false;
+}
+
+RunResult Executor::wait(JobId id) {
+  // Claim BEFORE blocking: exactly one finisher owns a job, so a
+  // concurrent drain()/wait() on the same id fails fast here instead of
+  // racing into the engine.
+  {
+    MutexLock g(svc_mu_);
+    const auto it = jobs_.find(id);
+    DAS_CHECK_MSG(it != jobs_.end() && !it->second.claimed,
+                  "job " + std::to_string(id) +
+                      " was not submitted through this executor (or was "
+                      "already waited)");
+    it->second.claimed = true;
+  }
+  return finish_claimed(id);
+}
+
+RunResult Executor::finish_claimed(JobId id) {
+  svc_block_until(SvcWait::kReleased, id);
+  ServiceJob job;
+  std::string tenant_name;
+  {
+    MutexLock g(svc_mu_);
+    job = jobs_.at(id);
+    if (job.tenant >= 0)
+      tenant_name = tenants_[static_cast<std::size_t>(job.tenant)].cfg.name;
+  }
+  RunResult r;
+  r.backend = backend();
+  r.policy = policy_kind();
+  r.job = id;
+  r.arrival_s = job.arrival_s;
+  r.tenant = std::move(tenant_name);
+  if (job.rejected) {
+    r.rejected = true;
+  } else {
+    r.makespan_s = wait_job(job.engine_id);
+    r.tasks = job.tasks;
+    r.tasks_per_s = r.makespan_s > 0.0
+                        ? static_cast<double>(job.tasks) / r.makespan_s
+                        : 0.0;
+    r.queue_s = job.release_s - job.arrival_s;
+    r.stats.reserve(static_cast<std::size_t>(num_ranks()));
+    for (int rank = 0; rank < num_ranks(); ++rank)
+      r.stats.push_back(stats(rank).snapshot());
+    r.timeline = timeline_;
+  }
+  MutexLock g(svc_mu_);
+  // On rt the engine's completion hook trails wait_job's return (it runs on
+  // the worker thread after the completion latch fires). Its accounting —
+  // in-flight decrement, counters.completed, the pump — must land before
+  // this job record disappears and before counters() can observe the wait,
+  // so park until the hook has erased the engine mapping. On sim the hook
+  // was delivered inside whichever pump completed the job: no wait.
+  if (!job.rejected && job.tenant >= 0)
+    while (engine_to_public_.count(job.engine_id) != 0) svc_cv_.wait(g);
+  jobs_.erase(id);
+  return r;
+}
+
+JobId Executor::claim_next_locked(int tenant) {
+  for (auto& [id, job] : jobs_) {
+    if (job.claimed) continue;
+    if (tenant == -1 || job.tenant == tenant ||
+        (tenant == -2 && job.tenant < 0)) {
+      job.claimed = true;
+      return id;
+    }
+  }
+  return kInvalidJob;
+}
+
+std::vector<RunResult> Executor::drain() {
+  // Claim one unclaimed job at a time (lowest id first = submission
+  // order): the claim is one critical section, so jobs another thread
+  // already claimed are simply not ours to drain and drain() composes
+  // with concurrent wait()ers on the rt backend.
+  std::vector<RunResult> results;
+  for (;;) {
+    JobId id = kInvalidJob;
+    {
+      MutexLock g(svc_mu_);
+      id = claim_next_locked(-1);
+    }
+    if (id == kInvalidJob) break;
+    results.push_back(finish_claimed(id));
+  }
+  return results;
+}
+
+std::vector<RunResult> Executor::drain_tenant(int tenant) {
+  std::vector<RunResult> results;
+  for (;;) {
+    JobId id = kInvalidJob;
+    {
+      MutexLock g(svc_mu_);
+      id = claim_next_locked(tenant);
+    }
+    if (id == kInvalidJob) break;
+    results.push_back(finish_claimed(id));
+  }
+  return results;
+}
+
+std::vector<TenantResults> Executor::drain_grouped() {
+  std::vector<TenantResults> groups;
+  {
+    MutexLock g(svc_mu_);
+    groups.resize(tenants_.size() + 1);
+    groups[0].tenant.clear();  // bare group
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      groups[i + 1].tenant = tenants_[i].cfg.name;
+      groups[i + 1].weight = tenants_[i].cfg.weight;
+    }
+  }
+  bool bare_any = false;
+  for (;;) {
+    JobId id = kInvalidJob;
+    int tenant = -1;
+    {
+      MutexLock g(svc_mu_);
+      id = claim_next_locked(-1);
+      if (id != kInvalidJob) tenant = jobs_.at(id).tenant;
+    }
+    if (id == kInvalidJob) break;
+    if (tenant < 0) bare_any = true;
+    groups[static_cast<std::size_t>(tenant + 1)].results.push_back(
+        finish_claimed(id));
+  }
+  if (!bare_any) groups.erase(groups.begin());
+  return groups;
+}
+
+std::unique_ptr<Session> Executor::open_session(TenantConfig cfg) {
+  DAS_CHECK_MSG(cfg.weight > 0.0, "open_session: weight must be > 0");
+  DAS_CHECK_MSG(cfg.max_in_flight >= 0,
+                "open_session: max_in_flight must be >= 0 (0 = unbounded)");
+  DAS_CHECK_MSG(cfg.max_queued_tasks >= 0,
+                "open_session: max_queued_tasks must be >= 0 (0 = unbounded)");
+  MutexLock g(svc_mu_);
+  const int tenant = static_cast<int>(tenants_.size());
+  const std::string name = cfg.name;
+  const double weight = cfg.weight;
+  TenantState state;
+  state.cfg = std::move(cfg);
+  tenants_.push_back(std::move(state));
+  return std::unique_ptr<Session>(new Session(this, tenant, name, weight));
+}
+
+TenantCounters Executor::counters_of(int tenant) {
+  MutexLock g(svc_mu_);
+  DAS_CHECK_MSG(
+      tenant >= 0 && static_cast<std::size_t>(tenant) < tenants_.size(),
+      "counters_of: unknown tenant");
+  return tenants_[static_cast<std::size_t>(tenant)].counters;
+}
+
+void Executor::reset_stats() {
+  for (int rank = 0; rank < num_ranks(); ++rank) stats(rank).reset();
+}
+
+std::vector<JobId> Session::submit_batch(const std::vector<const Dag*>& dags,
+                                         const SubmitOptions& opts) {
+  std::vector<JobId> ids;
+  ids.reserve(dags.size());
+  for (const Dag* dag : dags) {
+    DAS_CHECK_MSG(dag != nullptr, "submit_batch: null dag");
+    ids.push_back(submit(*dag, opts));
+  }
+  return ids;
+}
+
+}  // namespace das

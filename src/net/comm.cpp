@@ -34,6 +34,17 @@ void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
   if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
 }
 
+Message Comm::recv_msg(int src, int tag) {
+  DAS_CHECK(src >= 0 && src < size());
+  DAS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
+  return world_->mailbox(rank_).take(src, tag);
+}
+
+Message Comm::recv_any(int tag) {
+  DAS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
+  return world_->mailbox(rank_).take_any(tag);
+}
+
 void Comm::allreduce_sum(double* data, std::size_t n) {
   DAS_CHECK(n == 0 || data != nullptr);
   // Gather-to-root, reduce, broadcast. O(P) rounds — fine for the handful of

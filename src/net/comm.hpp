@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "net/mailbox.hpp"
 #include "util/assert.hpp"
 
 namespace das::net {
@@ -27,6 +28,13 @@ class Comm {
   /// Blocks until the matching message arrives; its payload size must be
   /// exactly `bytes`.
   void recv(int src, int tag, void* data, std::size_t bytes);
+  /// Blocks until the matching message arrives and returns it whole —
+  /// recv() without the posted-size contract, for variable-size payloads.
+  Message recv_msg(int src, int tag);
+  /// Blocks until a `tag` message from ANY rank arrives and returns it whole
+  /// (variable-size payload + source rank) — the server-side accept path of
+  /// net/service.hpp.
+  Message recv_any(int tag);
 
   template <typename T>
   void send_span(int dst, int tag, const T* data, std::size_t n) {

@@ -31,6 +31,21 @@ Message Mailbox::take(int src, int tag) {
   }
 }
 
+Message Mailbox::take_any(int tag) {
+  MutexLock g(mu_);
+  for (;;) {
+    const auto it =
+        std::find_if(messages_.begin(), messages_.end(),
+                     [&](const Message& m) { return m.tag == tag; });
+    if (it != messages_.end()) {
+      Message m = std::move(*it);
+      messages_.erase(it);
+      return m;
+    }
+    cv_.wait(g);
+  }
+}
+
 bool Mailbox::try_take(int src, int tag, Message& out) {
   MutexLock g(mu_);
   auto it = find_locked(src, tag);

@@ -27,6 +27,10 @@ class Mailbox {
   /// Blocks until a message from `src` with `tag` is available and removes
   /// the oldest such message.
   Message take(int src, int tag);
+  /// Blocks until a message with `tag` from ANY source is available and
+  /// removes the oldest such message (MPI_ANY_SOURCE: the server pattern —
+  /// Message::src identifies the client). FIFO per (src, tag) still holds.
+  Message take_any(int tag);
   /// Non-blocking variant; returns false if no match is queued.
   bool try_take(int src, int tag, Message& out);
   std::size_t pending() const;

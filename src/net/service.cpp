@@ -1,0 +1,130 @@
+#include "net/service.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace das::net {
+
+namespace {
+
+enum class Req : std::uint8_t {
+  kOpenSession = 0,
+  kSubmit,
+  kWait,
+  kBye,
+};
+
+WireRunResult to_wire(const RunResult& r) {
+  WireRunResult w;
+  w.makespan_s = r.makespan_s;
+  w.tasks_per_s = r.tasks_per_s;
+  w.tasks = r.tasks;
+  w.job = r.job;
+  w.arrival_s = r.arrival_s;
+  w.queue_s = r.queue_s;
+  w.tenant = r.tenant;
+  w.backend = static_cast<std::uint8_t>(r.backend);
+  w.policy = static_cast<std::uint8_t>(r.policy);
+  w.rejected = r.rejected ? 1 : 0;
+  return w;
+}
+
+void reply(Comm& comm, int dst, WireWriter w) {
+  const std::vector<std::byte> bytes = w.take();
+  comm.send(dst, kTagServiceReply, bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+void serve_executor(Comm& comm, Executor& exec, int num_clients) {
+  if (num_clients < 0) num_clients = comm.size() - 1;
+  // Decoded DAGs must outlive their jobs (Executor::submit borrows the
+  // dag until the job is waited); keyed by public JobId, freed at wait.
+  std::map<JobId, std::unique_ptr<Dag>> dags;
+  std::vector<std::unique_ptr<Session>> sessions;
+  int byes = 0;
+  while (byes < num_clients) {
+    const Message msg = comm.recv_any(kTagServiceRequest);
+    WireReader r(msg.payload);
+    switch (static_cast<Req>(r.pod<std::uint8_t>())) {
+      case Req::kOpenSession: {
+        sessions.push_back(exec.open_session(decode_tenant_config(r)));
+        WireWriter w;
+        w.pod(static_cast<std::int32_t>(sessions.size() - 1));
+        reply(comm, msg.src, std::move(w));
+        break;
+      }
+      case Req::kSubmit: {
+        const auto session = r.pod<std::int32_t>();
+        const SubmitOptions opts = decode_submit_options(r);
+        auto dag = std::make_unique<Dag>(decode_dag(r));
+        JobId id = kInvalidJob;
+        if (session < 0) {
+          id = exec.submit(*dag, opts);
+        } else {
+          DAS_CHECK_MSG(static_cast<std::size_t>(session) < sessions.size(),
+                        "serve_executor: unknown session");
+          id = sessions[static_cast<std::size_t>(session)]->submit(*dag, opts);
+        }
+        dags.emplace(id, std::move(dag));
+        WireWriter w;
+        w.pod(id);
+        reply(comm, msg.src, std::move(w));
+        break;
+      }
+      case Req::kWait: {
+        const auto id = r.pod<JobId>();
+        const RunResult result = exec.wait(id);
+        dags.erase(id);
+        WireWriter w;
+        encode_run_result(to_wire(result), w);
+        reply(comm, msg.src, std::move(w));
+        break;
+      }
+      case Req::kBye:
+        ++byes;
+        break;
+    }
+  }
+}
+
+int ServiceClient::open_session(const TenantConfig& cfg) {
+  WireWriter w;
+  w.pod(static_cast<std::uint8_t>(Req::kOpenSession));
+  encode_tenant_config(cfg, w);
+  comm_.send(server_, kTagServiceRequest, w.data(), w.size());
+  return comm_.recv_value<std::int32_t>(server_, kTagServiceReply);
+}
+
+JobId ServiceClient::submit(const Dag& dag, const SubmitOptions& opts,
+                            int session) {
+  WireWriter w;
+  w.pod(static_cast<std::uint8_t>(Req::kSubmit));
+  w.pod(static_cast<std::int32_t>(session));
+  encode_submit_options(opts, w);
+  encode_dag(dag, w);
+  comm_.send(server_, kTagServiceRequest, w.data(), w.size());
+  return comm_.recv_value<JobId>(server_, kTagServiceReply);
+}
+
+WireRunResult ServiceClient::wait(JobId id) {
+  WireWriter w;
+  w.pod(static_cast<std::uint8_t>(Req::kWait));
+  w.pod(id);
+  comm_.send(server_, kTagServiceRequest, w.data(), w.size());
+  const Message msg = comm_.recv_msg(server_, kTagServiceReply);
+  WireReader r(msg.payload);
+  return decode_run_result(r);
+}
+
+void ServiceClient::bye() {
+  WireWriter w;
+  w.pod(static_cast<std::uint8_t>(Req::kBye));
+  comm_.send(server_, kTagServiceRequest, w.data(), w.size());
+}
+
+}  // namespace das::net

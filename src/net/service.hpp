@@ -1,0 +1,80 @@
+#pragma once
+// Scheduler-as-a-service front-end over the in-process message-passing world
+// (net/world.hpp): one long-running EXECUTOR RANK serves DAG submissions
+// from CLIENT RANKS and ships their RunResults back.
+//
+//     world.run([&](net::Comm& comm) {
+//       if (comm.rank() == 0) {
+//         auto exec = das::make_executor(...);
+//         net::serve_executor(comm, *exec);          // until all clients bye
+//       } else {
+//         net::ServiceClient client(comm, /*server_rank=*/0);
+//         const int session = client.open_session({.name = "bench"});
+//         const JobId id = client.submit(dag, {}, session);
+//         const net::WireRunResult r = client.wait(id);
+//         client.bye();
+//       }
+//     });
+//
+// DAGs cross the wire via net/wire.hpp, so only cost-model-driven execution
+// is remotely submittable (work closures do not serialize — the wire header
+// documents the contract). A sim-backed server is deterministic: the same
+// client submission sequence yields results bitwise-equal to running the
+// same executor locally (tests/net_service_test.cpp).
+//
+// The server handles requests SEQUENTIALLY in arrival order; a wait request
+// blocks the server until that job completes, so clients needing overlap
+// should submit everything before the first wait (submissions release to
+// the engine immediately — the engine runs jobs concurrently regardless).
+// A concurrently-serving front-end (thread per client) is a documented
+// follow-up.
+
+#include <cstdint>
+
+#include "exec/executor.hpp"
+#include "net/comm.hpp"
+#include "net/wire.hpp"
+
+namespace das::net {
+
+/// Reserved user tags for the service protocol. Applications sharing a
+/// world with a service must pick other tags.
+inline constexpr int kTagServiceRequest = 0x5351;
+inline constexpr int kTagServiceReply = 0x5352;
+
+/// Serves `exec` over `comm` until `num_clients` clients (default: every
+/// other rank in the world) have sent a bye. Call from the server rank's
+/// world thread; requests are handled in arrival order across clients.
+void serve_executor(Comm& comm, Executor& exec, int num_clients = -1);
+
+/// Client-side handle: serializes requests to the server rank and decodes
+/// its replies. One handle per client rank; calls are synchronous
+/// (request/reply) and must come from the rank's own world thread.
+class ServiceClient {
+ public:
+  ServiceClient(Comm& comm, int server_rank)
+      : comm_(comm), server_(server_rank) {}
+
+  /// Remote Executor::open_session: returns the server-side session index
+  /// to pass as submit()'s `session`.
+  int open_session(const TenantConfig& cfg);
+
+  /// Remote submit: encodes `dag` + `opts`; `session` < 0 submits bare.
+  /// Returns the server-side public JobId. The dag is copied onto the wire
+  /// — unlike local submit, it need not outlive the call.
+  JobId submit(const Dag& dag, const SubmitOptions& opts = {},
+               int session = -1);
+
+  /// Remote Executor::wait: blocks until the job's result arrives.
+  WireRunResult wait(JobId id);
+
+  /// Releases this client's seat; the server returns once every client
+  /// said bye. No requests may follow.
+  void bye();
+
+ private:
+  Comm& comm_;
+  int server_;
+};
+
+}  // namespace das::net

@@ -1,0 +1,145 @@
+#include "net/wire.hpp"
+
+namespace das::net {
+
+namespace {
+
+constexpr std::uint32_t kDagMagic = 0x44414731;  // "DAG1"
+constexpr std::uint16_t kDagVersion = 1;
+
+}  // namespace
+
+void encode_dag(const Dag& dag, WireWriter& w) {
+  dag.seal();  // folds staged edges so successors() walks are contiguous
+  w.pod(kDagMagic);
+  w.pod(kDagVersion);
+  const int n = dag.num_nodes();
+  w.pod(static_cast<std::int32_t>(n));
+  w.pod(static_cast<std::uint64_t>(dag.num_edges()));
+  for (NodeId id = 0; id < n; ++id) {
+    const DagNode& node = dag.node(id);
+    w.pod(node.type);
+    w.pod(static_cast<std::uint8_t>(node.priority));
+    w.pod(node.params.p0);
+    w.pod(node.params.p1);
+    w.pod(node.params.p2);
+    w.pod(static_cast<std::int32_t>(node.rank));
+    w.pod(static_cast<std::int32_t>(node.affinity_core));
+    w.pod(static_cast<std::int32_t>(node.phase));
+    w.pod(static_cast<std::uint32_t>(dag.num_successors(id)));
+    for (const DagEdge& e : dag.successors(id)) {
+      w.pod(e.to);
+      w.pod(e.delay_s);
+    }
+  }
+}
+
+Dag decode_dag(WireReader& r) {
+  DAS_CHECK_MSG(r.pod<std::uint32_t>() == kDagMagic,
+                "decode_dag: bad magic (not a serialized DAG)");
+  DAS_CHECK_MSG(r.pod<std::uint16_t>() == kDagVersion,
+                "decode_dag: unsupported wire version");
+  const auto n = r.pod<std::int32_t>();
+  DAS_CHECK_MSG(n >= 0, "decode_dag: negative node count");
+  const auto declared_edges = r.pod<std::uint64_t>();
+  Dag dag;
+  // Two passes are unnecessary: node ids are dense [0, n) by construction,
+  // so edges can reference forward nodes only after every node exists.
+  // Stage the edge lists, add all nodes, then add edges.
+  struct PendingEdge {
+    NodeId from, to;
+    double delay_s;
+  };
+  std::vector<PendingEdge> edges;
+  edges.reserve(static_cast<std::size_t>(declared_edges));
+  for (NodeId id = 0; id < n; ++id) {
+    const auto type = r.pod<TaskTypeId>();
+    const auto priority = r.pod<std::uint8_t>();
+    DAS_CHECK_MSG(priority <= 1, "decode_dag: bad priority");
+    TaskParams params;
+    params.p0 = r.pod<double>();
+    params.p1 = r.pod<double>();
+    params.p2 = r.pod<double>();
+    const NodeId added =
+        dag.add_node(type, static_cast<Priority>(priority), params);
+    DAS_CHECK(added == id);
+    DagNode& node = dag.node(added);
+    node.rank = r.pod<std::int32_t>();
+    node.affinity_core = r.pod<std::int32_t>();
+    node.phase = r.pod<std::int32_t>();
+    const auto degree = r.pod<std::uint32_t>();
+    for (std::uint32_t j = 0; j < degree; ++j) {
+      const auto to = r.pod<NodeId>();
+      const auto delay_s = r.pod<double>();
+      DAS_CHECK_MSG(to >= 0 && to < n, "decode_dag: edge target out of range");
+      edges.push_back(PendingEdge{id, to, delay_s});
+    }
+  }
+  DAS_CHECK_MSG(edges.size() == declared_edges,
+                "decode_dag: edge count mismatch");
+  for (const PendingEdge& e : edges) dag.add_edge(e.from, e.to, e.delay_s);
+  dag.seal();
+  return dag;
+}
+
+void encode_tenant_config(const TenantConfig& cfg, WireWriter& w) {
+  w.str(cfg.name);
+  w.pod(cfg.weight);
+  w.pod(static_cast<std::int32_t>(cfg.max_in_flight));
+  w.pod(cfg.max_queued_tasks);
+  w.pod(static_cast<std::uint8_t>(cfg.overload));
+}
+
+TenantConfig decode_tenant_config(WireReader& r) {
+  TenantConfig cfg;
+  cfg.name = r.str();
+  cfg.weight = r.pod<double>();
+  cfg.max_in_flight = r.pod<std::int32_t>();
+  cfg.max_queued_tasks = r.pod<std::int64_t>();
+  const auto overload = r.pod<std::uint8_t>();
+  DAS_CHECK_MSG(overload <= 1, "decode_tenant_config: bad overload policy");
+  cfg.overload = static_cast<Overload>(overload);
+  return cfg;
+}
+
+void encode_submit_options(const SubmitOptions& opts, WireWriter& w) {
+  w.pod(opts.arrival_offset_s);
+  w.pod(static_cast<std::int32_t>(opts.priority));
+}
+
+SubmitOptions decode_submit_options(WireReader& r) {
+  SubmitOptions opts;
+  opts.arrival_offset_s = r.pod<double>();
+  opts.priority = r.pod<std::int32_t>();
+  return opts;
+}
+
+void encode_run_result(const WireRunResult& res, WireWriter& w) {
+  w.pod(res.makespan_s);
+  w.pod(res.tasks_per_s);
+  w.pod(res.tasks);
+  w.pod(res.job);
+  w.pod(res.arrival_s);
+  w.pod(res.queue_s);
+  w.str(res.tenant);
+  w.pod(res.backend);
+  w.pod(res.policy);
+  w.pod(res.rejected);
+}
+
+WireRunResult decode_run_result(WireReader& r) {
+  WireRunResult res;
+  res.makespan_s = r.pod<double>();
+  res.tasks_per_s = r.pod<double>();
+  res.tasks = r.pod<std::int64_t>();
+  res.job = r.pod<std::int64_t>();
+  res.arrival_s = r.pod<double>();
+  res.queue_s = r.pod<double>();
+  res.tenant = r.str();
+  res.backend = r.pod<std::uint8_t>();
+  res.policy = r.pod<std::uint8_t>();
+  res.rejected = r.pod<std::uint8_t>();
+  return res;
+}
+
+}  // namespace das::net

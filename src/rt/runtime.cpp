@@ -118,6 +118,13 @@ JobId Runtime::submit(const Dag& dag) {
   return raw->id;
 }
 
+void Runtime::set_job_done_hook(std::function<void(JobId)> hook) {
+  MutexLock g(mu_);
+  DAS_CHECK_MSG(jobs_.empty(),
+                "set_job_done_hook: install before the first submit()");
+  job_done_hook_ = std::move(hook);
+}
+
 double Runtime::wait(JobId id) {
   MutexLock g(mu_);
   const auto it = jobs_.find(id);

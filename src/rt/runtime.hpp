@@ -60,6 +60,7 @@
 // effective speed would need (platform/throttle.hpp explains why this
 // preserves the scheduling problem).
 
+#include <functional>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -137,6 +138,13 @@ class Runtime {
   /// starved-pool tests use it to observe that idle workers sleep instead
   /// of spinning).
   int parked_workers() const;
+
+  /// Installs a hook invoked (from the finishing worker's thread) each time
+  /// a job's last task completes, AFTER the runtime released its internal
+  /// lock — the hook may call submit()/wait() on this runtime. Install
+  /// before the first submit(); the exec-layer job service uses it to free
+  /// per-tenant in-flight slots and release queued jobs.
+  void set_job_done_hook(std::function<void(JobId)> hook);
 
  private:
   struct Job;  // fwd
@@ -277,6 +285,10 @@ class Runtime {
   // in flight (the union of job windows), so overlapping jobs are not
   // double-counted and sequential runs sum exactly as before.
   std::int64_t busy_window_start_ns_ DAS_GUARDED_BY(mu_) = 0;
+  // Job-completion hook (see set_job_done_hook). Written once before any
+  // submit, read by worker threads without mu_ — the install happens-before
+  // every completion via the submit that publishes the job.
+  std::function<void(JobId)> job_done_hook_;
 };
 
 }  // namespace das::rt

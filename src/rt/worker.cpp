@@ -406,6 +406,7 @@ void Runtime::push_stealable(int target_core, TaskRec* task, bool from_owner) {
 
 void Runtime::complete_job(Job* job) {
   const std::int64_t done_ns = now_ns();
+  const JobId id = job->id;
   {
     MutexLock g(mu_);
     job->done_ns = done_ns;
@@ -418,6 +419,10 @@ void Runtime::complete_job(Job* job) {
                           ns_to_s(done_ns - busy_window_start_ns_));
   }
   cv_.notify_all();
+  // Service notification strictly after mu_ is released: the hook may
+  // re-enter submit() (which takes mu_) to release queued jobs. `job` may be
+  // freed by a concurrent wait() the moment cv_ fired, hence the id copy.
+  if (job_done_hook_) job_done_hook_(id);
 }
 
 }  // namespace das::rt

@@ -269,9 +269,55 @@ void SimEngine::step() {
     case Ev::kRoot:
       make_ready(e.job, e.task, e.from_core, now_);
       break;
+    case Ev::kTimer:
+      note_timer_fired(e, now_);
+      break;
   }
 }
 // daslint: end-hot-path
+
+void SimEngine::note_timer_fired(const Event& e, double t) {
+  // Only the service layer schedules timers, so the hook is always present.
+  DAS_ASSERT(timer_hook_);
+  deferred_.push_back(
+      Deferred{true, static_cast<std::uint64_t>(e.job), t});
+}
+
+void SimEngine::set_service_hooks(
+    std::function<void(JobId, double)> job_done,
+    std::function<void(std::uint64_t, double)> timer) {
+  DAS_CHECK_MSG(job_done && timer, "set_service_hooks: both hooks required");
+  job_done_hook_ = std::move(job_done);
+  timer_hook_ = std::move(timer);
+  deferred_.reserve(64);
+}
+
+void SimEngine::schedule_timer(double offset_s, std::uint64_t token) {
+  DAS_CHECK_MSG(timer_hook_ != nullptr,
+                "schedule_timer: install service hooks first");
+  DAS_CHECK_MSG(offset_s >= 0.0, "schedule_timer: offset must be >= 0");
+  events_.push(now_ + offset_s,
+               Event{Ev::kTimer, -1, static_cast<JobId>(token), kInvalidNode,
+                     -1});
+}
+
+bool SimEngine::pump_one() {
+  if (!events_pending()) return false;
+  step();
+  // Deliver deferred notifications AFTER step() unwound: the hooks may
+  // submit() or schedule_timer() (job_slots_/events_ mutation), which must
+  // not run under the live Job& a handler frame holds. Index loop: a hook
+  // must not re-enter pump_one(), but appends would still be delivered.
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    const Deferred d = deferred_[i];
+    if (d.timer)
+      timer_hook_(d.id, d.time);
+    else
+      job_done_hook_(static_cast<JobId>(d.id), d.time);
+  }
+  deferred_.clear();
+  return true;
+}
 
 void SimEngine::activate(int core, double at, bool direct) {
   if (cores_[static_cast<std::size_t>(core)].active) return;
@@ -576,6 +622,8 @@ void SimEngine::handle_done(const Event& e, double t) {
     if (job.completed == job.dag->num_nodes()) {
       job.done = true;
       job.finish_s = t;
+      if (job_done_hook_)
+        deferred_.push_back(Deferred{false, static_cast<std::uint64_t>(e.job), t});
     }
   }
 

@@ -45,6 +45,7 @@
 // scenario, policy, PTT and stats; work stealing never crosses ranks; DAG
 // edges between ranks carry a network delay (DagEdge::delay_s).
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -137,8 +138,35 @@ class SimEngine {
   /// Virtual completion time of a node of the most recently wait()ed job.
   double completion_time(NodeId id) const;
 
+  // --- service hooks (the exec-layer session/admission machinery) ----------
+  // The job-service layer above the engine needs two notifications delivered
+  // in event order: "job X finished at t" (to free an in-flight slot and
+  // release queued jobs) and "timer T fired at t" (deferred tenant
+  // arrivals). Both MAY re-enter the engine (submit(), schedule_timer()), so
+  // they are NOT invoked from inside step() — step holds a live Job& while
+  // job_slots_ could reallocate under a re-entrant submit. Instead step()
+  // records them in a deferred list that pump_one() delivers after the
+  // handler frame unwinds. Without hooks installed nothing is recorded and
+  // the event/RNG streams are bit-identical to the bare engine.
+
+  /// Installs the service hooks. Must be called before the first event that
+  /// would fire one; typically right after construction.
+  void set_service_hooks(std::function<void(JobId, double)> job_done,
+                         std::function<void(std::uint64_t, double)> timer);
+  /// Schedules a timer event at now() + offset_s carrying `token` back to
+  /// the timer hook. Requires service hooks installed.
+  void schedule_timer(double offset_s, std::uint64_t token);
+  /// Dispatches ONE pending event, then delivers any deferred service
+  /// notifications it produced; returns false (dispatching nothing) when the
+  /// event queue is empty. Hooks may submit()/schedule_timer() but must not
+  /// re-enter pump_one()/wait().
+  bool pump_one();
+  /// True once job `id`'s last task completed. `id` must be in flight
+  /// (submitted, not yet wait()ed).
+  bool job_done(JobId id) { return job_of(id).done; }
+
  private:
-  enum class Ev : std::uint8_t { kWake, kDone, kRelease, kRoot };
+  enum class Ev : std::uint8_t { kWake, kDone, kRelease, kRoot, kTimer };
   struct Event {
     Ev kind;
     int core = -1;             // global core id (kWake, kDone)
@@ -273,6 +301,9 @@ class SimEngine {
   void wake_idle_cores(int rank, double t);
   void step();  ///< dispatches one event (events_pending() must be true)
   bool events_pending() const { return !events_.empty(); }
+  /// Outlined kTimer record (the call site sits inside the step() hot-path
+  /// lint region; the deferred-list push must not).
+  void note_timer_fired(const Event& e, double t);
   void handle_wake(int core, double t);
   void handle_done(const Event& e, double t);
   void handle_release(const Event& e, double t);
@@ -316,6 +347,18 @@ class SimEngine {
   std::unique_ptr<TaskState[]> last_waited_tasks_;
   std::size_t last_waited_cap_ = 0;
   std::size_t last_waited_count_ = 0;
+
+  // Deferred service notifications (see set_service_hooks): appended by the
+  // event handlers in event order, drained by pump_one() after step()
+  // returns. Empty unless hooks are installed.
+  struct Deferred {
+    bool timer = false;
+    std::uint64_t id = 0;  // JobId (done) or timer token
+    double time = 0.0;
+  };
+  std::vector<Deferred> deferred_;
+  std::function<void(JobId, double)> job_done_hook_;
+  std::function<void(std::uint64_t, double)> timer_hook_;
 };
 
 }  // namespace das::sim

@@ -20,6 +20,7 @@
 // the analysis cannot see that a lambda body runs with the lock held, so a
 // predicate reading guarded state would need an opt-out annotation.
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -69,6 +70,13 @@ class CondVar {
   /// Atomically releases `g`'s mutex and sleeps; the mutex is reheld on
   /// return. Spurious wakeups happen — always wait in a predicate loop.
   void wait(MutexLock& g) { cv_.wait(g.lock_); }
+
+  /// wait() with a relative deadline: returns std::cv_status::timeout when
+  /// `d` elapsed without a notification. Same predicate-loop discipline as
+  /// wait() — timeout only bounds one sleep, not the loop.
+  std::cv_status wait_for(MutexLock& g, std::chrono::nanoseconds d) {
+    return cv_.wait_for(g.lock_, d);
+  }
 
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }
