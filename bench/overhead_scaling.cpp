@@ -119,12 +119,20 @@ int main(int argc, char** argv) {
 
   // The swept kernel: zero (or --grain) seconds of work so every remaining
   // cycle is scheduling machinery. One registered type serves both engines —
-  // the closure drives rt, the cost model drives the DES.
+  // the closure drives rt, the cost model drives the DES. At grain 0 the
+  // cost is the constant 1e-9 (exactly what the lambda would compute), so
+  // registering through the fixed-cost factory lets the engines take their
+  // fused kFixed loop — the overhead floor this bench exists to measure.
+  // A positive grain divides by q.speed and must stay a callable, which
+  // correctly demotes dispatch to the generic loop.
   const double grain_s = static_cast<double>(grain_ns) * 1e-9;
-  const TaskTypeId empty_id = b.registry.register_type(
-      "empty", [grain_s](const TaskParams&, const CostQuery& q) {
-        return std::max(grain_s / q.speed, 1e-9);
-      });
+  const TaskTypeId empty_id =
+      grain_ns == 0
+          ? b.registry.register_type("empty", kernels::fixed_cost(1e-9))
+          : b.registry.register_type(
+                "empty", [grain_s](const TaskParams&, const CostQuery& q) {
+                  return std::max(grain_s / q.speed, 1e-9);
+                });
 
   print_backend(b);
   const SpeedScenario scenario =

@@ -30,6 +30,13 @@
 //                           layer, maximal fan-out — the shape that made
 //                           the old per-core vector queues quadratic).
 //                           Default: auto,fanout
+//   --dispatch=MODE[,MODE]  fused (default: let the engine pick its fused
+//                           (policy x cost-model) loop), generic (pin
+//                           SimOptions::force_generic_dispatch — the
+//                           type-erased fallback), or both. Generic cells
+//                           get a "/dispatch=generic" label suffix, so the
+//                           default labels (and the checked-in baseline)
+//                           are unchanged.
 //   --baseline=PATH         gate against baseline       (exit 1 on regression)
 //   --update-baseline       rewrite PATH from this run
 //   --tolerance=F           allowed fractional loss     (default 0.25)
@@ -93,12 +100,12 @@ int main(int argc, char** argv) {
       flags,
       " --policy=NAME[,..] --scenario=N|FILE --json=PATH --seed=N"
       " --cores=N[,N...] --tasks=N[,N...] --jobs=N"
-      " --parallelism=P[,P...]|auto|fanout"
+      " --parallelism=P[,P...]|auto|fanout --dispatch=fused|generic|both"
       " --baseline=PATH --update-baseline --tolerance=F"
       " (sim-only: no --backend/--scale)");
   cli::require_no_positionals(flags);
   flags.require_known({"policy", "scenario", "json", "seed", "help", "cores",
-                       "tasks", "jobs", "parallelism", "baseline",
+                       "tasks", "jobs", "parallelism", "dispatch", "baseline",
                        "update-baseline", "tolerance"});
 
   Bench b("sim_throughput");
@@ -145,6 +152,15 @@ int main(int argc, char** argv) {
     }
   }
   if (par_sweep.empty()) cli::die("--parallelism must name at least one value");
+  // Dispatch modes: false = fused (engine default), true = force generic.
+  std::vector<bool> dispatch_sweep;
+  {
+    const std::string mode = flags.get("dispatch", "fused");
+    if (mode == "fused") dispatch_sweep = {false};
+    else if (mode == "generic") dispatch_sweep = {true};
+    else if (mode == "both") dispatch_sweep = {false, true};
+    else cli::die("--dispatch expects fused, generic or both, got '" + mode + "'");
+  }
   const std::string baseline_path = flags.get("baseline");
   const bool update_baseline = flags.has("update-baseline");
   if (update_baseline && baseline_path.empty())
@@ -154,9 +170,13 @@ int main(int argc, char** argv) {
     cli::die("--tolerance must be in (0, 1)");
 
   // Empty kernel: with ~zero virtual work per task the wall clock measures
-  // the event machinery, not the cost model.
-  const TaskTypeId empty_id = b.registry.register_type(
-      "empty", [](const TaskParams&, const CostQuery&) { return 1e-9; });
+  // the event machinery, not the cost model. Registered through the fixed-
+  // cost factory (not a bare lambda) so the registry classifies as
+  // CostClass::kFixed and the engine's fused loop engages — the
+  // configuration the headline events/s figure is quoted for;
+  // --dispatch=generic pins the type-erased fallback for comparison.
+  const TaskTypeId empty_id =
+      b.registry.register_type("empty", kernels::fixed_cost(1e-9));
 
   print_backend(b);
   print_title("Simulator throughput: events/s over topology and DAG sweeps");
@@ -171,6 +191,7 @@ int main(int argc, char** argv) {
           b.make_scenario(topo, [](SpeedScenario&) {});  // default: clean
       for (const std::int64_t tasks : tasks_sweep) {
        for (const std::int64_t par : par_sweep) {
+       for (const bool force_generic : dispatch_sweep) {
         workloads::SyntheticDagSpec spec;
         spec.type = empty_id;
         spec.parallelism = par > 0    ? static_cast<int>(par)
@@ -181,6 +202,7 @@ int main(int argc, char** argv) {
 
         sim::SimOptions opts;
         opts.seed = b.seed;
+        opts.force_generic_dispatch = force_generic;
         sim::SimEngine eng(topo, policy, b.registry, opts, &scenario);
 
         Stopwatch wall;
@@ -198,12 +220,15 @@ int main(int argc, char** argv) {
         const double sim_tasks_per_s =
             static_cast<double>(total_tasks) / wall_s;
 
+        // Generic-dispatch cells carry a label suffix; the default (fused)
+        // labels are unchanged so existing baselines keep matching.
         const std::string label =
             std::string("sim/") + policy_name(policy) + "/" +
             b.scenario_name() + "/cores=" + std::to_string(cores) +
             "/tasks=" + std::to_string(tasks) +
             "/p=" + std::to_string(spec.parallelism) +
-            "/jobs=" + std::to_string(jobs);
+            "/jobs=" + std::to_string(jobs) +
+            (force_generic ? "/dispatch=generic" : "");
         cells.push_back(Cell{label, events_per_s});
 
         json::Value rec = json::Value::object();
@@ -211,6 +236,7 @@ int main(int argc, char** argv) {
         rec.set("policy", policy_name(policy));
         rec.set("backend", "sim");
         rec.set("scenario", b.scenario_name());
+        rec.set("dispatch", eng.dispatch_variant());
         rec.set("seed", b.seed);
         rec.set("cores", cores);
         rec.set("tasks_swept", tasks);
@@ -232,6 +258,7 @@ int main(int argc, char** argv) {
             .add(events_per_s, 0)
             .add(sim_tasks_per_s, 0)
             .add(last_makespan, 6);
+       }
        }
       }
     }

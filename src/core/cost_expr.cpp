@@ -1,0 +1,31 @@
+#include "core/cost_expr.hpp"
+
+#include "core/policy.hpp"
+#include "util/assert.hpp"
+
+namespace das {
+
+const char* fused_variant_name(Policy policy, CostClass cls) {
+  DAS_ASSERT(cls != CostClass::kCallable);
+  const bool fixed = cls == CostClass::kFixed;
+  // Static strings: the engines hand the label out as a bare const char*
+  // with no lifetime obligations (bench labels, test assertions).
+  switch (policy) {
+    case Policy::kRws: return fixed ? "fused:RWS/fixed" : "fused:RWS/expr";
+    case Policy::kRwsmC:
+      return fixed ? "fused:RWSM-C/fixed" : "fused:RWSM-C/expr";
+    case Policy::kFa: return fixed ? "fused:FA/fixed" : "fused:FA/expr";
+    case Policy::kFamC:
+      return fixed ? "fused:FAM-C/fixed" : "fused:FAM-C/expr";
+    case Policy::kDa: return fixed ? "fused:DA/fixed" : "fused:DA/expr";
+    case Policy::kDamC:
+      return fixed ? "fused:DAM-C/fixed" : "fused:DAM-C/expr";
+    case Policy::kDamP:
+      return fixed ? "fused:DAM-P/fixed" : "fused:DAM-P/expr";
+    case Policy::kDheft:
+      return fixed ? "fused:dHEFT/fixed" : "fused:dHEFT/expr";
+  }
+  return "generic";
+}
+
+}  // namespace das

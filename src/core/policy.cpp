@@ -44,28 +44,6 @@ std::optional<Policy> policy_from_name(const std::string& name) {
   return std::nullopt;
 }
 
-PolicyTraits policy_traits(Policy p) {
-  switch (p) {
-    case Policy::kRws:
-      return {"N/A", "N/A", "N/A", /*uses_ptt=*/false, /*priority_aware=*/false};
-    case Policy::kRwsmC:
-      return {"N/A", "Yes", "Resource Cost", true, false};
-    case Policy::kFa:
-      return {"Fixed", "No", "N/A", false, true};
-    case Policy::kFamC:
-      return {"Fixed", "Yes", "Resource Cost", true, true};
-    case Policy::kDa:
-      return {"Dynamic", "No", "N/A", true, true};
-    case Policy::kDamC:
-      return {"Dynamic", "Yes", "Resource Cost", true, true};
-    case Policy::kDamP:
-      return {"Dynamic", "Yes", "Performance", true, true};
-    case Policy::kDheft:
-      return {"Dynamic", "No", "Earliest Finish", true, false};
-  }
-  return {"?", "?", "?", false, false};
-}
-
 PolicyEngine::PolicyEngine(Policy policy, const Topology& topo, PttStore* ptt,
                            std::uint64_t seed, PolicyOptions options)
     : policy_(policy),
@@ -129,85 +107,40 @@ int PolicyEngine::round_robin_fast_core() {
   return fast_cores_[n % fast_cores_.size()];
 }
 
+// The dynamic hooks are ONE switch over the static instantiations
+// (policy.hpp): any behaviour change lands in both dispatch paths at once,
+// which is what lets the determinism goldens pin fused == generic.
+
 WakeDecision PolicyEngine::on_ready(TaskTypeId type, Priority priority,
                                     int waking_core) {
-  DAS_CHECK(waking_core >= 0 && waking_core < topo_->num_cores());
-
-  // dHEFT centrally places EVERY task (priority plays no role) and does not
-  // allow stealing to second-guess the placement.
-  if (policy_ == Policy::kDheft) {
-    const ExecutionPlace p = dheft_place(type);
-    return WakeDecision{p.leader, /*stealable=*/false, true, p};
-  }
-
-  // Low-priority tasks — and ALL tasks under the priority-oblivious
-  // schedulers — stay on the waking core's queue to preserve data reuse
-  // across dependent tasks (paper §3.2); idle workers may steal them.
-  if (priority == Priority::kLow || !traits_.priority_aware) {
-    return WakeDecision{waking_core, /*stealable=*/true, false, {}};
-  }
-
-  const bool exempt = options_.steal_exempt_high_priority;
   switch (policy_) {
-    case Policy::kFa: {
-      // Statically-fast cores, round-robin, width 1 (CATS-style).
-      const int core = round_robin_fast_core();
-      return WakeDecision{core, !exempt, true, ExecutionPlace{core, 1}};
-    }
-    case Policy::kFamC: {
-      // FA's strict mapping to the statically-fast cores (round-robin),
-      // plus moldability: the width is chosen by the local cost search at
-      // the assigned core. Note the core choice itself stays PTT-blind —
-      // that is what keeps half the criticals on a perturbed fast core in
-      // the paper's Fig. 5(d) (35% (C0,1) / 48% (C1,1) / 17% (C0,2)).
-      const int core = round_robin_fast_core();
-      const ExecutionPlace p = search(type, topo_->local_places(core),
-                                      Objective::kCost);
-      return WakeDecision{p.leader, !exempt, true, p};
-    }
-    case Policy::kDa: {
-      // Global search over single cores for the best predicted time.
-      const ExecutionPlace p = search(type, topo_->width1_places(), Objective::kTime);
-      return WakeDecision{p.leader, !exempt, true, p};
-    }
-    case Policy::kDamC: {
-      // Global search minimising PTT(c,w) * w (Algorithm 1, line 8).
-      const ExecutionPlace p = search(type, topo_->places(), Objective::kCost);
-      return WakeDecision{p.leader, !exempt, true, p};
-    }
-    case Policy::kDamP: {
-      // Global search minimising PTT(c,w) (Algorithm 1, line 11).
-      const ExecutionPlace p = search(type, topo_->places(), Objective::kTime);
-      return WakeDecision{p.leader, !exempt, true, p};
-    }
     case Policy::kRws:
+      return on_ready_static<Policy::kRws>(type, priority, waking_core);
     case Policy::kRwsmC:
+      return on_ready_static<Policy::kRwsmC>(type, priority, waking_core);
+    case Policy::kFa:
+      return on_ready_static<Policy::kFa>(type, priority, waking_core);
+    case Policy::kFamC:
+      return on_ready_static<Policy::kFamC>(type, priority, waking_core);
+    case Policy::kDa:
+      return on_ready_static<Policy::kDa>(type, priority, waking_core);
+    case Policy::kDamC:
+      return on_ready_static<Policy::kDamC>(type, priority, waking_core);
+    case Policy::kDamP:
+      return on_ready_static<Policy::kDamP>(type, priority, waking_core);
     case Policy::kDheft:
-      break;  // unreachable: RWS/RWSM-C take the priority-oblivious branch
-              // above, dHEFT the dedicated branch before this switch
+      return on_ready_static<Policy::kDheft>(type, priority, waking_core);
   }
-  return WakeDecision{waking_core, true, false, {}};
+  return on_ready_static<Policy::kRws>(type, priority, waking_core);
 }
 
 ExecutionPlace PolicyEngine::on_execute(TaskTypeId type, Priority priority,
                                         int core) {
-  DAS_CHECK(core >= 0 && core < topo_->num_cores());
-  (void)priority;  // high-priority tasks with fixed places never reach here
-
-  switch (policy_) {
-    case Policy::kRws:
-    case Policy::kFa:
-    case Policy::kDa:
-    case Policy::kDheft:
-      // Non-moldable schedulers always run where they dequeue, width 1.
-      return ExecutionPlace{core, 1};
-    case Policy::kRwsmC:
-    case Policy::kFamC:
-    case Policy::kDamC:
-    case Policy::kDamP:
-      return local_search(type, core);
-  }
-  return ExecutionPlace{core, 1};
+  // Only the moldability trait matters here; two instantiations cover all
+  // eight policies.
+  if (policy_moldable(policy_))
+    return on_execute_static<Policy::kDamC>(type, priority, core);
+  return on_execute_static<Policy::kRws>(type, priority, core);
 }
 
 ExecutionPlace PolicyEngine::local_search(TaskTypeId type, int core) {
@@ -263,19 +196,25 @@ ExecutionPlace PolicyEngine::search(TaskTypeId type,
   return *ties[idx];
 }
 
+void PolicyEngine::dheft_drain(const ExecutionPlace& place, double seconds) {
+  // Drain the reservation by the observed time; clamp drift at zero.
+  auto& r = reserved_[static_cast<std::size_t>(place.leader)];
+  double cur = r.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = std::max(cur - seconds, 0.0);
+  } while (!r.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+}
+
 void PolicyEngine::record_sample(TaskTypeId type, const ExecutionPlace& place,
                                  double seconds) {
-  if (!traits_.uses_ptt) return;
-  ptt_->table(type).update(place, seconds);
-  if (policy_ == Policy::kDheft) {
-    // Drain the reservation by the observed time; clamp drift at zero.
-    auto& r = reserved_[static_cast<std::size_t>(place.leader)];
-    double cur = r.load(std::memory_order_relaxed);
-    double next;
-    do {
-      next = std::max(cur - seconds, 0.0);
-    } while (!r.compare_exchange_weak(cur, next, std::memory_order_relaxed));
-  }
+  // Only the uses_ptt trait and the dHEFT drain matter; three
+  // instantiations cover all eight policies.
+  if (policy_ == Policy::kDheft)
+    return record_sample_static<Policy::kDheft>(type, place, seconds);
+  if (traits_.uses_ptt)
+    return record_sample_static<Policy::kDamC>(type, place, seconds);
+  return record_sample_static<Policy::kRws>(type, place, seconds);
 }
 
 }  // namespace das

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/cost_expr.hpp"
 #include "util/assert.hpp"
 
 namespace das {
@@ -10,6 +11,13 @@ TaskTypeId TaskTypeRegistry::register_type(TaskTypeInfo info) {
   DAS_CHECK(!info.name.empty());
   DAS_CHECK_MSG(find(info.name) == kInvalidTaskType,
                 "duplicate task type name: " + info.name);
+  // Recover the closed form from factory-built models: the kernel factories
+  // wrap a CostExprFn, which the type-erased CostFn can surface again. A
+  // hand-written lambda has no CostExprFn target and stays kCallable — the
+  // engines then keep generic dispatch for any DAG using this type.
+  if (info.expr.kind == CostExpr::Kind::kCallable && info.cost) {
+    if (const CostExprFn* f = info.cost.target<CostExprFn>()) info.expr = f->expr;
+  }
   types_.push_back(std::move(info));
   return static_cast<TaskTypeId>(types_.size()) - 1;
 }
@@ -26,13 +34,7 @@ TaskTypeId TaskTypeRegistry::find(const std::string& name) const {
 }
 
 double TaskTypeRegistry::noise_sigma(TaskTypeId id, double cost_s) const {
-  const TaskTypeInfo& t = info(id);
-  if (t.noise0 <= 0.0 && t.noise1 <= 0.0) return 0.0;
-  const double ms = std::max(cost_s * 1e3, 1e-3);
-  // Cap the relative dispersion: even a microsecond task's measurement is
-  // bounded by scheduler quanta, not unbounded lognormal tails (an uncapped
-  // 1/T blows up for the sub-10us bookkeeping tasks).
-  return std::min(t.noise0 + t.noise1 / ms, 0.75);
+  return noise_sigma_of(info(id), cost_s);
 }
 
 }  // namespace das

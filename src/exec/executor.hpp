@@ -144,6 +144,11 @@ struct ExecutorConfig {
     double idle_wake_delay_s = ::das::sim::SimOptions{}.idle_wake_delay_s;
     /// Lognormal measurement noise.
     bool noise = ::das::sim::SimOptions{}.noise;
+    /// Pin the DES to the type-erased generic loop even when the registry
+    /// qualifies for a fused instantiation (exec/fused.hpp) — the A/B lever
+    /// of the determinism test and the dispatch-cost benches. Identical
+    /// results either way, by construction.
+    bool force_generic_dispatch = ::das::sim::SimOptions{}.force_generic_dispatch;
   } sim;
 
   class Builder;
@@ -178,6 +183,10 @@ class ExecutorConfig::Builder {
     return *this;
   }
   Builder& sim_noise(bool v) { cfg_.sim.noise = v; return *this; }
+  Builder& sim_force_generic_dispatch(bool v) {
+    cfg_.sim.force_generic_dispatch = v;
+    return *this;
+  }
   Builder& sim_overheads(double dispatch_s, double steal_s, double completion_s,
                          double idle_wake_s) {
     cfg_.sim.dispatch_overhead_s = dispatch_s;
@@ -335,6 +344,12 @@ class Executor {
 
   virtual Backend backend() const = 0;
   Policy policy_kind() const { return policy_kind_; }
+  /// Which hot loop the engine runs: a fused (policy x cost-model)
+  /// instantiation label ("fused:DAM-C/expr" on sim, "fused:DAM-C" on rt)
+  /// or "generic" (user std::function cost model, or
+  /// sim.force_generic_dispatch). exec/fused.hpp::plan_dispatch predicts
+  /// this value without building an executor.
+  virtual const char* dispatch_variant() const = 0;
   virtual int num_ranks() const = 0;
   virtual const Topology& topology(int rank = 0) const = 0;
   /// Seconds on the engine's scenario clock: virtual time for the DES, wall

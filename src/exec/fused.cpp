@@ -1,0 +1,19 @@
+#include "exec/fused.hpp"
+
+namespace das::exec {
+
+DispatchPlan plan_dispatch(Policy policy, const TaskTypeRegistry& registry,
+                           bool force_generic) {
+  if (force_generic) {
+    return DispatchPlan{false, "generic",
+                        "force_generic_dispatch set (A/B lever)"};
+  }
+  const CostClass cls = classify_cost_models(registry);
+  if (cls == CostClass::kCallable) {
+    return DispatchPlan{false, "generic",
+                        "registry has a user std::function cost model"};
+  }
+  return DispatchPlan{true, fused_variant_name(policy, cls), ""};
+}
+
+}  // namespace das::exec

@@ -1,0 +1,46 @@
+#pragma once
+// Static-dispatch planning for the execution facade.
+//
+// Both engines select a fused (statically dispatched) hot loop at run time
+// when the configuration allows it: the DES instantiates its event loop per
+// (policy tag, cost class) — sim::SimEngine::refresh_dispatch — and the
+// real-thread runtime binds a per-policy progress round at construction —
+// rt::Runtime::bind_progress. plan_dispatch() is the SAME decision,
+// evaluated without building an engine, so drivers and tests can predict
+// (and assert) which loop a given (policy, registry, config) lands on.
+//
+// The fused and generic paths are equal by construction — one arithmetic
+// implementation (core/cost_expr.hpp), one policy implementation
+// (core/policy.hpp's *_static templates) — so falling back is never a
+// correctness event, only a throughput one. The fallback conditions are:
+//   - a registry type carries a user-supplied std::function cost model
+//     (CostClass::kCallable): the closed-form evaluators cannot represent
+//     it, so the whole engine demotes to the type-erased loop;
+//   - SimOptions::force_generic_dispatch (ExecutorConfig::sim.force_generic_
+//     dispatch): the A/B lever the determinism test and benches use to pin
+//     fused == generic bitwise and to price the dispatch layers.
+
+#include "core/cost_expr.hpp"
+#include "core/policy.hpp"
+#include "core/task_type.hpp"
+
+namespace das::exec {
+
+/// The dispatch decision for one engine configuration.
+struct DispatchPlan {
+  bool fused = false;
+  /// Engine label: fused_variant_name(policy, cls) or "generic". Static
+  /// storage — safe to hold past the plan.
+  const char* variant = "generic";
+  /// Why the plan is generic; "" when fused.
+  const char* reason = "";
+};
+
+/// Predicts the loop an executor built from (policy, registry,
+/// force_generic) will run. Matches SimEngine::dispatch_variant() exactly;
+/// the rt runtime differs only in carrying no cost-class suffix (its cost
+/// evaluation is expression-aware on every path).
+DispatchPlan plan_dispatch(Policy policy, const TaskTypeRegistry& registry,
+                           bool force_generic = false);
+
+}  // namespace das::exec

@@ -1,139 +1,80 @@
 #include "kernels/cost_models.hpp"
 
-#include <algorithm>
-#include <cmath>
-
+#include "core/cost_expr.hpp"
 #include "util/assert.hpp"
+
+// Each factory builds the tagged closed form (core/task_type.hpp) and wraps
+// it in a CostExprFn, so the returned CostFn and a fused engine loop
+// evaluating the expression directly share ONE implementation of the
+// arithmetic (core/cost_expr.hpp) — bitwise-identical results on both
+// dispatch paths, and register_type can recover the expression from the
+// CostFn without any change at the registration sites. The per-kernel model
+// documentation lives with the evaluation in cost_expr.hpp and the header
+// comments here.
 
 namespace das::kernels {
 
-namespace {
-
-/// Cache-fit factor for a working set of `bytes` against the participant's
-/// cluster caches.
-double cache_fit(double bytes, const Cluster& cl, const CostModelConfig& cfg) {
-  // Strict comparison: a working set exactly the size of the cache does not
-  // fit (conflict misses / other residents). This makes the 64x64 tile
-  // (8*64^2 = 32 KB) miss the A57's 32 KB L1 while fitting the Denver's
-  // 64 KB one — the paper's §5.3 residency narrative.
-  if (bytes < cl.l1_kb * 1024.0) return cfg.l1_fit;
-  if (bytes < cl.l2_kb * 1024.0) return cfg.l2_fit;
-  return cfg.mem_fit;
-}
-
-}  // namespace
-
 CostFn matmul_cost(CostModelConfig cfg) {
-  return [cfg](const TaskParams& p, const CostQuery& q) -> double {
-    const double n = p.p0;
-    DAS_CHECK_MSG(n >= 1.0, "matmul cost model requires p0 = tile >= 1");
-    DAS_CHECK(q.cluster != nullptr);
-    const double flops_total = 2.0 * n * n * n;
-    const double flops_rank = flops_total / q.place.width;
-    // One tile matrix (the paper's per-matrix footprint notion, §5.3).
-    const double fit = cache_fit(8.0 * n * n, *q.cluster, cfg);
-    const double eff = 1.0 / (1.0 + cfg.matmul_alpha * (q.place.width - 1));
-    const double rate = cfg.matmul_gflops * 1e9 * q.speed * fit * eff;
-    return flops_rank / rate + cfg.sync_overhead_s * (q.place.width - 1);
-  };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kMatMul;
+  e.u.matmul = CostExpr::MatMul{cfg.matmul_gflops, cfg.l1_fit,
+                                cfg.l2_fit,        cfg.mem_fit,
+                                cfg.matmul_alpha,  cfg.sync_overhead_s};
+  return CostExprFn{e};
 }
 
 CostFn copy_cost(CostModelConfig cfg) {
-  return [cfg](const TaskParams& p, const CostQuery& q) -> double {
-    const double elems = p.p0;
-    DAS_CHECK_MSG(elems >= 1.0, "copy cost model requires p0 = element count");
-    DAS_CHECK(q.cluster != nullptr);
-    const double bytes_rank = 16.0 * elems / q.place.width;  // read + write
-    const double avail = q.cluster->mem_bw_gbs * 1e9 * q.bw_share;
-    const double single = cfg.copy_single_core_bw_frac * q.cluster->mem_bw_gbs * 1e9;
-    const double bw_bound = std::min(single, avail / q.place.width);
-    // Issue-rate bound: at deep DVFS throttle the core cannot generate
-    // enough outstanding requests to saturate its bandwidth share.
-    const double cpu_bound = cfg.copy_cpu_gbs_per_speed * 1e9 * q.speed;
-    return bytes_rank / std::min(bw_bound, cpu_bound);
-  };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kCopy;
+  e.u.copy =
+      CostExpr::Copy{cfg.copy_single_core_bw_frac, cfg.copy_cpu_gbs_per_speed};
+  return CostExprFn{e};
 }
 
 CostFn stencil_cost(CostModelConfig cfg) {
-  return [cfg](const TaskParams& p, const CostQuery& q) -> double {
-    const double n = p.p0;
-    DAS_CHECK_MSG(n >= 3.0, "stencil cost model requires p0 = grid >= 3");
-    DAS_CHECK(q.cluster != nullptr);
-    const double points_rank = n * n / q.place.width;
-    // Two grids resident (in + out); spilling the shared L2 hurts, by an
-    // amount that depends on the core class's latency hiding (Cluster::
-    // stream_fit) — big out-of-order cores keep streaming, little ones stall.
-    const double ws_bytes = 2.0 * 8.0 * n * n;
-    const double fit =
-        ws_bytes <= q.cluster->l2_kb * 1024.0 ? 1.0 : q.cluster->stream_fit;
-    const double eff = 1.0 / (1.0 + cfg.stencil_alpha * (q.place.width - 1));
-    const double rate =
-        (cfg.matmul_gflops / cfg.stencil_flops_per_point) * 1e9 * q.speed * fit * eff;
-    return points_rank / rate + cfg.sync_overhead_s * (q.place.width - 1);
-  };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kStencil;
+  e.u.stencil = CostExpr::Stencil{cfg.matmul_gflops, cfg.stencil_flops_per_point,
+                                  cfg.stencil_alpha, cfg.sync_overhead_s};
+  return CostExprFn{e};
 }
 
 CostFn heat_compute_cost(CostModelConfig cfg) {
-  return [cfg](const TaskParams& p, const CostQuery& q) -> double {
-    const double n = p.p0;
-    DAS_CHECK_MSG(n >= 3.0, "heat cost model requires p0 = grid >= 3");
-    DAS_CHECK(q.cluster != nullptr);
-    const int w = q.place.width;
-    const double points_rank = n * n / w;
-    // Cache-aggregation bonus: each participant's sub-band working set is
-    // 1/w of the task's, so it fits closer to the private caches. Capped —
-    // the bonus saturates once everything is L1-resident.
-    const double aggr = std::min(1.0 + 0.04 * (w - 1), 1.25);
-    const double rate =
-        (cfg.matmul_gflops / cfg.stencil_flops_per_point) * 1e9 * q.speed * aggr;
-    // Lighter sync than the tile kernels: band sweeps have no tile handoff,
-    // only the assembly barrier.
-    return points_rank / rate + 3e-6 * (w - 1);
-  };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kHeatBand;
+  e.u.heat =
+      CostExpr::HeatBand{cfg.matmul_gflops, cfg.stencil_flops_per_point};
+  return CostExprFn{e};
 }
 
 CostFn fixed_cost(double seconds) {
   DAS_CHECK(seconds >= 0.0);
-  return [seconds](const TaskParams&, const CostQuery&) { return seconds; };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kFixed;
+  e.u.fixed = CostExpr::Fixed{seconds};
+  return CostExprFn{e};
 }
 
 CostFn comm_cost(double latency_s, double bw_gbs) {
   DAS_CHECK(latency_s >= 0.0 && bw_gbs > 0.0);
-  return [latency_s, bw_gbs](const TaskParams& p, const CostQuery& q) -> double {
-    const double bytes = std::max(p.p0, 0.0);
-    const double wire = latency_s + bytes / (bw_gbs * 1e9);
-    // Local packing/unpacking of ghost cells: benefits mildly from cache
-    // sharing when molded (paper §5.4 attributes the DAM-C/DAM-P edge on
-    // Heat to exactly this effect).
-    const double pack = 0.3 * wire / (1.0 + 0.5 * (q.place.width - 1));
-    return wire / q.speed + pack;
-  };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kComm;
+  e.u.comm = CostExpr::Comm{latency_s, bw_gbs};
+  return CostExprFn{e};
 }
 
 CostFn kmeans_map_cost(double flops_rate_g) {
-  return [flops_rate_g](const TaskParams& p, const CostQuery& q) -> double {
-    const double points = p.p0, dims = p.p1, k = p.p2;
-    DAS_CHECK(points >= 1.0 && dims >= 1.0 && k >= 1.0);
-    const int w = q.place.width;
-    const double flops = 3.0 * points * dims * k / w;
-    // The paper's K-means nests the assignment loop inside a graph node, so
-    // a molded task streams disjoint point ranges against shared read-only
-    // centroids: per-participant working sets shrink with width (mild cache
-    // aggregation), against a small assembly-sync overhead. Net effect:
-    // molding is slightly cost-positive — the paper's Fig. 9(c) shows the
-    // wide places dominating under DAM-P.
-    const double aggr = std::min(1.0 + 0.03 * (w - 1), 1.2);
-    return flops / (flops_rate_g * 1e9 * q.speed * aggr) + 3e-6 * (w - 1);
-  };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kKmeansMap;
+  e.u.kmeans = CostExpr::Kmeans{flops_rate_g};
+  return CostExprFn{e};
 }
 
 CostFn kmeans_reduce_cost(double flops_rate_g) {
-  return [flops_rate_g](const TaskParams& p, const CostQuery& q) -> double {
-    const double vals = std::max(p.p0, 1.0);
-    const double flops = 8.0 * vals;  // accumulate + divide per value
-    return flops / (flops_rate_g * 1e9 * q.speed) / q.place.width +
-           1e-6;  // fixed task-dispatch floor
-  };
+  CostExpr e;
+  e.kind = CostExpr::Kind::kKmeansReduce;
+  e.u.kmeans = CostExpr::Kmeans{flops_rate_g};
+  return CostExprFn{e};
 }
 
 }  // namespace das::kernels

@@ -21,6 +21,7 @@ Runtime::Runtime(const Topology& topo, Policy policy,
   }
   for (const ExecutionPlace& p : topo.places())
     max_place_width_ = std::max(max_place_width_, p.width);
+  bind_progress();  // before the workers spawn: they read progress_fn_ raw
 
   const int n = topo.num_cores();
   workers_.reserve(static_cast<std::size_t>(n));
@@ -79,7 +80,8 @@ JobId Runtime::submit(const Dag& dag) {
     const DagNode& n = dag.node(i);
     DAS_CHECK_MSG(n.rank == 0, "the threaded runtime executes single-rank DAGs"
                                " (distributed DAGs run via das::net)");
-    DAS_CHECK_MSG(n.work != nullptr || registry_->info(n.type).cost != nullptr,
+    DAS_CHECK_MSG(n.work != nullptr || registry_->info(n.type).cost != nullptr ||
+                      registry_->info(n.type).expr.kind != CostExpr::Kind::kCallable,
                   "node without work closure needs a cost model to emulate");
   }
 

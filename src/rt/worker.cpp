@@ -1,3 +1,4 @@
+#include "core/cost_expr.hpp"
 #include "platform/affinity.hpp"
 #include "rt/runtime.hpp"
 #include "util/assert.hpp"
@@ -24,7 +25,7 @@ void Runtime::worker_loop(int core) {
 
   int idle_rounds = 0;
   for (;;) {
-    if (try_make_progress(core)) {
+    if (progress_fn_(*this, core)) {
       idle_rounds = 0;
       continue;
     }
@@ -102,27 +103,33 @@ void Runtime::notify_stealers(int from_core) {
 // daslint: begin-hot-path(rt-dispatch)
 // Steady-state dispatch: every task popped anywhere in the pool flows
 // through these functions. The project linter (tools/daslint) forbids
-// allocation and lock acquisition between the hot-path markers — the
-// no-alloc/no-lock property the runtime's overhead gate depends on is
-// enforced textually on every push, not just measured.
-bool Runtime::try_make_progress(int core) {
+// allocation, lock acquisition and type-erased dispatch between the
+// hot-path markers — the no-alloc/no-lock/no-std::function property the
+// runtime's overhead gate depends on is enforced textually on every push,
+// not just measured. Everything here is templated over the policy-hook
+// adapter `Hooks` (core/policy.hpp): worker_loop binds one instantiation
+// per policy at construction, so the scheduling hooks inline into the
+// round instead of going through the PolicyEngine virtual-free-but-
+// branchy dynamic entry points.
+template <class Hooks>
+bool Runtime::try_make_progress_t(int core) {
   Worker& w = *workers_[static_cast<std::size_t>(core)];
 
   // 1. Assembly queue: committed participations come first. The pop's
-  //    acquire pairs with distribute()'s release push, so `place` is
+  //    acquire pairs with distribute_t()'s release push, so `place` is
   //    visible.
   if (auto* t = static_cast<TaskRec*>(w.aq.pop())) {
-    participate(core, t);
+    participate_t<Hooks>(core, t);
     return true;
   }
   // 2. Steal-exempt inbox (fixed-place high-priority tasks).
   if (auto* t = static_cast<TaskRec*>(w.inbox.pop())) {
     DAS_ASSERT(t->has_fixed_place);
-    // Copy, like the WSQ/steal sites below: distribute() writes task->place
-    // and re-reads the place after publishing the task, so it must not
-    // receive a reference aliasing that field.
+    // Copy, like the WSQ/steal sites below: distribute_t() writes
+    // task->place and re-reads the place after publishing the task, so it
+    // must not receive a reference aliasing that field.
     const ExecutionPlace place = t->place;
-    distribute(core, t, place);
+    distribute_t<Hooks>(core, t, place);
     return true;
   }
   // 3. Feeder: stealable tasks handed to us by other threads; drain into our
@@ -139,8 +146,9 @@ bool Runtime::try_make_progress(int core) {
     const ExecutionPlace place =
         t->has_fixed_place
             ? t->place
-            : policy_->on_execute(t->node->type, t->node->priority, core);
-    distribute(core, t, place);
+            : Hooks::on_execute(*policy_, t->node->type, t->node->priority,
+                                core);
+    distribute_t<Hooks>(core, t, place);
     return true;
   }
   // 5. Steal from a random victim; the thief re-runs the local search
@@ -149,8 +157,9 @@ bool Runtime::try_make_progress(int core) {
     const ExecutionPlace place =
         t->has_fixed_place
             ? t->place
-            : policy_->on_execute(t->node->type, t->node->priority, core);
-    distribute(core, t, place);
+            : Hooks::on_execute(*policy_, t->node->type, t->node->priority,
+                                core);
+    distribute_t<Hooks>(core, t, place);
     return true;
   }
   return false;
@@ -177,7 +186,9 @@ Runtime::TaskRec* Runtime::try_steal(int core) {
   return nullptr;
 }
 
-void Runtime::distribute(int core, TaskRec* task, const ExecutionPlace& place) {
+template <class Hooks>
+void Runtime::distribute_t(int core, TaskRec* task,
+                           const ExecutionPlace& place) {
   DAS_ASSERT(topo_->is_valid_place(place));
   DAS_ASSERT(place.width <= max_place_width_);
   task->place = place;
@@ -188,7 +199,7 @@ void Runtime::distribute(int core, TaskRec* task, const ExecutionPlace& place) {
     // push/pop pair plus a progress-loop lap per task) and execute in
     // place. Queue order is unchanged: the AQ path would have made this
     // task the worker's next action anyway.
-    participate(core, task);
+    participate_t<Hooks>(core, task);
     return;
   }
   // Publish into every participant's AQ: W lock-free pushes, then at most
@@ -268,7 +279,9 @@ std::int64_t Runtime::run_work(int core, TaskRec* task, int rank) {
     q.cluster = &topo_->cluster_of_core(core);
     q.speed = topo_->max_base_speed();
     q.bw_share = 1.0;
-    busy_wait_ns(s_to_ns(registry_->info(node.type).cost(node.params, q)));
+    // Expression-aware: catalog types evaluate their closed form inline,
+    // user std::function models still work (core/cost_expr.hpp).
+    busy_wait_ns(s_to_ns(cost_eval(registry_->info(node.type), node.params, q)));
   }
   std::int64_t busy = now_ns() - t0;
   if (emulator_ != nullptr) {
@@ -281,13 +294,14 @@ std::int64_t Runtime::run_work(int core, TaskRec* task, int rank) {
   return busy;
 }
 
-void Runtime::finish_last(int core, TaskRec* task) {
+template <class Hooks>
+void Runtime::finish_last_t(int core, TaskRec* task) {
   Job* job = task->job;
   // CSR fan-out: the sealed adjacency arena makes this a flat-span walk.
   for (const DagEdge& e : job->dag->successors(task->id)) {
     TaskRec* succ = &job->records[static_cast<std::size_t>(e.to)];
     if (succ->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      wake_task(succ, core, /*caller_is_worker=*/true);
+      wake_task_t<Hooks>(succ, core, /*caller_is_worker=*/true);
     }
   }
   if (job->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -295,7 +309,8 @@ void Runtime::finish_last(int core, TaskRec* task) {
   }
 }
 
-void Runtime::participate(int core, TaskRec* task) {
+template <class Hooks>
+void Runtime::participate_t(int core, TaskRec* task) {
   const DagNode& node = *task->node;
   const int width = task->place.width;
 
@@ -306,10 +321,10 @@ void Runtime::participate(int core, TaskRec* task) {
     // clock reads per task (inside run_work) replace the wide path's four.
     const std::int64_t busy = run_work(core, task, /*rank=*/0);
     const double busy_s = ns_to_s(busy);
-    policy_->record_sample(node.type, task->place, busy_s);
+    Hooks::record_sample(*policy_, node.type, task->place, busy_s);
     stats_->record_task_at(node.priority, topo_->place_id(task->place), busy_s,
                            node.phase);
-    finish_last(core, task);
+    finish_last_t<Hooks>(core, task);
     return;
   }
 
@@ -340,18 +355,22 @@ void Runtime::participate(int core, TaskRec* task) {
   // observes — not the assembly span, which arrival skew would poison.
   const double span =
       ns_to_s(now_ns() - task->start_ns.load(std::memory_order_acquire));
-  policy_->record_sample(node.type, task->place,
-                         ns_to_s(task->max_busy_ns.load(std::memory_order_acquire)));
+  Hooks::record_sample(
+      *policy_, node.type, task->place,
+      ns_to_s(task->max_busy_ns.load(std::memory_order_acquire)));
   stats_->record_task_at(node.priority, topo_->place_id(task->place), span,
                          node.phase);
-  finish_last(core, task);
+  finish_last_t<Hooks>(core, task);
 }
 
 // daslint: begin-hot-path(rt-wakeup)
 // Per-task wake-up/handoff: runs once per DAG edge that becomes ready.
-void Runtime::wake_task(TaskRec* task, int waking_core, bool caller_is_worker) {
+template <class Hooks>
+void Runtime::wake_task_t(TaskRec* task, int waking_core,
+                          bool caller_is_worker) {
   const DagNode& node = *task->node;
-  const WakeDecision wd = policy_->on_ready(node.type, node.priority, waking_core);
+  const WakeDecision wd =
+      Hooks::on_ready(*policy_, node.type, node.priority, waking_core);
 
   if (wd.has_fixed_place) {
     task->place = wd.fixed_place;
@@ -359,7 +378,8 @@ void Runtime::wake_task(TaskRec* task, int waking_core, bool caller_is_worker) {
   } else if (!options_.policy_options.remold_on_dequeue &&
              policy_->traits().uses_ptt) {
     // Ablation: width decided at wake-up, honoured by owner and thieves.
-    task->place = policy_->on_execute(node.type, node.priority, wd.queue_core);
+    task->place =
+        Hooks::on_execute(*policy_, node.type, node.priority, wd.queue_core);
     task->has_fixed_place = true;
   }
 
@@ -403,6 +423,39 @@ void Runtime::push_stealable(int target_core, TaskRec* task, bool from_owner) {
   target.ec.notify();
 }
 // daslint: end-hot-path
+
+void Runtime::wake_task(TaskRec* task, int waking_core, bool caller_is_worker) {
+  // Cold path (submit_roots): generic hooks are fine — the dynamic entry
+  // points are one switch over the static instantiations, so the decision
+  // is identical to what the fused loop would have made.
+  wake_task_t<DynamicPolicyHooks>(task, waking_core, caller_is_worker);
+}
+
+template <class Hooks>
+void Runtime::bind_progress_for(const char* name) {
+  progress_fn_ = [](Runtime& r, int core) {
+    return r.try_make_progress_t<Hooks>(core);
+  };
+  dispatch_variant_ = name;
+}
+
+void Runtime::bind_progress() {
+  // One switch, mirroring sim::SimEngine::refresh_dispatch. The rt labels
+  // carry no cost-class axis: run_work always evaluates through cost_eval,
+  // which takes the closed form whenever one exists, so there is nothing to
+  // specialize on the cost side here.
+  switch (policy_->policy()) {
+    case Policy::kRws: return bind_progress_for<StaticPolicyHooks<RwsTag>>("fused:RWS");
+    case Policy::kRwsmC: return bind_progress_for<StaticPolicyHooks<RwsmCTag>>("fused:RWSM-C");
+    case Policy::kFa: return bind_progress_for<StaticPolicyHooks<FaTag>>("fused:FA");
+    case Policy::kFamC: return bind_progress_for<StaticPolicyHooks<FamCTag>>("fused:FAM-C");
+    case Policy::kDa: return bind_progress_for<StaticPolicyHooks<DaTag>>("fused:DA");
+    case Policy::kDamC: return bind_progress_for<StaticPolicyHooks<DamCTag>>("fused:DAM-C");
+    case Policy::kDamP: return bind_progress_for<StaticPolicyHooks<DamPTag>>("fused:DAM-P");
+    case Policy::kDheft: return bind_progress_for<StaticPolicyHooks<DheftTag>>("fused:dHEFT");
+  }
+  bind_progress_for<DynamicPolicyHooks>("generic");
+}
 
 void Runtime::complete_job(Job* job) {
   const std::int64_t done_ns = now_ns();

@@ -4,9 +4,59 @@
 #include <bit>
 #include <cmath>
 
+#include "core/cost_expr.hpp"
 #include "util/assert.hpp"
 
 namespace das::sim {
+
+namespace {
+
+// Cost-evaluation strategies the event loop binds at compile time (the
+// second axis of the fused (policy x cost) instantiation grid; the first is
+// the PolicyHooks adapter from core/policy.hpp). All three produce
+// bit-identical doubles for catalog-built registries because they share one
+// arithmetic implementation (core/cost_expr.hpp) — the callable path merely
+// reaches it through the std::function the factories wrapped around it.
+
+/// Generic escape hatch: honours a user-supplied std::function (and still
+/// skips the indirection when a closed form exists).
+struct CallableCostEval {
+  static double eval(const TaskTypeInfo& info, const TaskParams& p,
+                     const CostQuery& q) {
+    return cost_eval(info, p, q);
+  }
+};
+
+/// Every executable type carries a closed form: inline switch, no erasure.
+struct ExprCostEval {
+  static double eval(const TaskTypeInfo& info, const TaskParams& p,
+                     const CostQuery& q) {
+    return cost_expr_eval(info.expr, p, q);
+  }
+};
+
+/// Every executable type is a kFixed constant: one load replaces the whole
+/// evaluation — the regime the scheduler-overhead benches run in.
+struct FixedCostEval {
+  static double eval(const TaskTypeInfo& info, const TaskParams&,
+                     const CostQuery&) {
+    DAS_ASSERT(info.expr.kind == CostExpr::Kind::kFixed);
+    return info.expr.u.fixed.seconds;
+  }
+};
+
+template <class Hooks, class Cost>
+struct SimMode {
+  using PolicyHooks = Hooks;
+  using CostEval = Cost;
+};
+
+/// The type-erased fallback loop: dynamic policy dispatch + the callable
+/// escape hatch. Everything exotic (user cost models, future policies,
+/// force_generic_dispatch A/B runs) lands here.
+using GenericMode = SimMode<DynamicPolicyHooks, CallableCostEval>;
+
+}  // namespace
 
 SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
                      const TaskTypeRegistry& registry, SimOptions options)
@@ -49,6 +99,7 @@ SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
   // Every core starts idle (no pending event).
   for (int c = 0; c < total_cores; ++c)
     idle_bits_[static_cast<std::size_t>(c) >> 6] |= std::uint64_t{1} << (c & 63);
+  refresh_dispatch();
 }
 
 SimEngine::SimEngine(const Topology& topo, Policy policy,
@@ -138,10 +189,16 @@ JobId SimEngine::submit(const Dag& dag, double arrival_offset_s) {
   // Validation over the DAG's sealed metadata — O(#types + 1), not O(nodes),
   // and entirely before any engine state mutates, so a rejected DAG leaves
   // the engine untouched.
-  for (const TaskTypeId t : dag.distinct_types())
-    DAS_CHECK_MSG(registry_->info(t).cost != nullptr,
-                  "task type '" + registry_->info(t).name +
+  for (const TaskTypeId t : dag.distinct_types()) {
+    const TaskTypeInfo& ti = registry_->info(t);
+    DAS_CHECK_MSG(ti.cost != nullptr ||
+                      ti.expr.kind != CostExpr::Kind::kCallable,
+                  "task type '" + ti.name +
                       "' has no cost model; the DES cannot execute it");
+  }
+  // Registration may have happened since the last submit (a new kCallable
+  // type demotes to generic; a catalog-only registry promotes to fused).
+  refresh_dispatch();
   DAS_CHECK_MSG(dag.min_node_rank() >= 0 && dag.max_node_rank() < num_ranks(),
                 "dag node rank out of range");
 
@@ -201,8 +258,10 @@ double SimEngine::wait(JobId id) {
   Job& job = job_of(id);
   // Advance the event loop until THIS job completes. Events of other
   // in-flight jobs that fall before its completion execute on the way — the
-  // interleave is a pure function of (seed, submission trace).
-  while (!job.done && events_pending()) step();
+  // interleave is a pure function of (seed, submission trace). The whole
+  // loop runs inside ONE dispatch instantiation (drain_fn_), so a fused
+  // configuration pays no per-event indirect call at all.
+  drain_fn_(*this, job);
   DAS_CHECK_MSG(job.done,
                 "event queue drained with " +
                     std::to_string(job.dag->num_nodes() - job.completed) +
@@ -243,10 +302,13 @@ double SimEngine::wait(JobId id) {
 }
 
 // daslint: begin-hot-path(sim-step)
-// The event-loop inner step: one pop + one handler per simulated event.
-// tools/daslint forbids allocation and lock acquisition here (the handlers
-// it calls reuse per-core flat queues; see sim's throughput gate).
-void SimEngine::step() {
+// The event-loop inner step: one pop + one handler per simulated event,
+// instantiated once per dispatch mode so the policy hooks and the cost
+// evaluation inline into the handlers. tools/daslint forbids allocation,
+// lock acquisition and type-erased (std::function) calls here (the handlers
+// reuse per-core flat queues; see sim's throughput gate).
+template <class Mode>
+void SimEngine::step_t() {
   // Direct pop: with the lane/heap queue a pop is one source scan plus an
   // O(1) ring pop for the dominant event classes — cheaper than staging
   // identical-time batches through a side buffer was.
@@ -258,16 +320,16 @@ void SimEngine::step() {
   switch (e.kind) {
     case Ev::kWake:
       set_inactive(e.core);
-      handle_wake(e.core, now_);
+      handle_wake_t<Mode>(e.core, now_);
       break;
     case Ev::kDone:
-      handle_done(e, now_);
+      handle_done_t<Mode>(e, now_);
       break;
     case Ev::kRelease:
-      handle_release(e, now_);
+      handle_release_t<Mode>(e, now_);
       break;
     case Ev::kRoot:
-      make_ready(e.job, e.task, e.from_core, now_);
+      make_ready_t<Mode>(e.job, e.task, e.from_core, now_);
       break;
     case Ev::kTimer:
       note_timer_fired(e, now_);
@@ -357,7 +419,9 @@ void SimEngine::wake_idle_cores(int rank, double t) {
   }
 }
 
-void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
+template <class Mode>
+void SimEngine::make_ready_t(JobId job_id, NodeId id, int waking_core,
+                             double t) {
   Job& job = job_at(job_id);
   const DagNode& n = node_of(job, id);
   // Live bound check, not just the sealed-metadata snapshot submit saw: a
@@ -367,6 +431,9 @@ void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
                 "dag node rank out of range");
   TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   ts = TaskState{};  // first touch of this task: clear recycled slot state
+  // Per-task invariant, resolved once: every participant's cost evaluation
+  // and noise-sigma lookup read this row instead of re-walking the registry.
+  ts.type_info = &registry_->info(n.type);
   Rank& rank = ranks_[static_cast<std::size_t>(n.rank)];
 
   // Wakes crossing ranks land on the task's affinity core (or core 0 of its
@@ -378,7 +445,8 @@ void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
     local_waker = n.affinity_core >= 0 ? n.affinity_core : 0;
   }
 
-  const WakeDecision wd = rank.policy->on_ready(n.type, n.priority, local_waker);
+  const WakeDecision wd = Mode::PolicyHooks::on_ready(*rank.policy, n.type,
+                                                      n.priority, local_waker);
   const int queue_core = global_core(n.rank, wd.queue_core);
 
   if (wd.has_fixed_place) {
@@ -388,7 +456,8 @@ void SimEngine::make_ready(JobId job_id, NodeId id, int waking_core, double t) {
              rank.policy->traits().uses_ptt) {
     // Ablation: decide the width at wake-up and never re-mold.
     ts.has_fixed_place = true;
-    ts.place = rank.policy->on_execute(n.type, n.priority, wd.queue_core);
+    ts.place = Mode::PolicyHooks::on_execute(*rank.policy, n.type, n.priority,
+                                             wd.queue_core);
   }
 
   if (wd.stealable) {
@@ -420,8 +489,9 @@ void SimEngine::distribute(Job& job, JobId job_id, NodeId id,
   }
 }
 
-double SimEngine::participation_cost(const Job& job, NodeId id, int core,
-                                     int rank_in_assembly, double t) {
+template <class Mode>
+double SimEngine::participation_cost_t(const Job& job, NodeId id, int core,
+                                       int rank_in_assembly, double t) {
   const DagNode& n = node_of(job, id);
   const TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   const Rank& r = ranks_[static_cast<std::size_t>(n.rank)];
@@ -442,15 +512,19 @@ double SimEngine::participation_cost(const Job& job, NodeId id, int core,
     q.bw_share = 1.0;
   }
 
-  const TaskTypeInfo& info = registry_->info(n.type);
-  double cost = info.cost(n.params, q);
+  // Hoisted per-task invariant (make_ready cached the registry row): the
+  // per-participant path is the query build + the cost arithmetic itself.
+  const TaskTypeInfo& info = *ts.type_info;
+  double cost = Mode::CostEval::eval(info, n.params, q);
   if (options_.noise) {
-    cost *= lognormal_noise(registry_->noise_sigma(n.type, cost));
+    cost *= lognormal_noise(TaskTypeRegistry::noise_sigma_of(info, cost));
   }
   return std::max(cost, 1e-9);
 }
 
-void SimEngine::start_participation(int core, const Participation& p, double t) {
+template <class Mode>
+void SimEngine::start_participation_t(int core, const Participation& p,
+                                      double t) {
   CoreState& cs = cores_[static_cast<std::size_t>(core)];
   DAS_CHECK_MSG(!cs.busy, "core double-booked: a participation started while "
                           "another is still running");
@@ -458,7 +532,8 @@ void SimEngine::start_participation(int core, const Participation& p, double t) 
   TaskState& ts = job.tasks[static_cast<std::size_t>(p.task)];
   if (ts.arrivals == 0) ts.first_arrival = t;
   ts.arrivals++;
-  const double cost = participation_cost(job, p.task, core, p.rank_in_assembly, t);
+  const double cost =
+      participation_cost_t<Mode>(job, p.task, core, p.rank_in_assembly, t);
   ts.max_cost = std::max(ts.max_cost, cost);
   const int rank = rank_of_core(core);
   ranks_[static_cast<std::size_t>(rank)].stats->record_busy_st(
@@ -475,7 +550,8 @@ void SimEngine::start_participation(int core, const Participation& p, double t) 
   events_.push(t + cost, Event{Ev::kDone, core, p.job, p.task, -1});
 }
 
-bool SimEngine::try_steal(int core, double t) {
+template <class Mode>
+bool SimEngine::try_steal_t(int core, double t) {
   const int rank = rank_of_core(core);
   const Rank& r = ranks_[static_cast<std::size_t>(rank)];
   const int lo = r.first_core;
@@ -521,7 +597,8 @@ bool SimEngine::try_steal(int core, double t) {
   const ExecutionPlace place =
       ts.has_fixed_place
           ? ts.place
-          : r.policy->on_execute(n.type, n.priority, local_core(core));
+          : Mode::PolicyHooks::on_execute(*r.policy, n.type, n.priority,
+                                          local_core(core));
   // Mark the thief active first (one pending wake), then distribute after
   // the steal round-trip.
   set_active(core);
@@ -532,7 +609,8 @@ bool SimEngine::try_steal(int core, double t) {
   return true;
 }
 
-void SimEngine::handle_wake(int core, double t) {
+template <class Mode>
+void SimEngine::handle_wake_t(int core, double t) {
   CoreState& cs = cores_[static_cast<std::size_t>(core)];
 
   // 1. Assembly queue first: committed work. (The rank lookups below are
@@ -541,7 +619,7 @@ void SimEngine::handle_wake(int core, double t) {
   if (!cs.aq.empty()) {
     const Participation p = cs.aq.front();
     cs.aq.pop_front();
-    start_participation(core, p, t);
+    start_participation_t<Mode>(core, p, t);
     return;
   }
   const int rank = rank_of_core(core);
@@ -573,7 +651,8 @@ void SimEngine::handle_wake(int core, double t) {
     const ExecutionPlace place =
         ts.has_fixed_place
             ? ts.place
-            : r.policy->on_execute(n.type, n.priority, local_core(core));
+            : Mode::PolicyHooks::on_execute(*r.policy, n.type, n.priority,
+                                            local_core(core));
     set_active(core);  // see the inbox branch: one pending wake only
     events_.push_lane(kLaneDispatch, t + options_.dispatch_overhead_s,
                       Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
@@ -581,11 +660,12 @@ void SimEngine::handle_wake(int core, double t) {
     return;
   }
   // 4. Steal from a random victim within the rank.
-  if (try_steal(core, t)) return;
+  if (try_steal_t<Mode>(core, t)) return;
   // 5. Nothing anywhere: go idle. A future push will re-activate us.
 }
 
-void SimEngine::handle_done(const Event& e, double t) {
+template <class Mode>
+void SimEngine::handle_done_t(const Event& e, double t) {
   Job& job = job_at(e.job);
   const NodeId id = e.task;
   const DagNode& n = node_of(job, id);
@@ -602,7 +682,7 @@ void SimEngine::handle_done(const Event& e, double t) {
     // (participants queueing behind other work), which would make wide
     // places look slow for reasons that have nothing to do with the place.
     const double span = t - ts.first_arrival;
-    r.policy->record_sample(n.type, ts.place, ts.max_cost);
+    Mode::PolicyHooks::record_sample(*r.policy, n.type, ts.place, ts.max_cost);
     const int place_id = r.topo->place_id(ts.place);
     r.stats->record_task_at_st(n.priority, place_id, span, n.phase);
     ts.completion = t;
@@ -637,11 +717,56 @@ void SimEngine::handle_done(const Event& e, double t) {
                     Event{Ev::kWake, e.core, kInvalidJob, kInvalidNode, -1});
 }
 
-void SimEngine::handle_release(const Event& e, double t) {
+template <class Mode>
+void SimEngine::handle_release_t(const Event& e, double t) {
   Job& job = job_at(e.job);
   std::int32_t& preds = job.preds[static_cast<std::size_t>(e.task)];
   DAS_ASSERT(preds > 0);
-  if (--preds == 0) make_ready(e.job, e.task, e.from_core, t);
+  if (--preds == 0) make_ready_t<Mode>(e.job, e.task, e.from_core, t);
+}
+
+// --- dispatch selection ------------------------------------------------------
+
+template <class Mode>
+void SimEngine::set_mode() {
+  step_fn_ = [](SimEngine& e) { e.step_t<Mode>(); };
+  drain_fn_ = [](SimEngine& e, const Job& j) {
+    while (!j.done && e.events_pending()) e.step_t<Mode>();
+  };
+}
+
+template <class Tag>
+void SimEngine::set_fused(CostClass cls) {
+  if (cls == CostClass::kFixed) {
+    set_mode<SimMode<StaticPolicyHooks<Tag>, FixedCostEval>>();
+  } else {
+    set_mode<SimMode<StaticPolicyHooks<Tag>, ExprCostEval>>();
+  }
+  dispatch_variant_ = fused_variant_name(Tag::kPolicy, cls);
+}
+
+void SimEngine::refresh_dispatch() {
+  const CostClass cls = options_.force_generic_dispatch
+                            ? CostClass::kCallable
+                            : classify_cost_models(*registry_);
+  if (cls == CostClass::kCallable) {
+    set_mode<GenericMode>();
+    dispatch_variant_ = "generic";
+    return;
+  }
+  switch (policy_kind_) {
+    case Policy::kRws: set_fused<RwsTag>(cls); return;
+    case Policy::kRwsmC: set_fused<RwsmCTag>(cls); return;
+    case Policy::kFa: set_fused<FaTag>(cls); return;
+    case Policy::kFamC: set_fused<FamCTag>(cls); return;
+    case Policy::kDa: set_fused<DaTag>(cls); return;
+    case Policy::kDamC: set_fused<DamCTag>(cls); return;
+    case Policy::kDamP: set_fused<DamPTag>(cls); return;
+    case Policy::kDheft: set_fused<DheftTag>(cls); return;
+  }
+  // Unknown future policy value: the type-erased loop handles it.
+  set_mode<GenericMode>();
+  dispatch_variant_ = "generic";
 }
 
 }  // namespace das::sim

@@ -49,6 +49,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cost_expr.hpp"
 #include "core/dag.hpp"
 #include "core/policy.hpp"
 #include "core/ptt.hpp"
@@ -58,6 +59,7 @@
 #include "sim/event_queue.hpp"
 #include "trace/stats.hpp"
 #include "trace/timeline.hpp"
+#include "util/inline.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 
@@ -79,6 +81,10 @@ struct SimOptions {
   double idle_wake_delay_s = 200e-6;
   bool noise = true;                  ///< lognormal measurement noise
   int stats_phases = 1;               ///< phase dimension of ExecutionStats
+  /// Pin the type-erased generic event loop even when every cost model has
+  /// a closed form — the A/B lever the determinism test uses to assert the
+  /// fused instantiations are bitwise-identical to generic dispatch.
+  bool force_generic_dispatch = false;
   PolicyOptions policy_options{};
   UpdateRatio ptt_ratio{};
   /// Optional execution timeline (Chrome trace export); not owned.
@@ -126,6 +132,13 @@ class SimEngine {
   /// root drops). The simulator-throughput bench divides this by wall time;
   /// it is also a cheap cross-check that two runs took identical paths.
   std::uint64_t events_processed() const { return events_processed_; }
+  /// Which event loop the engine currently dispatches: "generic" (type-
+  /// erased policy + std::function escape hatch) or a fused instantiation
+  /// label ("fused:DAM-C/expr", see core/cost_expr.hpp). Re-evaluated at
+  /// every submit() — registering a kCallable cost model demotes the next
+  /// job to generic dispatch; the simulated results are identical either
+  /// way (pinned bitwise by tests/sim_determinism_test.cpp).
+  const char* dispatch_variant() const { return dispatch_variant_; }
   int num_ranks() const { return static_cast<int>(ranks_.size()); }
   /// Jobs submitted but not yet wait()ed to completion.
   int jobs_in_flight() const { return live_jobs_; }
@@ -216,6 +229,12 @@ class SimEngine {
     double first_arrival = 0.0;
     double max_cost = 0.0;  ///< slowest participant's busy time
     double completion = -1.0;
+    /// Registry row, resolved ONCE at make_ready: every participant of the
+    /// task (cost evaluation + noise sigma) reads this instead of repeating
+    /// the registry lookup. Valid for the task's lifetime — registering
+    /// types mid-run is already unsupported (the PTT is sized at engine
+    /// construction).
+    const TaskTypeInfo* type_info = nullptr;
   };
 
   /// One in-flight job: its DAG, per-node state, and completion accounting.
@@ -299,22 +318,55 @@ class SimEngine {
   /// activate(c, t) for every idle core of the rank in ascending core
   /// order — the bitmap replacement for the all-cores activation sweep.
   void wake_idle_cores(int rank, double t);
-  void step();  ///< dispatches one event (events_pending() must be true)
+  /// Dispatches one event (events_pending() must be true) through whichever
+  /// loop refresh_dispatch() selected.
+  void step() { step_fn_(*this); }
   bool events_pending() const { return !events_.empty(); }
-  /// Outlined kTimer record (the call site sits inside the step() hot-path
+  /// Outlined kTimer record (the call site sits inside the step hot-path
   /// lint region; the deferred-list push must not).
   void note_timer_fired(const Event& e, double t);
-  void handle_wake(int core, double t);
-  void handle_done(const Event& e, double t);
-  void handle_release(const Event& e, double t);
-  void make_ready(JobId job, NodeId id, int waking_core, double t);
-  void distribute(Job& job, JobId job_id, NodeId id,
-                  const ExecutionPlace& place, int rank, double t);
-  void start_participation(int core, const Participation& p, double t);
-  bool try_steal(int core, double t);
-  double participation_cost(const Job& job, NodeId id, int core,
-                            int rank_in_assembly, double t);
+
+  // --- event handlers, templated over the dispatch mode --------------------
+  // `Mode` binds a PolicyHooks adapter (core/policy.hpp: static tag or
+  // dynamic fallback) and a CostEval strategy (engine.cpp: closed-form,
+  // fixed-constant, or the std::function escape hatch). There is exactly ONE
+  // implementation of every handler — the generic loop is the
+  // (DynamicPolicyHooks, callable) instantiation — so fused and generic
+  // dispatch cannot diverge; the sim-determinism goldens pin them bitwise.
+  // Definitions and all instantiations live in engine.cpp.
+  template <class Mode> void step_t();
+  template <class Mode> DAS_HOT_INLINE void handle_wake_t(int core, double t);
+  template <class Mode> void handle_done_t(const Event& e, double t);
+  template <class Mode> void handle_release_t(const Event& e, double t);
+  template <class Mode>
+  void make_ready_t(JobId job, NodeId id, int waking_core, double t);
+  // The participation chain is DAS_HOT_INLINE (util/inline.hpp): with 16
+  // fused instantiations in the TU, GCC's unit-growth budget otherwise
+  // stops inlining it into the handlers — the layout the monolithic
+  // pre-fusion loop had — and the extra calls cost more than the
+  // devirtualization saves.
+  template <class Mode>
+  DAS_HOT_INLINE void start_participation_t(int core, const Participation& p,
+                                            double t);
+  template <class Mode> bool try_steal_t(int core, double t);
+  template <class Mode>
+  DAS_HOT_INLINE double participation_cost_t(const Job& job, NodeId id,
+                                             int core, int rank_in_assembly,
+                                             double t);
+  DAS_HOT_INLINE void distribute(Job& job, JobId job_id, NodeId id,
+                                 const ExecutionPlace& place, int rank,
+                                 double t);
   double lognormal_noise(double sigma);
+
+  // --- dispatch selection ---------------------------------------------------
+  /// Rebinds step_fn_/drain_fn_ to the loop matching (policy, registry):
+  /// a fused (policy-tag x cost-class) instantiation when every executable
+  /// cost model carries a closed form, the generic loop otherwise (or under
+  /// SimOptions::force_generic_dispatch). Called at construction and at
+  /// every submit().
+  void refresh_dispatch();
+  template <class Mode> void set_mode();
+  template <class Tag> void set_fused(CostClass cls);
 
   std::vector<Rank> ranks_;
   std::vector<int> rank_of_core_;  // global core -> rank index
@@ -359,6 +411,15 @@ class SimEngine {
   std::vector<Deferred> deferred_;
   std::function<void(JobId, double)> job_done_hook_;
   std::function<void(std::uint64_t, double)> timer_hook_;
+
+  // Selected event loop (see refresh_dispatch): step_fn_ dispatches one
+  // event, drain_fn_ runs the wait() loop entirely inside one instantiation
+  // so not even the per-event indirect call survives on the hot path.
+  using StepFn = void (*)(SimEngine&);
+  using DrainFn = void (*)(SimEngine&, const Job&);
+  StepFn step_fn_ = nullptr;
+  DrainFn drain_fn_ = nullptr;
+  const char* dispatch_variant_ = "generic";
 };
 
 }  // namespace das::sim

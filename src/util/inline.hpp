@@ -1,0 +1,20 @@
+#pragma once
+// Compiler inlining hint for the fused hot loops.
+//
+// The fused (policy × cost-model) engine specializations multiply the
+// event-loop call tree 16-fold inside one translation unit. GCC's
+// unit-growth budget then declines inlining decisions it happily made for
+// the old monolithic loop, leaving the per-event chain (event handler →
+// start_participation → participation_cost) as out-of-line calls — which
+// costs more than the devirtualization saves. DAS_HOT_INLINE restores the
+// monolithic layout deterministically, for every instantiation.
+//
+// Use it only on the per-event call chain below a dispatch root (a marked
+// `daslint` hot-path region), never on cold or API-boundary code: each use
+// is duplicated into every fused instantiation.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DAS_HOT_INLINE inline __attribute__((always_inline))
+#else
+#define DAS_HOT_INLINE inline
+#endif

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/fused.hpp"
 #include "kernels/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
@@ -104,8 +105,15 @@ std::string hex(double v) {
   return buf;
 }
 
-double run_cell(const std::string& scenario_name, Policy policy,
-                std::uint64_t seed) {
+/// One cell's full observable footprint, for the fused-vs-generic A/B.
+struct CellResult {
+  double makespan = 0.0;
+  std::uint64_t events = 0;
+  std::string variant;
+};
+
+CellResult run_cell_full(const std::string& scenario_name, Policy policy,
+                         std::uint64_t seed, bool force_generic) {
   const Topology topo = Topology::tx2();
   TaskTypeRegistry registry;
   const kernels::PaperKernelIds ids = kernels::register_paper_kernels(registry);
@@ -114,6 +122,7 @@ double run_cell(const std::string& scenario_name, Policy policy,
 
   sim::SimOptions opts;
   opts.seed = seed;
+  opts.force_generic_dispatch = force_generic;
   sim::SimEngine eng(topo, policy, registry, opts, &sc);
   // 16000 matmul tasks, one high-priority critical task per layer: exercises
   // the inbox (steal-exempt) path, WSQ pushes and steals, and — under the
@@ -125,7 +134,17 @@ double run_cell(const std::string& scenario_name, Policy policy,
   // let a scenario-sampling regression through.
   const Dag dag = workloads::make_synthetic_dag(
       workloads::paper_matmul_spec(ids.matmul, 6, 0.5));
-  return eng.run(dag);
+  CellResult r;
+  r.makespan = eng.run(dag);
+  r.events = eng.events_processed();
+  r.variant = eng.dispatch_variant();
+  return r;
+}
+
+double run_cell(const std::string& scenario_name, Policy policy,
+                std::uint64_t seed) {
+  return run_cell_full(scenario_name, policy, seed, /*force_generic=*/false)
+      .makespan;
 }
 
 TEST(SimDeterminism, GoldenMakespansAcrossCatalogPoliciesAndSeeds) {
@@ -158,6 +177,43 @@ TEST(SimDeterminism, GoldenMakespansAcrossCatalogPoliciesAndSeeds) {
         << "scenario=" << kGoldens[i].scenario
         << " policy=" << kGoldens[i].policy << " seed=" << kGoldens[i].seed
         << ": the virtual-time event or RNG stream was perturbed";
+  }
+}
+
+// The fused (policy x cost-model) engine instantiations and the type-erased
+// generic loop must be the SAME simulator, bit for bit: every catalog
+// scenario x ALL EIGHT policies x both seeds, run once with the default
+// dispatch (fused engages — asserted) and once pinned to the generic path
+// via SimOptions::force_generic_dispatch. Identical hexfloat makespans and
+// identical event counts or the single-implementation construction
+// (core/cost_expr.hpp + core/policy.hpp's *_static templates) has been
+// broken by a divergent edit to one path.
+TEST(SimDeterminism, FusedMatchesGenericBitwiseAcrossFullPolicyGrid) {
+  const Policy all_policies[] = {Policy::kRws,  Policy::kRwsmC, Policy::kFa,
+                                 Policy::kFamC, Policy::kDa,    Policy::kDamC,
+                                 Policy::kDamP, Policy::kDheft};
+  TaskTypeRegistry reg;
+  kernels::register_paper_kernels(reg);
+  for (const std::string& sc : scenario::catalog_names()) {
+    for (const Policy p : all_policies) {
+      for (const std::uint64_t seed : kSeeds) {
+        const CellResult fused = run_cell_full(sc, p, seed, false);
+        const CellResult generic = run_cell_full(sc, p, seed, true);
+        // The A/B is only meaningful if the fast path actually engaged and
+        // the lever actually pinned the slow one.
+        ASSERT_EQ(fused.variant,
+                  exec::plan_dispatch(p, reg).variant)
+            << "policy=" << policy_name(p)
+            << ": catalog registry did not select the fused loop";
+        ASSERT_EQ(generic.variant, std::string("generic"));
+        EXPECT_STREQ(hex(fused.makespan).c_str(), hex(generic.makespan).c_str())
+            << "scenario=" << sc << " policy=" << policy_name(p)
+            << " seed=" << seed << ": fused and generic dispatch diverged";
+        EXPECT_EQ(fused.events, generic.events)
+            << "scenario=" << sc << " policy=" << policy_name(p)
+            << " seed=" << seed << ": event streams differ in length";
+      }
+    }
   }
 }
 

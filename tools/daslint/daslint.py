@@ -17,6 +17,13 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 on any):
                    design; a lock here is a regression even if benchmarks
                    miss it on an idle machine.
 
+  hot-path-stdfunction  Same regions: no type-erased dispatch — naming
+                   std::function or invoking a TaskTypeInfo cost callable
+                   (`.cost(`). The fused engine loops exist precisely to
+                   keep erased calls off the steady-state path; catalog
+                   cost models evaluate through cost_expr_eval /
+                   cost_eval (core/cost_expr.hpp) instead.
+
   sim-wall-clock   src/sim/** must not read wall-clock time (std::chrono
                    clocks, now_ns, clock_gettime, gettimeofday, time()).
                    The DES is deterministic virtual time; one wall-clock
@@ -75,6 +82,7 @@ HOT_LOCK = re.compile(
     r"std::mutex|\bMutexLock\b|\bSpinlockGuard\b|lock_guard|unique_lock|"
     r"scoped_lock|\.lock\s*\(\)"
 )
+HOT_STDFUNCTION = re.compile(r"std::function|\.cost\s*\(")
 SIM_WALL_CLOCK = re.compile(
     r"std::chrono|steady_clock|system_clock|high_resolution_clock|"
     r"\bnow_ns\s*\(|clock_gettime|gettimeofday|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"
@@ -175,6 +183,11 @@ def lint_file(root, rel, violations):
             if HOT_LOCK.search(code_line):
                 report("hot-path-lock",
                        f"lock acquisition in hot-path region '{region}'")
+            if HOT_STDFUNCTION.search(code_line):
+                report("hot-path-stdfunction",
+                       f"type-erased dispatch in hot-path region"
+                       f" '{region}' (use the fused hooks / cost_expr"
+                       f" evaluators, core/cost_expr.hpp)")
         if in_sim:
             if SIM_WALL_CLOCK.search(code_line):
                 report("sim-wall-clock",
@@ -221,6 +234,7 @@ def selftest(repo_root):
     expected = {
         "hot-path-alloc": "src/rt/hot_alloc_bad.cpp",
         "hot-path-lock": "src/rt/hot_lock_bad.cpp",
+        "hot-path-stdfunction": "src/rt/hot_stdfunction_bad.cpp",
         "sim-wall-clock": "src/sim/wall_clock_bad.cpp",
         "sim-ambient-rand": "src/sim/rand_bad.cpp",
         "relaxed-whitelist": "src/util/relaxed_bad.cpp",

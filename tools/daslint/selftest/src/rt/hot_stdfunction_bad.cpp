@@ -1,0 +1,15 @@
+// Planted violation corpus: type-erased dispatch inside a hot-path region.
+// Never compiled — the selftest only asserts the linter flags both shapes
+// (naming std::function, invoking a .cost(...) callable).
+#include <functional>
+
+struct Info {
+  std::function<double(int)> cost;
+};
+
+// daslint: begin-hot-path(planted)
+double call_through_erased(const std::function<double(int)>& f) {
+  return f(1);
+}
+double invoke_cost_callable(const Info& info) { return info.cost(7); }
+// daslint: end-hot-path
