@@ -37,14 +37,31 @@
 //                           get a "/dispatch=generic" label suffix, so the
 //                           default labels (and the checked-in baseline)
 //                           are unchanged.
+//   --ranks=N[,N...]        scheduling domains per cell (default 1). For
+//                           N > 1 each rank gets its own --cores-wide
+//                           symmetric topology and the layered DAG is
+//                           replicated per rank with halo cross-rank delay
+//                           edges (heat-band shape), so the conservative
+//                           window protocol has real boundary traffic.
+//                           Labels gain "/ranks=N".
+//   --des-threads=N[,..]    SimOptions::des_threads per cell: integers or
+//                           "auto" (= hardware concurrency; the engine
+//                           clamps to the rank count). Default 1 (serial
+//                           windows). Labels gain "/des=N"; cells print
+//                           per-rank events/s and the aggregate speedup
+//                           over the serial cell of the same shape.
 //   --baseline=PATH         gate against baseline       (exit 1 on regression)
 //   --update-baseline       rewrite PATH from this run
 //   --tolerance=F           allowed fractional loss     (default 0.25)
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "../bench/support.hpp"
@@ -92,6 +109,50 @@ Topology make_topology(int cores) {
   return Topology::symmetric(1, cores);
 }
 
+/// Multi-rank variant of the layered synthetic DAG: every rank carries its
+/// own critical chain of `parallelism`-wide layers, and each layer's
+/// critical task additionally releases the NEXT layer's critical task on
+/// the neighbouring ranks through a delayed cross-rank edge — the heat
+/// band-decomposition shape (workloads/heat.hpp), which both bounds the
+/// conservative lookahead (min cross-rank delay = cross_delay_s) and
+/// forces boundary-queue traffic in steady state.
+Dag make_multi_rank_dag(TaskTypeId type, int ranks, int total_tasks,
+                        int parallelism, double cross_delay_s) {
+  Dag dag;
+  const int per_rank = std::max(1, total_tasks / ranks);
+  const int width = std::min(parallelism, per_rank);
+  const int layers = std::max(1, per_rank / width);
+  std::vector<std::vector<NodeId>> crit(
+      static_cast<std::size_t>(layers),
+      std::vector<NodeId>(static_cast<std::size_t>(ranks)));
+  for (int l = 0; l < layers; ++l) {
+    for (int r = 0; r < ranks; ++r) {
+      for (int p = 0; p < width; ++p) {
+        const NodeId id = dag.add_node(
+            type, p == 0 ? Priority::kHigh : Priority::kLow);
+        dag.node(id).rank = r;
+        if (p == 0) crit[static_cast<std::size_t>(l)]
+                        [static_cast<std::size_t>(r)] = id;
+        if (l > 0)
+          dag.add_edge(crit[static_cast<std::size_t>(l - 1)]
+                           [static_cast<std::size_t>(r)], id);
+      }
+      if (l > 0) {
+        const NodeId head = crit[static_cast<std::size_t>(l)]
+                                [static_cast<std::size_t>(r)];
+        const auto& prev = crit[static_cast<std::size_t>(l - 1)];
+        if (r > 0)
+          dag.add_edge(prev[static_cast<std::size_t>(r - 1)], head,
+                       cross_delay_s);
+        if (r + 1 < ranks)
+          dag.add_edge(prev[static_cast<std::size_t>(r + 1)], head,
+                       cross_delay_s);
+      }
+    }
+  }
+  return dag;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,12 +162,14 @@ int main(int argc, char** argv) {
       " --policy=NAME[,..] --scenario=N|FILE --json=PATH --seed=N"
       " --cores=N[,N...] --tasks=N[,N...] --jobs=N"
       " --parallelism=P[,P...]|auto|fanout --dispatch=fused|generic|both"
+      " --ranks=N[,N...] --des-threads=N[,N...]|auto"
       " --baseline=PATH --update-baseline --tolerance=F"
       " (sim-only: no --backend/--scale)");
   cli::require_no_positionals(flags);
   flags.require_known({"policy", "scenario", "json", "seed", "help", "cores",
-                       "tasks", "jobs", "parallelism", "dispatch", "baseline",
-                       "update-baseline", "tolerance"});
+                       "tasks", "jobs", "parallelism", "dispatch", "ranks",
+                       "des-threads", "baseline", "update-baseline",
+                       "tolerance"});
 
   Bench b("sim_throughput");
   b.backend = Backend::kSim;
@@ -161,6 +224,31 @@ int main(int argc, char** argv) {
     else if (mode == "both") dispatch_sweep = {false, true};
     else cli::die("--dispatch expects fused, generic or both, got '" + mode + "'");
   }
+  const auto ranks_sweep = parse_int_list(flags, "ranks", {1});
+  // des-threads entries: positive thread counts, -1 = auto (hardware
+  // concurrency; the engine clamps to the rank count either way).
+  std::vector<int> des_sweep;
+  for (const std::string& part :
+       cli::split(flags.get("des-threads", "1"), ',')) {
+    if (part == "auto") {
+      des_sweep.push_back(-1);
+    } else {
+      try {
+        std::size_t pos = 0;
+        const long v = std::stol(part, &pos);
+        if (pos != part.size() || v < 1 || v > 4096)
+          throw std::invalid_argument(part);
+        des_sweep.push_back(static_cast<int>(v));
+      } catch (const std::exception&) {
+        cli::die("--des-threads expects a comma-separated list of positive "
+                 "integers or 'auto', got '" + part + "'");
+      }
+    }
+  }
+  if (des_sweep.empty()) cli::die("--des-threads must name at least one value");
+  const int auto_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
   const std::string baseline_path = flags.get("baseline");
   const bool update_baseline = flags.has("update-baseline");
   if (update_baseline && baseline_path.empty())
@@ -181,8 +269,10 @@ int main(int argc, char** argv) {
   print_backend(b);
   print_title("Simulator throughput: events/s over topology and DAG sweeps");
   TextTable table({"cell", "policy", "events", "wall[s]", "events/s",
-                   "sim tasks/s", "vmakespan[s]"});
+                   "sim tasks/s", "vmakespan[s]", "rank ev/s", "x-serial"});
   std::vector<Cell> cells;
+  // Serial (no "/des=" suffix) events/s per shape, for the speedup column.
+  std::map<std::string, double> serial_eps;
 
   for (Policy policy : b.policies({Policy::kRws})) {
     for (const std::int64_t cores : cores_sweep) {
@@ -192,18 +282,41 @@ int main(int argc, char** argv) {
       for (const std::int64_t tasks : tasks_sweep) {
        for (const std::int64_t par : par_sweep) {
        for (const bool force_generic : dispatch_sweep) {
+       for (const std::int64_t ranks_n : ranks_sweep) {
+       for (const int des_req : des_sweep) {
+        // A single rank has nothing to thread: one serial cell per shape.
+        if (ranks_n == 1 && des_req != des_sweep.front()) continue;
+        const int des_threads = des_req < 0 ? auto_threads : des_req;
+
         workloads::SyntheticDagSpec spec;
         spec.type = empty_id;
         spec.parallelism = par > 0    ? static_cast<int>(par)
                            : par == 0 ? static_cast<int>(cores)
                                       : static_cast<int>(tasks);
         spec.total_tasks = static_cast<int>(tasks);
-        const Dag dag = workloads::make_synthetic_dag(spec);
+        const Dag dag =
+            ranks_n == 1
+                ? workloads::make_synthetic_dag(spec)
+                : make_multi_rank_dag(empty_id, static_cast<int>(ranks_n),
+                                      static_cast<int>(tasks),
+                                      spec.parallelism, 30e-6);
 
         sim::SimOptions opts;
         opts.seed = b.seed;
         opts.force_generic_dispatch = force_generic;
-        sim::SimEngine eng(topo, policy, b.registry, opts, &scenario);
+        opts.des_threads = des_threads;
+        // The historical single-rank ctor stays on the ranks=1 path so the
+        // default cells (and the checked-in baseline labels) keep measuring
+        // the identical engine configuration.
+        const std::vector<sim::RankSpec> rank_specs(
+            static_cast<std::size_t>(ranks_n),
+            sim::RankSpec{&topo, &scenario});
+        std::optional<sim::SimEngine> eng_holder;
+        if (ranks_n == 1)
+          eng_holder.emplace(topo, policy, b.registry, opts, &scenario);
+        else
+          eng_holder.emplace(rank_specs, policy, b.registry, opts);
+        sim::SimEngine& eng = *eng_holder;
 
         Stopwatch wall;
         std::vector<JobId> ids;
@@ -220,16 +333,42 @@ int main(int argc, char** argv) {
         const double sim_tasks_per_s =
             static_cast<double>(total_tasks) / wall_s;
 
-        // Generic-dispatch cells carry a label suffix; the default (fused)
-        // labels are unchanged so existing baselines keep matching.
+        std::vector<double> rank_eps;
+        for (int r = 0; r < static_cast<int>(ranks_n); ++r)
+          rank_eps.push_back(static_cast<double>(eng.events_processed(r)) /
+                             wall_s);
+
+        // Non-default modes carry label suffixes; the default (fused,
+        // single-rank, serial) labels are unchanged so existing baselines
+        // keep matching.
         const std::string label =
             std::string("sim/") + policy_name(policy) + "/" +
             b.scenario_name() + "/cores=" + std::to_string(cores) +
             "/tasks=" + std::to_string(tasks) +
             "/p=" + std::to_string(spec.parallelism) +
             "/jobs=" + std::to_string(jobs) +
-            (force_generic ? "/dispatch=generic" : "");
+            (force_generic ? "/dispatch=generic" : "") +
+            (ranks_n > 1 ? "/ranks=" + std::to_string(ranks_n) : "") +
+            (des_req != 1
+                 ? std::string("/des=") +
+                       (des_req < 0 ? std::string("auto")
+                                    : std::to_string(des_req))
+                 : "");
         cells.push_back(Cell{label, events_per_s});
+
+        // Aggregate speedup over the serial cell of the same shape (only
+        // meaningful once that cell ran — put 1 before N in --des-threads).
+        std::string base_label = label;
+        if (const auto cut = base_label.find("/des=");
+            cut != std::string::npos)
+          base_label.resize(cut);
+        if (label == base_label) serial_eps[base_label] = events_per_s;
+        double speedup = 0.0;
+        if (label != base_label) {
+          const auto it = serial_eps.find(base_label);
+          if (it != serial_eps.end() && it->second > 0.0)
+            speedup = events_per_s / it->second;
+        }
 
         json::Value rec = json::Value::object();
         rec.set("label", label);
@@ -242,6 +381,12 @@ int main(int argc, char** argv) {
         rec.set("tasks_swept", tasks);
         rec.set("jobs", jobs);
         rec.set("parallelism", std::int64_t{spec.parallelism});
+        rec.set("ranks", ranks_n);
+        rec.set("des_threads", std::int64_t{des_threads});
+        json::Value per_rank = json::Value::array();
+        for (const double v : rank_eps) per_rank.push_back(json::Value(v));
+        rec.set("rank_events_per_s", std::move(per_rank));
+        if (speedup > 0.0) rec.set("speedup_vs_serial", speedup);
         rec.set("events", static_cast<std::int64_t>(events));
         rec.set("wall_s", wall_s);
         rec.set("events_per_s", events_per_s);
@@ -250,6 +395,12 @@ int main(int argc, char** argv) {
         rec.set("makespan_s", last_makespan);
         b.report_raw(std::move(rec));
 
+        std::string rank_col = "-";
+        if (ranks_n > 1) {
+          const auto [mn, mx] =
+              std::minmax_element(rank_eps.begin(), rank_eps.end());
+          rank_col = fmt_double(*mn, 0) + ".." + fmt_double(*mx, 0);
+        }
         table.row()
             .add(label)
             .add(policy_name(policy))
@@ -257,7 +408,12 @@ int main(int argc, char** argv) {
             .add(wall_s, 4)
             .add(events_per_s, 0)
             .add(sim_tasks_per_s, 0)
-            .add(last_makespan, 6);
+            .add(last_makespan, 6)
+            .add(rank_col)
+            .add(speedup > 0.0 ? fmt_double(speedup, 2) + "x"
+                               : std::string("-"));
+       }
+       }
        }
        }
       }

@@ -1,6 +1,7 @@
 #include "core/dag.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -115,12 +116,21 @@ void Dag::seal() const {
   distinct_types_.clear();
   min_rank_ = n > 0 ? nodes_[0].rank : 0;
   max_rank_ = min_rank_;
+  min_cross_rank_delay_ = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
     const DagNode& node = nodes_[i];
     if (node.num_predecessors == 0)
       roots_cache_.push_back(static_cast<NodeId>(i));
     if (node.rank < min_rank_) min_rank_ = node.rank;
     if (node.rank > max_rank_) max_rank_ = node.rank;
+    // Conservative DES lookahead (min_cross_rank_delay()): one pass over the
+    // freshly compacted CSR spans, amortized into the metadata sweep.
+    for (std::int32_t k = csr_off_[i]; k < csr_off_[i + 1]; ++k) {
+      const DagEdge& e = csr_edges_[static_cast<std::size_t>(k)];
+      if (nodes_[static_cast<std::size_t>(e.to)].rank != node.rank &&
+          e.delay_s < min_cross_rank_delay_)
+        min_cross_rank_delay_ = e.delay_s;
+    }
     bool seen = false;
     for (const TaskTypeId t : distinct_types_)
       if (t == node.type) {

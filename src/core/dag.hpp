@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "core/task_type.hpp"
@@ -190,6 +191,15 @@ class Dag {
   }
   int min_node_rank() const { return min_rank_; }
   int max_node_rank() const { return max_rank_; }
+  /// Minimum delay_s over edges whose endpoints live on different ranks,
+  /// +infinity when every edge is rank-local. This is the conservative
+  /// parallel DES lookahead: no rank can affect another sooner than this,
+  /// so all ranks may safely simulate a window of this width concurrently
+  /// (sim/engine.hpp).
+  double min_cross_rank_delay() const {
+    DAS_ASSERT(csr_off_.size() == nodes_.size() + 1);
+    return min_cross_rank_delay_;
+  }
 
   /// Nodes with no predecessors (the initially-ready set).
   std::vector<NodeId> roots() const;
@@ -224,6 +234,8 @@ class Dag {
   mutable std::vector<TaskTypeId> distinct_types_;
   mutable int min_rank_ = 0;
   mutable int max_rank_ = 0;
+  mutable double min_cross_rank_delay_ =
+      std::numeric_limits<double>::infinity();
 };
 
 }  // namespace das

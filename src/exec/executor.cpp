@@ -111,6 +111,7 @@ sim::SimOptions to_sim_options(const ExecutorConfig& cfg) {
   o.idle_wake_delay_s = cfg.sim.idle_wake_delay_s;
   o.noise = cfg.sim.noise;
   o.force_generic_dispatch = cfg.sim.force_generic_dispatch;
+  o.des_threads = cfg.sim.des_threads;
   return o;
 }
 

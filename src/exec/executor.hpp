@@ -149,6 +149,11 @@ struct ExecutorConfig {
     /// of the determinism test and the dispatch-cost benches. Identical
     /// results either way, by construction.
     bool force_generic_dispatch = ::das::sim::SimOptions{}.force_generic_dispatch;
+    /// Worker threads for multi-rank DES runs (conservative parallel
+    /// windows, sim/engine.hpp). <= 1 keeps the protocol on the calling
+    /// thread; results are bitwise identical either way. Ignored by the rt
+    /// backend and by single-rank sims.
+    int des_threads = ::das::sim::SimOptions{}.des_threads;
   } sim;
 
   class Builder;
@@ -187,6 +192,7 @@ class ExecutorConfig::Builder {
     cfg_.sim.force_generic_dispatch = v;
     return *this;
   }
+  Builder& sim_des_threads(int v) { cfg_.sim.des_threads = v; return *this; }
   Builder& sim_overheads(double dispatch_s, double steal_s, double completion_s,
                          double idle_wake_s) {
     cfg_.sim.dispatch_overhead_s = dispatch_s;

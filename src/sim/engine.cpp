@@ -1,8 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "core/cost_expr.hpp"
 #include "util/assert.hpp"
@@ -56,23 +58,20 @@ struct SimMode {
 /// force_generic_dispatch A/B runs) lands here.
 using GenericMode = SimMode<DynamicPolicyHooks, CallableCostEval>;
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 }  // namespace
 
 SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
                      const TaskTypeRegistry& registry, SimOptions options)
     : policy_kind_(policy), registry_(&registry), options_(options),
-      rng_(options.seed) {
+      sync_(static_cast<int>(ranks.size())) {
   DAS_CHECK(!ranks.empty());
-  int total_cores = 0;
-  for (const RankSpec& rs : ranks) {
-    DAS_CHECK(rs.topo != nullptr);
-    total_cores += rs.topo->num_cores();
-  }
-  rank_of_core_.reserve(static_cast<std::size_t>(total_cores));
-  ranks_.reserve(ranks.size());
-
+  const std::size_t num_ranks = ranks.size();
+  ranks_.reserve(num_ranks);
   int next_core = 0;
-  for (std::size_t r = 0; r < ranks.size(); ++r) {
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    DAS_CHECK(ranks[r].topo != nullptr);
     Rank rank;
     rank.topo = ranks[r].topo;
     rank.scenario = ranks[r].scenario;
@@ -84,21 +83,47 @@ SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
         options_.policy_options);
     rank.stats =
         std::make_unique<ExecutionStats>(*rank.topo, options_.stats_phases);
-    for (int c = 0; c < rank.topo->num_cores(); ++c) {
-      rank_of_core_.push_back(static_cast<int>(r));
-      first_core_of_core_.push_back(next_core);
-    }
     next_core += rank.topo->num_cores();
     ranks_.push_back(std::move(rank));
   }
-  events_.set_num_lanes(kNumLanes);
-  cores_.resize(static_cast<std::size_t>(total_cores));
-  const std::size_t words = (static_cast<std::size_t>(total_cores) + 63) / 64;
-  idle_bits_.assign(words, 0);
-  wsq_bits_.assign(words, 0);
-  // Every core starts idle (no pending event).
-  for (int c = 0; c < total_cores; ++c)
-    idle_bits_[static_cast<std::size_t>(c) >> 6] |= std::uint64_t{1} << (c & 63);
+
+  // Per-rank shard arenas, every vector sized up front (the hot loops never
+  // grow them mid-window). Rank 0's RNG stream IS the historical
+  // single-engine stream — the determinism goldens pin it; other ranks get
+  // independent streams derived from the same seed.
+  shards_ = std::vector<Shard>(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    Shard& sh = shards_[r];
+    sh.rank = static_cast<int>(r);
+    sh.num_cores = ranks_[r].topo->num_cores();
+    sh.events.set_num_lanes(kNumLanes);
+    sh.rng.reseed(r == 0 ? options_.seed
+                         : options_.seed + 0x9e3779b97f4a7c15ULL *
+                                               static_cast<std::uint64_t>(r));
+    sh.cores.resize(static_cast<std::size_t>(sh.num_cores));
+    const std::size_t words =
+        (static_cast<std::size_t>(sh.num_cores) + 63) / 64;
+    sh.idle_bits.assign(words, 0);
+    sh.wsq_bits.assign(words, 0);
+    // Every core starts idle (no pending event).
+    for (int c = 0; c < sh.num_cores; ++c)
+      sh.idle_bits[static_cast<std::size_t>(c) >> 6] |= std::uint64_t{1}
+                                                        << (c & 63);
+    if (num_ranks > 1) {
+      sh.out.resize(num_ranks);
+      for (std::size_t d = 0; d < num_ranks; ++d)
+        if (d != r) sh.out[d] = std::make_unique<BoundaryQueue<BoundaryMsg>>();
+    }
+  }
+
+  protocol_threads_ =
+      num_ranks > 1
+          ? std::clamp(options_.des_threads, 1, static_cast<int>(num_ranks))
+          : 1;
+  // The timeline sink is a single unsynchronized stream; parallel window
+  // execution would interleave ranks' records nondeterministically.
+  DAS_CHECK_MSG(options_.timeline == nullptr || protocol_threads_ == 1,
+                "timeline recording requires des_threads <= 1");
   refresh_dispatch();
 }
 
@@ -108,15 +133,48 @@ SimEngine::SimEngine(const Topology& topo, Policy policy,
     : SimEngine(std::vector<RankSpec>{RankSpec{&topo, scenario}}, policy,
                 registry, options) {}
 
-SimEngine::~SimEngine() = default;
-
-int SimEngine::rank_of_core(int core) const {
-  DAS_ASSERT(core >= 0 && core < static_cast<int>(rank_of_core_.size()));
-  return rank_of_core_[static_cast<std::size_t>(core)];
+SimEngine::~SimEngine() {
+  if (!workers_.empty()) {
+    // Workers are parked awaiting the next window command (every wait()/
+    // pump_one() leaves them quiescent); publish an exit command instead.
+    cmd_exit_.store(true, std::memory_order_release);
+    cmd_round_.store(++round_, std::memory_order_release);
+    cmd_ec_.notify();
+    for (std::thread& w : workers_) w.join();
+  }
 }
 
-int SimEngine::local_core(int core) const {
-  return core - first_core_of_core_[static_cast<std::size_t>(core)];
+double SimEngine::Shard::next_event_time() const {
+  return events.empty() ? kInf : events.top().time;
+}
+
+double SimEngine::now() const {
+  double m = shards_[0].now;
+  for (std::size_t r = 1; r < shards_.size(); ++r)
+    m = std::max(m, shards_[r].now);
+  return m;
+}
+
+std::uint64_t SimEngine::events_processed() const {
+  std::uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.events_processed;
+  return n;
+}
+
+std::uint64_t SimEngine::events_processed(int rank) const {
+  DAS_CHECK(rank >= 0 && rank < num_ranks());
+  return shards_[static_cast<std::size_t>(rank)].events_processed;
+}
+
+std::uint64_t SimEngine::trace_hash(int rank) const {
+  DAS_CHECK(rank >= 0 && rank < num_ranks());
+  return shards_[static_cast<std::size_t>(rank)].trace_hash;
+}
+
+bool SimEngine::events_pending() const {
+  for (const Shard& sh : shards_)
+    if (!sh.events.empty()) return true;
+  return false;
 }
 
 SimEngine::Job& SimEngine::job_of(JobId id) {
@@ -165,14 +223,14 @@ double SimEngine::completion_time(NodeId id) const {
   return last_waited_tasks_[static_cast<std::size_t>(id)].completion;
 }
 
-double SimEngine::lognormal_noise(double sigma) {
+double SimEngine::lognormal_noise(Shard& sh, double sigma) {
   if (sigma <= 0.0) return 1.0;
-  // Marsaglia polar method on the engine RNG — deterministic across
+  // Marsaglia polar method on the shard's RNG — deterministic across
   // standard libraries, unlike std::normal_distribution.
   double u, v, s;
   do {
-    u = rng_.uniform(-1.0, 1.0);
-    v = rng_.uniform(-1.0, 1.0);
+    u = sh.rng.uniform(-1.0, 1.0);
+    v = sh.rng.uniform(-1.0, 1.0);
     s = u * u + v * v;
   } while (s >= 1.0 || s == 0.0);
   const double z = u * std::sqrt(-2.0 * std::log(s) / s);
@@ -201,6 +259,12 @@ JobId SimEngine::submit(const Dag& dag, double arrival_offset_s) {
   refresh_dispatch();
   DAS_CHECK_MSG(dag.min_node_rank() >= 0 && dag.max_node_rank() < num_ranks(),
                 "dag node rank out of range");
+  // The conservative window lookahead tightens monotonically to the
+  // smallest cross-rank delay any submitted job carries. Monotone-min (it
+  // never relaxes when small-delay jobs retire) keeps the window partition
+  // a pure function of the submission trace — window boundaries determine
+  // cross-rank drain batching, so they must replay bitwise too.
+  lookahead_ = std::min(lookahead_, dag.min_cross_rank_delay());
 
   const JobId id = next_job_++;
   std::int32_t slot;
@@ -213,7 +277,7 @@ JobId SimEngine::submit(const Dag& dag, double arrival_offset_s) {
   }
   Job& job = job_slots_[static_cast<std::size_t>(slot)];
   job.dag = &dag;
-  job.release_s = now_ + arrival_offset_s;
+  job.release_s = now() + arrival_offset_s;
   job.completed = 0;
   job.finish_s = -1.0;
   job.done = false;
@@ -233,23 +297,26 @@ JobId SimEngine::submit(const Dag& dag, double arrival_offset_s) {
   job_lookup_.push_back(slot);
   ++live_jobs_;
 
-  // Pre-size the heap for the irregular events it still carries (roots,
-  // pending completions, jittered wakes) — the steady-state wake/release
-  // traffic lives in the FIFO lanes and needs no headroom here.
-  events_.reserve(dag.root_ids().size() +
-                  2 * rank_of_core_.size() + 64);
+  // Pre-size each shard's heap for the irregular events it still carries
+  // (roots, pending completions, jittered wakes) — the steady-state
+  // wake/release traffic lives in the FIFO lanes and needs no headroom.
+  for (Shard& sh : shards_)
+    sh.events.reserve(dag.root_ids().size() +
+                      2 * static_cast<std::size_t>(sh.num_cores) + 64);
 
   // Release the roots "from" their rank's core 0 (or the affinity core),
-  // in node order at the job's arrival instant. root_ids() is the sealed
-  // cache — only the roots are touched, not the whole node array.
+  // in node order at the job's arrival instant, each into its owning
+  // rank's shard. root_ids() is the sealed cache — only the roots are
+  // touched, not the whole node array.
   for (const NodeId i : dag.root_ids()) {
     const DagNode& n = dag.node(i);
     DAS_CHECK_MSG(n.rank >= 0 && n.rank < num_ranks(),
                   "dag node rank out of range");
     const int local = n.affinity_core >= 0 ? n.affinity_core : 0;
-    DAS_CHECK(local < ranks_[static_cast<std::size_t>(n.rank)].topo->num_cores());
-    events_.push(job.release_s,
-                 Event{Ev::kRoot, -1, id, i, global_core(n.rank, local)});
+    DAS_CHECK(local <
+              ranks_[static_cast<std::size_t>(n.rank)].topo->num_cores());
+    shards_[static_cast<std::size_t>(n.rank)].events.push(
+        job.release_s, Event{Ev::kRoot, -1, id, i, local});
   }
   return id;
 }
@@ -272,9 +339,10 @@ double SimEngine::wait(JobId id) {
   // (not the absolute clock): sequential runs still sum to now(), but after
   // an ExecutionStats::reset() the counters restart from zero instead of
   // silently re-including pre-reset time — matching the rt backend.
+  const double now_s = now();
   for (auto& r : ranks_)
-    r.stats->set_elapsed(r.stats->elapsed_s() + (now_ - elapsed_mark_));
-  elapsed_mark_ = now_;
+    r.stats->set_elapsed(r.stats->elapsed_s() + (now_s - elapsed_mark_));
+  elapsed_mark_ = now_s;
   // Swap, not move: the retired job's slot keeps its grown tasks array, so
   // the next job reusing the slot writes into existing capacity.
   std::swap(last_waited_tasks_, job.tasks);
@@ -305,43 +373,60 @@ double SimEngine::wait(JobId id) {
 // The event-loop inner step: one pop + one handler per simulated event,
 // instantiated once per dispatch mode so the policy hooks and the cost
 // evaluation inline into the handlers. tools/daslint forbids allocation,
-// lock acquisition and type-erased (std::function) calls here (the handlers
-// reuse per-core flat queues; see sim's throughput gate).
+// lock acquisition, parking and type-erased calls here (the handlers reuse
+// per-core flat queues; see sim's throughput gate). Everything touched is
+// shard-local: in parallel runs the shard's owning thread is the only
+// caller, so this loop needs no atomics at all.
 template <class Mode>
-void SimEngine::step_t() {
+void SimEngine::step_t(Shard& sh) {
   // Direct pop: with the lane/heap queue a pop is one source scan plus an
   // O(1) ring pop for the dominant event classes — cheaper than staging
   // identical-time batches through a side buffer was.
-  const EventQueue<Event>::Item item = events_.pop();
-  ++events_processed_;
-  DAS_ASSERT(item.time + 1e-12 >= now_);
-  now_ = std::max(now_, item.time);
+  const EventQueue<Event>::Item item = sh.events.pop();
+  ++sh.events_processed;
+  DAS_ASSERT(item.time + 1e-12 >= sh.now);
+  sh.now = std::max(sh.now, item.time);
   const Event& e = item.payload;
+  if (options_.hash_traces) [[unlikely]] {
+    // FNV-1a over the full event identity: equal per-rank hashes <=> the
+    // runs took bitwise-identical per-rank event paths (the parallel-vs-
+    // serial equality tests compare these).
+    std::uint64_t h = sh.trace_hash;
+    const auto fold = [&h](std::uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
+    fold(std::bit_cast<std::uint64_t>(item.time));
+    fold(static_cast<std::uint64_t>(static_cast<std::uint8_t>(e.kind)));
+    fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.core)) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.from_core))
+          << 32));
+    fold(static_cast<std::uint64_t>(e.job));
+    fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.task)));
+    sh.trace_hash = h;
+  }
   switch (e.kind) {
     case Ev::kWake:
-      set_inactive(e.core);
-      handle_wake_t<Mode>(e.core, now_);
+      set_inactive(sh, e.core);
+      handle_wake_t<Mode>(sh, e.core, sh.now);
       break;
     case Ev::kDone:
-      handle_done_t<Mode>(e, now_);
+      handle_done_t<Mode>(sh, e, sh.now);
       break;
     case Ev::kRelease:
-      handle_release_t<Mode>(e, now_);
+      handle_release_t<Mode>(sh, e, sh.now);
       break;
     case Ev::kRoot:
-      make_ready_t<Mode>(e.job, e.task, e.from_core, now_);
+      make_ready_t<Mode>(sh, e.job, e.task, e.from_core, sh.now);
       break;
     case Ev::kTimer:
-      note_timer_fired(e, now_);
+      note_timer_fired(sh, e, sh.now);
       break;
   }
 }
 // daslint: end-hot-path
 
-void SimEngine::note_timer_fired(const Event& e, double t) {
+void SimEngine::note_timer_fired(Shard& sh, const Event& e, double t) {
   // Only the service layer schedules timers, so the hook is always present.
   DAS_ASSERT(timer_hook_);
-  deferred_.push_back(
+  sh.deferred.push_back(
       Deferred{true, static_cast<std::uint64_t>(e.job), t});
 }
 
@@ -351,43 +436,61 @@ void SimEngine::set_service_hooks(
   DAS_CHECK_MSG(job_done && timer, "set_service_hooks: both hooks required");
   job_done_hook_ = std::move(job_done);
   timer_hook_ = std::move(timer);
-  deferred_.reserve(64);
+  for (Shard& sh : shards_) sh.deferred.reserve(64);
 }
 
 void SimEngine::schedule_timer(double offset_s, std::uint64_t token) {
   DAS_CHECK_MSG(timer_hook_ != nullptr,
                 "schedule_timer: install service hooks first");
   DAS_CHECK_MSG(offset_s >= 0.0, "schedule_timer: offset must be >= 0");
-  events_.push(now_ + offset_s,
-               Event{Ev::kTimer, -1, static_cast<JobId>(token), kInvalidNode,
-                     -1});
+  // Timers live on rank 0's event stream; now() >= shard 0's clock, so the
+  // push never lands in shard 0's past.
+  shards_[0].events.push(now() + offset_s,
+                         Event{Ev::kTimer, -1, static_cast<JobId>(token),
+                               kInvalidNode, -1});
 }
 
 bool SimEngine::pump_one() {
-  if (!events_pending()) return false;
-  step();
-  // Deliver deferred notifications AFTER step() unwound: the hooks may
-  // submit() or schedule_timer() (job_slots_/events_ mutation), which must
-  // not run under the live Job& a handler frame holds. Index loop: a hook
-  // must not re-enter pump_one(), but appends would still be delivered.
-  for (std::size_t i = 0; i < deferred_.size(); ++i) {
-    const Deferred d = deferred_[i];
-    if (d.timer)
-      timer_hook_(d.id, d.time);
-    else
-      job_done_hook_(static_cast<JobId>(d.id), d.time);
+  if (shards_.size() == 1) {
+    if (shards_[0].events.empty()) return false;
+    step();
+  } else {
+    // Multi-rank quantum = one conservative window (the finest step whose
+    // end state is schedule-independent).
+    refresh_times();
+    if (sync_.min_time() == kInf) return false;
+    run_window();
   }
-  deferred_.clear();
+  deliver_deferred();
   return true;
 }
 
-void SimEngine::activate(int core, double at, bool direct) {
-  if (cores_[static_cast<std::size_t>(core)].active) return;
-  set_active(core);
+void SimEngine::deliver_deferred() {
+  // Deliver deferred notifications AFTER the handler frames unwound: the
+  // hooks may submit() or schedule_timer() (job_slots_/event-queue
+  // mutation), which must not run under the live Job& a handler holds.
+  // Rank-ascending shard order keeps multi-rank delivery deterministic;
+  // within a shard the list is in event order. Index loop: a hook must not
+  // re-enter pump_one(), but appends would still be delivered.
+  for (Shard& sh : shards_) {
+    for (std::size_t i = 0; i < sh.deferred.size(); ++i) {
+      const Deferred d = sh.deferred[i];
+      if (d.timer)
+        timer_hook_(d.id, d.time);
+      else
+        job_done_hook_(static_cast<JobId>(d.id), d.time);
+    }
+    sh.deferred.clear();
+  }
+}
+
+void SimEngine::activate(Shard& sh, int core, double at, bool direct) {
+  if (sh.cores[static_cast<std::size_t>(core)].active) return;
+  set_active(sh, core);
   if (direct) {
     // Explicit wake signal (steal-exempt placement): immediate.
-    events_.push_lane(kLaneImmediate, at,
-                      Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+    sh.events.push_lane(kLaneImmediate, at,
+                        Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
     return;
   }
   // An inactive core is an idle worker in backoff sleep; it notices the new
@@ -396,58 +499,54 @@ void SimEngine::activate(int core, double at, bool direct) {
   // period, which is also what keeps the steal race unbiased — with a fixed
   // delay, ties resolve FIFO and the lowest-numbered idle core would always
   // win the race (cores 3..5 would never work at low DAG parallelism).
-  const double jitter = 0.5 + rng_.uniform();
-  events_.push(at + options_.idle_wake_delay_s * jitter,
-               Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+  const double jitter = 0.5 + sh.rng.uniform();
+  sh.events.push(at + options_.idle_wake_delay_s * jitter,
+                 Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
 }
 
-void SimEngine::wake_idle_cores(int rank, double t) {
-  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
-  const int lo = r.first_core;
-  const int hi = lo + r.topo->num_cores();
-  for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+void SimEngine::wake_idle_cores(Shard& sh, double t) {
+  const int hi = sh.num_cores;
+  for (int w = 0; w <= (hi - 1) >> 6; ++w) {
     // Snapshot the word: activate() only CLEARS bits (of the core being
     // woken), so iterating the snapshot visits exactly the cores that were
     // idle when the sweep began — the same set, in the same ascending
     // order, as the old activate-every-core scan.
-    std::uint64_t bits = masked_word(idle_bits_, w, lo, hi);
+    std::uint64_t bits = masked_word(sh.idle_bits, w, 0, hi);
     while (bits != 0) {
       const int core = (w << 6) + std::countr_zero(bits);
       bits &= bits - 1;
-      activate(core, t);
+      activate(sh, core, t);
     }
   }
 }
 
 template <class Mode>
-void SimEngine::make_ready_t(JobId job_id, NodeId id, int waking_core,
-                             double t) {
+void SimEngine::make_ready_t(Shard& sh, JobId job_id, NodeId id,
+                             int waking_core, double t) {
   Job& job = job_at(job_id);
   const DagNode& n = node_of(job, id);
-  // Live bound check, not just the sealed-metadata snapshot submit saw: a
-  // caller that mutates node ranks on an already-sealed DAG must get a
-  // thrown precondition here, never an out-of-bounds ranks_ access.
-  DAS_CHECK_MSG(n.rank >= 0 && n.rank < num_ranks(),
-                "dag node rank out of range");
+  // Live check, not just the sealed-metadata snapshot submit saw: a caller
+  // that mutates node ranks on an already-sealed DAG must get a thrown
+  // precondition here — in the sharded engine every event must execute on
+  // the rank that owns its node.
+  DAS_CHECK_MSG(n.rank == sh.rank, "dag node rank out of range");
   TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   ts = TaskState{};  // first touch of this task: clear recycled slot state
   // Per-task invariant, resolved once: every participant's cost evaluation
   // and noise-sigma lookup read this row instead of re-walking the registry.
   ts.type_info = &registry_->info(n.type);
-  Rank& rank = ranks_[static_cast<std::size_t>(n.rank)];
+  Rank& rank = ranks_[static_cast<std::size_t>(sh.rank)];
 
-  // Wakes crossing ranks land on the task's affinity core (or core 0 of its
-  // rank): a remote completion cannot touch another process's queues.
-  int local_waker;
-  if (rank_of_core(waking_core) == n.rank) {
-    local_waker = local_core(waking_core);
-  } else {
-    local_waker = n.affinity_core >= 0 ? n.affinity_core : 0;
-  }
+  // Releases crossing ranks carry kRemoteWaker and land on the task's
+  // affinity core (or core 0 of its rank): a remote completion cannot name
+  // another process's queues. Local wakers arrive as shard-local core ids.
+  const int local_waker =
+      waking_core >= 0 ? waking_core
+                       : (n.affinity_core >= 0 ? n.affinity_core : 0);
 
   const WakeDecision wd = Mode::PolicyHooks::on_ready(*rank.policy, n.type,
                                                       n.priority, local_waker);
-  const int queue_core = global_core(n.rank, wd.queue_core);
+  const int queue_core = wd.queue_core;
 
   if (wd.has_fixed_place) {
     ts.has_fixed_place = true;
@@ -461,52 +560,51 @@ void SimEngine::make_ready_t(JobId job_id, NodeId id, int waking_core,
   }
 
   if (wd.stealable) {
-    wsq_push(queue_core, QueuedTask{job_id, id});
+    wsq_push(sh, queue_core, QueuedTask{job_id, id});
     // The new task is visible to thieves: give every idle core of the rank a
     // chance to grab it (they re-idle immediately if they lose the race).
-    activate(queue_core, t);
-    wake_idle_cores(n.rank, t);
+    activate(sh, queue_core, t);
+    wake_idle_cores(sh, t);
   } else {
-    cores_[static_cast<std::size_t>(queue_core)].inbox.push_back(
+    sh.cores[static_cast<std::size_t>(queue_core)].inbox.push_back(
         QueuedTask{job_id, id});
-    activate(queue_core, t, /*direct=*/true);
+    activate(sh, queue_core, t, /*direct=*/true);
   }
 }
 
-void SimEngine::distribute(Job& job, JobId job_id, NodeId id,
-                           const ExecutionPlace& place, int rank, double t) {
-  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
+void SimEngine::distribute(Shard& sh, Job& job, JobId job_id, NodeId id,
+                           const ExecutionPlace& place, double t) {
+  const Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
   DAS_CHECK_MSG(r.topo->is_valid_place(place),
                 "policy produced invalid place " + to_string(place));
   TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
   ts.place = place;
   ts.has_fixed_place = true;
   for (int i = 0; i < place.width; ++i) {
-    const int core = global_core(rank, place.leader + i);
-    cores_[static_cast<std::size_t>(core)].aq.push_back(
+    const int core = place.leader + i;
+    sh.cores[static_cast<std::size_t>(core)].aq.push_back(
         Participation{job_id, id, i});
-    activate(core, t + options_.dispatch_overhead_s);
+    activate(sh, core, t + options_.dispatch_overhead_s);
   }
 }
 
 template <class Mode>
-double SimEngine::participation_cost_t(const Job& job, NodeId id, int core,
-                                       int rank_in_assembly, double t) {
+double SimEngine::participation_cost_t(Shard& sh, const Job& job, NodeId id,
+                                       int core, int rank_in_assembly,
+                                       double t) {
   const DagNode& n = node_of(job, id);
   const TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
-  const Rank& r = ranks_[static_cast<std::size_t>(n.rank)];
-  const int local = local_core(core);
-  const Cluster& cluster = r.topo->cluster_of_core(local);
+  const Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
+  const Cluster& cluster = r.topo->cluster_of_core(core);
 
   CostQuery q;
   q.place = ts.place;
   q.rank = rank_in_assembly;
-  q.core = local;
+  q.core = core;
   q.cluster = &cluster;
   if (r.scenario != nullptr) {
-    q.speed = r.scenario->speed(local, t);
-    q.bw_share =
-        r.scenario->bandwidth_share(r.topo->cluster_index_of(local), t);
+    q.speed = r.scenario->speed(core, t);
+    q.bw_share = r.scenario->bandwidth_share(r.topo->cluster_index_of(core), t);
   } else {
     q.speed = cluster.base_speed;
     q.bw_share = 1.0;
@@ -517,15 +615,15 @@ double SimEngine::participation_cost_t(const Job& job, NodeId id, int core,
   const TaskTypeInfo& info = *ts.type_info;
   double cost = Mode::CostEval::eval(info, n.params, q);
   if (options_.noise) {
-    cost *= lognormal_noise(TaskTypeRegistry::noise_sigma_of(info, cost));
+    cost *= lognormal_noise(sh, TaskTypeRegistry::noise_sigma_of(info, cost));
   }
   return std::max(cost, 1e-9);
 }
 
 template <class Mode>
-void SimEngine::start_participation_t(int core, const Participation& p,
-                                      double t) {
-  CoreState& cs = cores_[static_cast<std::size_t>(core)];
+void SimEngine::start_participation_t(Shard& sh, int core,
+                                      const Participation& p, double t) {
+  CoreState& cs = sh.cores[static_cast<std::size_t>(core)];
   DAS_CHECK_MSG(!cs.busy, "core double-booked: a participation started while "
                           "another is still running");
   Job& job = job_at(p.job);
@@ -533,29 +631,29 @@ void SimEngine::start_participation_t(int core, const Participation& p,
   if (ts.arrivals == 0) ts.first_arrival = t;
   ts.arrivals++;
   const double cost =
-      participation_cost_t<Mode>(job, p.task, core, p.rank_in_assembly, t);
+      participation_cost_t<Mode>(sh, job, p.task, core, p.rank_in_assembly, t);
   ts.max_cost = std::max(ts.max_cost, cost);
-  const int rank = rank_of_core(core);
-  ranks_[static_cast<std::size_t>(rank)].stats->record_busy_st(
-      local_core(core), static_cast<std::int64_t>(cost * 1e9));
+  const Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
+  r.stats->record_busy_st(core, static_cast<std::int64_t>(cost * 1e9));
   // Timeline bookkeeping (node lookup, type-name resolution) is hoisted
-  // behind the null check: the common timeline-less run pays nothing.
+  // behind the null check: the common timeline-less run pays nothing. The
+  // recorded core id is global (first_core + local) so multi-rank traces
+  // keep one row per physical core.
   if (options_.timeline != nullptr) {
     const DagNode& n = node_of(job, p.task);
-    options_.timeline->record(core, t, cost, registry_->info(n.type).name,
-                              n.priority, ts.place.width);
+    options_.timeline->record(r.first_core + core, t, cost,
+                              registry_->info(n.type).name, n.priority,
+                              ts.place.width);
   }
-  set_active(core);
+  set_active(sh, core);
   cs.busy = true;
-  events_.push(t + cost, Event{Ev::kDone, core, p.job, p.task, -1});
+  sh.events.push(t + cost, Event{Ev::kDone, core, p.job, p.task, -1});
 }
 
 template <class Mode>
-bool SimEngine::try_steal_t(int core, double t) {
-  const int rank = rank_of_core(core);
-  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
-  const int lo = r.first_core;
-  const int hi = lo + r.topo->num_cores();
+bool SimEngine::try_steal_t(Shard& sh, int core, double t) {
+  const Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
+  const int hi = sh.num_cores;
   const int self_word = core >> 6;
   const std::uint64_t self_mask = ~(std::uint64_t{1} << (core & 63));
 
@@ -564,17 +662,17 @@ bool SimEngine::try_steal_t(int core, double t) {
   // scan-and-collect vector produced, so the seeded RNG stream (and with it
   // every virtual-time result) is unchanged.
   int n_victims = 0;
-  for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
-    std::uint64_t bits = masked_word(wsq_bits_, w, lo, hi);
+  for (int w = 0; w <= (hi - 1) >> 6; ++w) {
+    std::uint64_t bits = masked_word(sh.wsq_bits, w, 0, hi);
     if (w == self_word) bits &= self_mask;
     n_victims += std::popcount(bits);
   }
   if (n_victims == 0) return false;
 
-  std::size_t k = rng_.below(static_cast<std::size_t>(n_victims));
+  std::size_t k = sh.rng.below(static_cast<std::size_t>(n_victims));
   int victim = -1;
-  for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
-    std::uint64_t bits = masked_word(wsq_bits_, w, lo, hi);
+  for (int w = 0; w <= (hi - 1) >> 6; ++w) {
+    std::uint64_t bits = masked_word(sh.wsq_bits, w, 0, hi);
     if (w == self_word) bits &= self_mask;
     const auto pc = static_cast<std::size_t>(std::popcount(bits));
     if (k < pc) {
@@ -586,10 +684,10 @@ bool SimEngine::try_steal_t(int core, double t) {
   }
   DAS_ASSERT(victim >= 0);
 
-  CoreState& vs = cores_[static_cast<std::size_t>(victim)];
+  CoreState& vs = sh.cores[static_cast<std::size_t>(victim)];
   const QueuedTask qt = vs.wsq.front();  // thieves take the oldest task
   vs.wsq.pop_front();
-  wsq_mark_if_empty(victim);
+  wsq_mark_if_empty(sh, victim);
 
   Job& job = job_at(qt.job);
   const DagNode& n = node_of(job, qt.task);
@@ -597,33 +695,29 @@ bool SimEngine::try_steal_t(int core, double t) {
   const ExecutionPlace place =
       ts.has_fixed_place
           ? ts.place
-          : Mode::PolicyHooks::on_execute(*r.policy, n.type, n.priority,
-                                          local_core(core));
+          : Mode::PolicyHooks::on_execute(*r.policy, n.type, n.priority, core);
   // Mark the thief active first (one pending wake), then distribute after
   // the steal round-trip.
-  set_active(core);
-  events_.push_lane(kLaneSteal,
-                    t + options_.steal_latency_s + options_.dispatch_overhead_s,
-                    Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
-  distribute(job, qt.job, qt.task, place, rank, t + options_.steal_latency_s);
+  set_active(sh, core);
+  sh.events.push_lane(
+      kLaneSteal, t + options_.steal_latency_s + options_.dispatch_overhead_s,
+      Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+  distribute(sh, job, qt.job, qt.task, place, t + options_.steal_latency_s);
   return true;
 }
 
 template <class Mode>
-void SimEngine::handle_wake_t(int core, double t) {
-  CoreState& cs = cores_[static_cast<std::size_t>(core)];
+void SimEngine::handle_wake_t(Shard& sh, int core, double t) {
+  CoreState& cs = sh.cores[static_cast<std::size_t>(core)];
 
-  // 1. Assembly queue first: committed work. (The rank lookups below are
-  // deferred past this branch — a wake that starts a queued participation
-  // never needs them.)
+  // 1. Assembly queue first: committed work.
   if (!cs.aq.empty()) {
     const Participation p = cs.aq.front();
     cs.aq.pop_front();
-    start_participation_t<Mode>(core, p, t);
+    start_participation_t<Mode>(sh, core, p, t);
     return;
   }
-  const int rank = rank_of_core(core);
-  const Rank& r = ranks_[static_cast<std::size_t>(rank)];
+  const Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
   // 2. Steal-exempt inbox: high-priority tasks with fixed places.
   if (!cs.inbox.empty()) {
     const QueuedTask qt = cs.inbox.front();
@@ -634,17 +728,17 @@ void SimEngine::handle_wake_t(int core, double t) {
     // Mark THIS core active (single pending wake) before distribute() tries
     // to activate the participants — otherwise the distributor would get a
     // second wake event and could double-book itself.
-    set_active(core);
-    events_.push_lane(kLaneDispatch, t + options_.dispatch_overhead_s,
-                      Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
-    distribute(job, qt.job, qt.task, ts.place, rank, t);
+    set_active(sh, core);
+    sh.events.push_lane(kLaneDispatch, t + options_.dispatch_overhead_s,
+                        Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+    distribute(sh, job, qt.job, qt.task, ts.place, t);
     return;
   }
   // 3. Own WSQ (LIFO end).
   if (!cs.wsq.empty()) {
     const QueuedTask qt = cs.wsq.back();
     cs.wsq.pop_back();
-    wsq_mark_if_empty(core);
+    wsq_mark_if_empty(sh, core);
     Job& job = job_at(qt.job);
     const DagNode& n = node_of(job, qt.task);
     const TaskState& ts = job.tasks[static_cast<std::size_t>(qt.task)];
@@ -652,25 +746,25 @@ void SimEngine::handle_wake_t(int core, double t) {
         ts.has_fixed_place
             ? ts.place
             : Mode::PolicyHooks::on_execute(*r.policy, n.type, n.priority,
-                                            local_core(core));
-    set_active(core);  // see the inbox branch: one pending wake only
-    events_.push_lane(kLaneDispatch, t + options_.dispatch_overhead_s,
-                      Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
-    distribute(job, qt.job, qt.task, place, rank, t);
+                                            core);
+    set_active(sh, core);  // see the inbox branch: one pending wake only
+    sh.events.push_lane(kLaneDispatch, t + options_.dispatch_overhead_s,
+                        Event{Ev::kWake, core, kInvalidJob, kInvalidNode, -1});
+    distribute(sh, job, qt.job, qt.task, place, t);
     return;
   }
   // 4. Steal from a random victim within the rank.
-  if (try_steal_t<Mode>(core, t)) return;
+  if (try_steal_t<Mode>(sh, core, t)) return;
   // 5. Nothing anywhere: go idle. A future push will re-activate us.
 }
 
 template <class Mode>
-void SimEngine::handle_done_t(const Event& e, double t) {
+void SimEngine::handle_done_t(Shard& sh, const Event& e, double t) {
   Job& job = job_at(e.job);
   const NodeId id = e.task;
   const DagNode& n = node_of(job, id);
   TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
-  Rank& r = ranks_[static_cast<std::size_t>(n.rank)];
+  Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
 
   ts.departures++;
   DAS_ASSERT(ts.departures <= ts.place.width);
@@ -686,53 +780,230 @@ void SimEngine::handle_done_t(const Event& e, double t) {
     const int place_id = r.topo->place_id(ts.place);
     r.stats->record_task_at_st(n.priority, place_id, span, n.phase);
     ts.completion = t;
-    job.completed++;
-    // Release fan-out over the sealed CSR arena: a flat span walk, no
-    // per-node vector indirection. The overwhelmingly common zero-delay
-    // edge releases at `t` exactly — FIFO-lane territory; only cross-rank
-    // edges with a wire delay pay the heap.
-    for (const DagEdge& edge : job.dag->successors(id)) {
-      const Event rel{Ev::kRelease, -1, e.job, edge.to, e.core};
-      if (edge.delay_s == 0.0) {
-        events_.push_lane(kLaneImmediate, t, rel);
-      } else {
-        events_.push(t + edge.delay_s, rel);
+    if (shards_.size() == 1) {
+      // Single-rank: the historical plain-field path, byte-for-byte.
+      job.completed++;
+      // Release fan-out over the sealed CSR arena: a flat span walk, no
+      // per-node vector indirection. The overwhelmingly common zero-delay
+      // edge releases at `t` exactly — FIFO-lane territory; only delayed
+      // edges pay the heap.
+      for (const DagEdge& edge : job.dag->successors(id)) {
+        const Event rel{Ev::kRelease, -1, e.job, edge.to, e.core};
+        if (edge.delay_s == 0.0) {
+          sh.events.push_lane(kLaneImmediate, t, rel);
+        } else {
+          sh.events.push(t + edge.delay_s, rel);
+        }
       }
-    }
-    if (job.completed == job.dag->num_nodes()) {
-      job.done = true;
-      job.finish_s = t;
-      if (job_done_hook_)
-        deferred_.push_back(Deferred{false, static_cast<std::uint64_t>(e.job), t});
+      if (job.completed == job.dag->num_nodes()) {
+        job.done = true;
+        job.finish_s = t;
+        if (job_done_hook_)
+          sh.deferred.push_back(
+              Deferred{false, static_cast<std::uint64_t>(e.job), t});
+      }
+    } else {
+      // Multi-rank: rank-local releases stay on this shard; cross-rank
+      // releases are STAGED into the destination's boundary queue (drained
+      // at the next window-phase boundary in sender-rank order — never
+      // pushed into another shard's live event queue).
+      for (const DagEdge& edge : job.dag->successors(id)) {
+        const int target = job.dag->node(edge.to).rank;
+        if (target == sh.rank) {
+          const Event rel{Ev::kRelease, -1, e.job, edge.to, e.core};
+          if (edge.delay_s == 0.0) {
+            sh.events.push_lane(kLaneImmediate, t, rel);
+          } else {
+            sh.events.push(t + edge.delay_s, rel);
+          }
+        } else {
+          sh.out[static_cast<std::size_t>(target)]->push(BoundaryMsg{
+              t + edge.delay_s,
+              Event{Ev::kRelease, -1, e.job, edge.to, kRemoteWaker}});
+        }
+      }
+      // Cross-shard completion accounting. finish_s is the MAX over
+      // completion instants — order-free, so schedule-independent; the
+      // atomic-max CAS publishes it, and the acq_rel counter RMW makes
+      // every prior finisher's CAS visible to whichever shard lands the
+      // final increment.
+      std::atomic_ref<double> fin(job.finish_s);
+      double prev = fin.load(std::memory_order_acquire);
+      while (prev < t &&
+             !fin.compare_exchange_weak(prev, t, std::memory_order_release,
+                                        std::memory_order_acquire)) {
+      }
+      std::atomic_ref<std::int64_t> completed(job.completed);
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.dag->num_nodes()) {
+        const double finish = fin.load(std::memory_order_acquire);
+        std::atomic_ref<bool>(job.done).store(true,
+                                              std::memory_order_release);
+        if (job_done_hook_)
+          sh.deferred.push_back(
+              Deferred{false, static_cast<std::uint64_t>(e.job), finish});
+      }
     }
   }
 
   // The participant core looks for new work after the completion
   // bookkeeping (see SimOptions::completion_overhead_s).
-  CoreState& cs = cores_[static_cast<std::size_t>(e.core)];
+  CoreState& cs = sh.cores[static_cast<std::size_t>(e.core)];
   DAS_ASSERT(cs.busy);
   cs.busy = false;
-  set_active(e.core);
-  events_.push_lane(kLaneCompletion, t + options_.completion_overhead_s,
-                    Event{Ev::kWake, e.core, kInvalidJob, kInvalidNode, -1});
+  set_active(sh, e.core);
+  sh.events.push_lane(kLaneCompletion, t + options_.completion_overhead_s,
+                      Event{Ev::kWake, e.core, kInvalidJob, kInvalidNode, -1});
 }
 
 template <class Mode>
-void SimEngine::handle_release_t(const Event& e, double t) {
+void SimEngine::handle_release_t(Shard& sh, const Event& e, double t) {
   Job& job = job_at(e.job);
   std::int32_t& preds = job.preds[static_cast<std::size_t>(e.task)];
   DAS_ASSERT(preds > 0);
-  if (--preds == 0) make_ready_t<Mode>(e.job, e.task, e.from_core, t);
+  if (--preds == 0) make_ready_t<Mode>(sh, e.job, e.task, e.from_core, t);
+}
+
+// --- conservative window protocol (multi-rank) -------------------------------
+
+// daslint: begin-hot-path(rank-window)
+// The per-rank window loop: pure shard-local event processing between two
+// phase publications. No allocation, no locks, no parking — a rank that
+// blocks here stalls every other rank at the next phase boundary.
+template <class Mode>
+void SimEngine::window_phase1_t(Shard& sh) {
+  const double hi = window_hi_;
+  // INCLUSIVE horizon: with zero lookahead the window degenerates to
+  // [W, W] and the protocol still advances one timestamp per round.
+  while (!sh.events.empty() && sh.events.top().time <= hi) step_t<Mode>(sh);
+}
+// daslint: end-hot-path
+
+void SimEngine::window_phase2(Shard& sh) {
+  // Drain in-bound boundary links in SENDER-RANK order, FIFO within each
+  // link: the receiving queue's seq assignment — and with it every
+  // same-time tie-break — is a pure function of the event streams,
+  // independent of which thread ran which rank when. All staged messages
+  // carry time >= W + L >= this shard's clock, so nothing lands in the
+  // shard's past (step_t asserts this).
+  const int nr = num_ranks();
+  for (int s = 0; s < nr; ++s) {
+    if (s == sh.rank) continue;
+    shards_[static_cast<std::size_t>(s)]
+        .out[static_cast<std::size_t>(sh.rank)]
+        ->drain([&sh](const BoundaryMsg& m) { sh.events.push(m.time, m.ev); });
+  }
+  sync_.set_time(sh.rank, sh.next_event_time());
+}
+
+void SimEngine::refresh_times() {
+  // Only legal between windows: every protocol thread is parked, so the
+  // driving thread owns all slots (its previous wait_all_at_least
+  // synchronized with their last publications).
+  for (const Shard& sh : shards_) sync_.set_time(sh.rank, sh.next_event_time());
+}
+
+void SimEngine::run_window() {
+  const double w = sync_.min_time();
+  DAS_ASSERT(w != kInf);
+  window_hi_ = w + lookahead_;  // +inf lookahead: one window drains all
+  ++round_;
+  if (protocol_threads_ <= 1) {
+    // Serial multi-rank: the SAME protocol on one thread, phases in rank
+    // order. This is the reference ordering the parallel path must (and
+    // does) reproduce bitwise — phase separation, drain order and seq
+    // assignment are identical.
+    for (Shard& sh : shards_) window_fn_(*this, sh);
+    for (Shard& sh : shards_) window_phase2(sh);
+    return;
+  }
+  ensure_workers();
+  // The command publication (release) carries window_hi_ and everything
+  // else written since the workers parked; workers pick it up with an
+  // acquire load of cmd_round_.
+  cmd_round_.store(round_, std::memory_order_release);
+  cmd_ec_.notify();
+  const auto [lo, hi] = rank_block(0);
+  for (int r = lo; r < hi; ++r)
+    window_fn_(*this, shards_[static_cast<std::size_t>(r)]);
+  for (int r = lo; r < hi; ++r) sync_.publish_phase(r, 3 * round_ - 2);
+  sync_.wait_all_at_least(3 * round_ - 2);
+  for (int r = lo; r < hi; ++r)
+    window_phase2(shards_[static_cast<std::size_t>(r)]);
+  for (int r = lo; r < hi; ++r) sync_.publish_phase(r, 3 * round_ - 1);
+  // Regaining exclusive access: after this wait every worker has published
+  // its last phase and gone back to parking on cmd_round_ — the driving
+  // thread may read and write any shard until the next command.
+  sync_.wait_all_at_least(3 * round_ - 1);
+}
+
+void SimEngine::drain_windows(const Job& job) {
+  for (;;) {
+    // Plain read is safe: the workers are quiescent between windows and
+    // the final done-store happened-before the last phase publication.
+    if (job.done) return;
+    refresh_times();
+    if (sync_.min_time() == kInf) return;  // drained: wait() raises deadlock
+    run_window();
+  }
+}
+
+void SimEngine::ensure_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(static_cast<std::size_t>(protocol_threads_ - 1));
+  for (int t = 1; t < protocol_threads_; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+std::pair<int, int> SimEngine::rank_block(int thread_index) const {
+  const int nr = num_ranks();
+  return {thread_index * nr / protocol_threads_,
+          (thread_index + 1) * nr / protocol_threads_};
+}
+
+void SimEngine::worker_loop(int thread_index) {
+  const auto [lo, hi] = rank_block(thread_index);
+  for (std::uint64_t round = 1;; ++round) {
+    // Park until the driver publishes window command `round` (or exit).
+    while (cmd_round_.load(std::memory_order_acquire) < round) {
+      const auto key = cmd_ec_.prepare_wait();
+      if (cmd_round_.load(std::memory_order_acquire) >= round) {
+        cmd_ec_.cancel_wait();
+        break;
+      }
+      cmd_ec_.commit_wait(key);
+    }
+    if (cmd_exit_.load(std::memory_order_acquire)) return;
+    for (int r = lo; r < hi; ++r)
+      window_fn_(*this, shards_[static_cast<std::size_t>(r)]);
+    for (int r = lo; r < hi; ++r) sync_.publish_phase(r, 3 * round - 2);
+    sync_.wait_all_at_least(3 * round - 2);
+    for (int r = lo; r < hi; ++r)
+      window_phase2(shards_[static_cast<std::size_t>(r)]);
+    // No wait on the final phase here: the worker touches nothing shared
+    // until the next command, and the driver's wait_all_at_least is what
+    // closes the round.
+    for (int r = lo; r < hi; ++r) sync_.publish_phase(r, 3 * round - 1);
+  }
 }
 
 // --- dispatch selection ------------------------------------------------------
 
 template <class Mode>
+void SimEngine::drain_t(const Job& job) {
+  if (shards_.size() == 1) {
+    Shard& sh = shards_[0];
+    while (!job.done && !sh.events.empty()) step_t<Mode>(sh);
+    return;
+  }
+  drain_windows(job);
+}
+
+template <class Mode>
 void SimEngine::set_mode() {
-  step_fn_ = [](SimEngine& e) { e.step_t<Mode>(); };
-  drain_fn_ = [](SimEngine& e, const Job& j) {
-    while (!j.done && e.events_pending()) e.step_t<Mode>();
-  };
+  step_fn_ = [](SimEngine& e) { e.step_t<Mode>(e.shards_[0]); };
+  drain_fn_ = [](SimEngine& e, const Job& j) { e.drain_t<Mode>(j); };
+  window_fn_ = [](SimEngine& e, Shard& sh) { e.window_phase1_t<Mode>(sh); };
 }
 
 template <class Tag>

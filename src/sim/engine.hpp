@@ -44,9 +44,44 @@
 // Multi-rank mode: each rank (MPI-process analogue) has its own topology,
 // scenario, policy, PTT and stats; work stealing never crosses ranks; DAG
 // edges between ranks carry a network delay (DagEdge::delay_s).
+//
+// Sharded / parallel DES: ALL mutable per-rank simulation state — event
+// queue, virtual clock, RNG stream, core rings, idle/WSQ bitmaps, event
+// counter — lives in a per-rank, cacheline-aligned Shard arena; event
+// payloads carry rank-LOCAL core ids, so the hot handlers never resolve a
+// global core to a rank at all. A single-rank engine is exactly shard 0 and
+// byte-for-byte reproduces the historical event/RNG streams (the
+// sim_determinism goldens pin this). A multi-rank engine runs a
+// conservative (Chandy-Misra-style) time-window protocol over the shards:
+//
+//   window:  [W, W + L], L = min cross-rank DagEdge::delay_s over the
+//            in-flight jobs (Dag::min_cross_rank_delay(), sealed metadata);
+//            W = min next-event time across shards.
+//   phase 1: every rank processes its local events with time <= W + L;
+//            cross-rank releases are staged into bounded SPSC boundary
+//            queues (sim/boundary_queue.hpp), never pushed remotely.
+//   phase 2: after all ranks published phase 1 (per-rank atomic epochs +
+//            eventcount parking — sim/rank_sync.hpp, no barrier object, no
+//            lock), each rank drains its in-bound boundary queues in
+//            sender-rank order and publishes its next-event time; the next
+//            W is the min over those.
+//
+// Because a cross-rank release sent from t_send >= W arrives at
+// t_send + delay >= W + L, nothing can land inside a horizon a rank already
+// processed — the window partition, the drain order and therefore the whole
+// simulation are pure functions of the event streams, independent of the
+// thread schedule. SimOptions::des_threads > 1 runs the SAME protocol with
+// one worker thread per rank block; des_threads == 1 (default) runs it on
+// the calling thread in rank order. Serial and parallel multi-rank runs are
+// bitwise identical by construction (tests/parallel_des_test.cpp asserts
+// per-rank trace hashes and RunResults across the policy grid).
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/cost_expr.hpp"
@@ -56,9 +91,12 @@
 #include "core/task_type.hpp"
 #include "platform/speed_model.hpp"
 #include "platform/topology.hpp"
+#include "sim/boundary_queue.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/rank_sync.hpp"
 #include "trace/stats.hpp"
 #include "trace/timeline.hpp"
+#include "util/eventcount.hpp"
 #include "util/inline.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
@@ -85,6 +123,17 @@ struct SimOptions {
   /// a closed form — the A/B lever the determinism test uses to assert the
   /// fused instantiations are bitwise-identical to generic dispatch.
   bool force_generic_dispatch = false;
+  /// Worker threads for multi-rank runs: <= 1 simulates every rank's
+  /// window phases on the calling thread (default); N > 1 spreads the
+  /// ranks over min(N, num_ranks) threads running the identical
+  /// conservative window protocol — results are bitwise the same either
+  /// way. Ignored for single-rank engines (nothing to parallelize).
+  int des_threads = 1;
+  /// Fold every processed event (time, kind, core, job, task, waker) into
+  /// a per-rank FNV-1a trace hash, exposed by trace_hash(rank). The
+  /// parallel-vs-serial equality tests compare these; off by default so
+  /// the hot loop pays one predicted-untaken branch.
+  bool hash_traces = false;
   PolicyOptions policy_options{};
   UpdateRatio ptt_ratio{};
   /// Optional execution timeline (Chrome trace export); not owned.
@@ -127,11 +176,25 @@ class SimEngine {
   /// keep their learned model, exactly like a persistent runtime).
   double run(const Dag& dag) { return wait(submit(dag)); }
 
-  double now() const { return now_; }
+  /// Virtual clock: the single shard's clock, or — multi-rank — the latest
+  /// instant any rank has simulated to (ranks inside one committed window
+  /// are mutually unordered; the max is the cluster's wall clock).
+  double now() const;
   /// Events dispatched since construction (wakes, completions, releases,
-  /// root drops). The simulator-throughput bench divides this by wall time;
-  /// it is also a cheap cross-check that two runs took identical paths.
-  std::uint64_t events_processed() const { return events_processed_; }
+  /// root drops), summed over ranks. The simulator-throughput bench divides
+  /// this by wall time; it is also a cheap cross-check that two runs took
+  /// identical paths.
+  std::uint64_t events_processed() const;
+  /// Events dispatched by one rank's shard (per-rank bench reporting and
+  /// the parallel-vs-serial equality tests).
+  std::uint64_t events_processed(int rank) const;
+  /// FNV-1a hash of the rank's processed-event trace; 0 unless
+  /// SimOptions::hash_traces. Two runs with equal hashes per rank took
+  /// bitwise-identical per-rank event paths.
+  std::uint64_t trace_hash(int rank = 0) const;
+  /// The window lookahead currently in force: min cross-rank delay over
+  /// every job submitted so far (+inf before the first cross-rank edge).
+  double lookahead_s() const { return lookahead_; }
   /// Which event loop the engine currently dispatches: "generic" (type-
   /// erased policy + std::function escape hatch) or a fused instantiation
   /// label ("fused:DAM-C/expr", see core/cost_expr.hpp). Re-evaluated at
@@ -167,12 +230,14 @@ class SimEngine {
   void set_service_hooks(std::function<void(JobId, double)> job_done,
                          std::function<void(std::uint64_t, double)> timer);
   /// Schedules a timer event at now() + offset_s carrying `token` back to
-  /// the timer hook. Requires service hooks installed.
+  /// the timer hook (rank 0's event stream). Requires service hooks
+  /// installed.
   void schedule_timer(double offset_s, std::uint64_t token);
-  /// Dispatches ONE pending event, then delivers any deferred service
-  /// notifications it produced; returns false (dispatching nothing) when the
-  /// event queue is empty. Hooks may submit()/schedule_timer() but must not
-  /// re-enter pump_one()/wait().
+  /// Advances the simulation by one quantum — one event (single-rank), one
+  /// conservative window (multi-rank) — then delivers any deferred service
+  /// notifications it produced; returns false (advancing nothing) when
+  /// every event queue is empty. Hooks may submit()/schedule_timer() but
+  /// must not re-enter pump_one()/wait().
   bool pump_one();
   /// True once job `id`'s last task completed. `id` must be in flight
   /// (submitted, not yet wait()ed).
@@ -182,10 +247,20 @@ class SimEngine {
   enum class Ev : std::uint8_t { kWake, kDone, kRelease, kRoot, kTimer };
   struct Event {
     Ev kind;
-    int core = -1;             // global core id (kWake, kDone)
+    int core = -1;             // rank-LOCAL core id (kWake, kDone)
     JobId job = kInvalidJob;   // owning job (kDone, kRelease, kRoot)
     NodeId task = kInvalidNode;
-    int from_core = -1;        // releasing core (kRelease, kRoot)
+    int from_core = -1;        // releasing LOCAL core, or kRemoteWaker
+  };
+  /// from_core sentinel on releases that crossed a rank boundary: the
+  /// remote core id is meaningless here, and make_ready must take the
+  /// affinity path (a remote completion cannot name local queues).
+  static constexpr int kRemoteWaker = -2;
+
+  /// A staged cross-rank release travelling through a boundary queue.
+  struct BoundaryMsg {
+    double time;
+    Event ev;
   };
 
   // FIFO lanes of the event queue (see sim/event_queue.hpp): each carries
@@ -237,12 +312,28 @@ class SimEngine {
     const TaskTypeInfo* type_info = nullptr;
   };
 
+  // Deferred service notifications (see set_service_hooks): appended by the
+  // event handlers in event order, drained by pump_one() after the quantum
+  // completes. Empty unless hooks are installed.
+  struct Deferred {
+    bool timer = false;
+    std::uint64_t id = 0;  // JobId (done) or timer token
+    double time = 0.0;
+  };
+
   /// One in-flight job: its DAG, per-node state, and completion accounting.
   /// Lives in a reusable slot of job_slots_ (the tasks array's capacity
   /// survives slot reuse, so job churn stops allocating). `tasks` is an
   /// overwrite array, not a vector: entries are UNINITIALIZED until
   /// make_ready's first-touch reset, so a million-node submit does not
   /// sweep 50 MB of task state it is about to overwrite anyway.
+  ///
+  /// Sharing across ranks: dag/preds/tasks entries are only ever touched by
+  /// the rank owning the node, so the only cross-rank fields are the
+  /// completion accounting below — multi-rank handlers access `completed`,
+  /// `finish_s` (max over completion instants — order-free, hence
+  /// schedule-independent) and `done` through std::atomic_ref; the
+  /// single-rank path keeps the historical plain operations.
   struct Job {
     const Dag* dag = nullptr;
     std::unique_ptr<TaskState[]> tasks;
@@ -257,18 +348,43 @@ class SimEngine {
     bool done = false;
   };
 
+  /// Per-rank immutable configuration + learning state (the PTT/policy/
+  /// stats were always rank-local; they stay here, next to the shard that
+  /// is the only writer).
   struct Rank {
     const Topology* topo;
     const SpeedScenario* scenario;
     std::unique_ptr<PttStore> ptt;
     std::unique_ptr<PolicyEngine> policy;
     std::unique_ptr<ExecutionStats> stats;
-    int first_core = 0;  // global core id of this rank's core 0
+    int first_core = 0;  // global core id of this rank's core 0 (timeline)
   };
 
-  int global_core(int rank, int local) const { return ranks_[static_cast<std::size_t>(rank)].first_core + local; }
-  int rank_of_core(int core) const;
-  int local_core(int core) const;
+  /// ALL mutable per-rank simulation state, one cacheline-aligned arena per
+  /// rank so two ranks' hot loops never share a line. Core ids inside a
+  /// shard are rank-local [0, num_cores) — the cross-rank hot path does no
+  /// rank_of_core resolution at all. Single-rank engines have exactly one
+  /// shard and local == global.
+  struct alignas(64) Shard {
+    int rank = 0;
+    int num_cores = 0;
+    EventQueue<Event> events;
+    double now = 0.0;
+    std::uint64_t events_processed = 0;
+    std::uint64_t trace_hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+    Xoshiro256 rng{0};
+    std::vector<CoreState> cores;
+    std::vector<std::uint64_t> idle_bits;  // bit set <=> !cores[c].active
+    std::vector<std::uint64_t> wsq_bits;   // bit set <=> !cores[c].wsq.empty()
+    std::vector<Deferred> deferred;
+    /// Out-bound boundary-release queues, one per destination rank
+    /// ([self] stays null). This shard is the only producer; the
+    /// destination shard drains in window phase 2.
+    std::vector<std::unique_ptr<BoundaryQueue<BoundaryMsg>>> out;
+
+    double next_event_time() const;
+  };
+
   /// API-boundary resolution (submit/wait): throws on unknown ids.
   Job& job_of(JobId id);
   /// Hot-path resolution: event payloads only ever name live jobs, so this
@@ -282,49 +398,49 @@ class SimEngine {
   const DagNode& node_of(const Job& job, NodeId id) const { return job.dag->node(id); }
 
   // --- core activity / occupancy bitmaps -----------------------------------
-  // idle_bits_ mirrors !CoreState::active (bit set = idle, may be woken);
-  // wsq_bits_ mirrors !CoreState::wsq.empty() (bit set = steal victim).
+  // idle_bits mirrors !CoreState::active (bit set = idle, may be woken);
+  // wsq_bits mirrors !CoreState::wsq.empty() (bit set = steal victim).
   // Every transition routes through these helpers so the bitmaps can never
-  // drift from the per-core flags they index.
-  void set_active(int core) {
-    cores_[static_cast<std::size_t>(core)].active = true;
-    idle_bits_[static_cast<std::size_t>(core) >> 6] &=
+  // drift from the per-core flags they index. All ids are shard-local.
+  static void set_active(Shard& sh, int core) {
+    sh.cores[static_cast<std::size_t>(core)].active = true;
+    sh.idle_bits[static_cast<std::size_t>(core) >> 6] &=
         ~(std::uint64_t{1} << (core & 63));
   }
-  void set_inactive(int core) {
-    cores_[static_cast<std::size_t>(core)].active = false;
-    idle_bits_[static_cast<std::size_t>(core) >> 6] |=
+  static void set_inactive(Shard& sh, int core) {
+    sh.cores[static_cast<std::size_t>(core)].active = false;
+    sh.idle_bits[static_cast<std::size_t>(core) >> 6] |=
         std::uint64_t{1} << (core & 63);
   }
-  void wsq_push(int core, const QueuedTask& qt) {
-    CoreState& cs = cores_[static_cast<std::size_t>(core)];
+  static void wsq_push(Shard& sh, int core, const QueuedTask& qt) {
+    CoreState& cs = sh.cores[static_cast<std::size_t>(core)];
     if (cs.wsq.empty())
-      wsq_bits_[static_cast<std::size_t>(core) >> 6] |=
+      sh.wsq_bits[static_cast<std::size_t>(core) >> 6] |=
           std::uint64_t{1} << (core & 63);
     cs.wsq.push_back(qt);
   }
-  void wsq_mark_if_empty(int core) {
-    if (cores_[static_cast<std::size_t>(core)].wsq.empty())
-      wsq_bits_[static_cast<std::size_t>(core) >> 6] &=
+  static void wsq_mark_if_empty(Shard& sh, int core) {
+    if (sh.cores[static_cast<std::size_t>(core)].wsq.empty())
+      sh.wsq_bits[static_cast<std::size_t>(core) >> 6] &=
           ~(std::uint64_t{1} << (core & 63));
   }
-  /// The rank's word range [lo, hi) masked out of `bits`, for bitmap scans.
+  /// The word range [lo, hi) masked out of `bits`, for bitmap scans.
   static std::uint64_t masked_word(const std::vector<std::uint64_t>& bits,
                                    int word, int lo, int hi);
 
   /// `direct` models an explicit wake signal to the target worker (used for
   /// steal-exempt placements): no backoff-sleep jitter is added.
-  void activate(int core, double at, bool direct = false);
-  /// activate(c, t) for every idle core of the rank in ascending core
+  void activate(Shard& sh, int core, double at, bool direct = false);
+  /// activate(c, t) for every idle core of the shard in ascending core
   /// order — the bitmap replacement for the all-cores activation sweep.
-  void wake_idle_cores(int rank, double t);
-  /// Dispatches one event (events_pending() must be true) through whichever
+  void wake_idle_cores(Shard& sh, double t);
+  /// Dispatches one shard-0 event (single-rank pump path) through whichever
   /// loop refresh_dispatch() selected.
   void step() { step_fn_(*this); }
-  bool events_pending() const { return !events_.empty(); }
+  bool events_pending() const;
   /// Outlined kTimer record (the call site sits inside the step hot-path
   /// lint region; the deferred-list push must not).
-  void note_timer_fired(const Event& e, double t);
+  void note_timer_fired(Shard& sh, const Event& e, double t);
 
   // --- event handlers, templated over the dispatch mode --------------------
   // `Mode` binds a PolicyHooks adapter (core/policy.hpp: static tag or
@@ -333,54 +449,82 @@ class SimEngine {
   // implementation of every handler — the generic loop is the
   // (DynamicPolicyHooks, callable) instantiation — so fused and generic
   // dispatch cannot diverge; the sim-determinism goldens pin them bitwise.
-  // Definitions and all instantiations live in engine.cpp.
-  template <class Mode> void step_t();
-  template <class Mode> DAS_HOT_INLINE void handle_wake_t(int core, double t);
-  template <class Mode> void handle_done_t(const Event& e, double t);
-  template <class Mode> void handle_release_t(const Event& e, double t);
+  // Every handler operates on ONE shard; in parallel runs that shard's
+  // owning thread is the only caller. Definitions and all instantiations
+  // live in engine.cpp.
+  template <class Mode> void step_t(Shard& sh);
   template <class Mode>
-  void make_ready_t(JobId job, NodeId id, int waking_core, double t);
+  DAS_HOT_INLINE void handle_wake_t(Shard& sh, int core, double t);
+  template <class Mode> void handle_done_t(Shard& sh, const Event& e, double t);
+  template <class Mode>
+  void handle_release_t(Shard& sh, const Event& e, double t);
+  template <class Mode>
+  void make_ready_t(Shard& sh, JobId job, NodeId id, int waking_core,
+                    double t);
   // The participation chain is DAS_HOT_INLINE (util/inline.hpp): with 16
   // fused instantiations in the TU, GCC's unit-growth budget otherwise
   // stops inlining it into the handlers — the layout the monolithic
   // pre-fusion loop had — and the extra calls cost more than the
   // devirtualization saves.
   template <class Mode>
-  DAS_HOT_INLINE void start_participation_t(int core, const Participation& p,
-                                            double t);
-  template <class Mode> bool try_steal_t(int core, double t);
+  DAS_HOT_INLINE void start_participation_t(Shard& sh, int core,
+                                            const Participation& p, double t);
+  template <class Mode> bool try_steal_t(Shard& sh, int core, double t);
   template <class Mode>
-  DAS_HOT_INLINE double participation_cost_t(const Job& job, NodeId id,
-                                             int core, int rank_in_assembly,
-                                             double t);
-  DAS_HOT_INLINE void distribute(Job& job, JobId job_id, NodeId id,
-                                 const ExecutionPlace& place, int rank,
-                                 double t);
-  double lognormal_noise(double sigma);
+  DAS_HOT_INLINE double participation_cost_t(Shard& sh, const Job& job,
+                                             NodeId id, int core,
+                                             int rank_in_assembly, double t);
+  DAS_HOT_INLINE void distribute(Shard& sh, Job& job, JobId job_id, NodeId id,
+                                 const ExecutionPlace& place, double t);
+  static double lognormal_noise(Shard& sh, double sigma);
+
+  // --- conservative window protocol (multi-rank) ---------------------------
+  /// Phase 1 of the current window for one shard: process local events up
+  /// to and including window_hi_, staging cross-rank releases.
+  template <class Mode> void window_phase1_t(Shard& sh);
+  /// Phase 2: drain in-bound boundary queues in sender-rank order (the
+  /// deterministic seq assignment), publish the shard's next-event time.
+  void window_phase2(Shard& sh);
+  /// Runs one complete window [window start = sync_ min, + lookahead_] over
+  /// all shards — on the calling thread in rank order (des_threads <= 1) or
+  /// with the parked worker threads (des_threads > 1). Caller must have
+  /// refreshed the published next-event times (refresh_times()).
+  void run_window();
+  /// Re-publishes every shard's next-event time; only valid while the
+  /// workers are quiescent (between windows). submit() invalidates the
+  /// published times, hence this runs at the top of every drain/pump.
+  void refresh_times();
+  /// Window loop until `job` completes or every queue drains.
+  void drain_windows(const Job& job);
+  /// Delivers the deferred service notifications of every shard in rank
+  /// order (event order within a shard), then clears them.
+  void deliver_deferred();
+  /// Lazily spawns the worker threads (multi-rank, des_threads > 1).
+  void ensure_workers();
+  /// Worker-thread body: waits for window commands, runs the owned rank
+  /// block's phases, parks again.
+  void worker_loop(int thread_index);
+  /// Ranks owned by protocol thread `t` (contiguous block partition; thread
+  /// 0 is the caller). The partition does not affect results — only which
+  /// thread executes a given shard's deterministic phase.
+  std::pair<int, int> rank_block(int thread_index) const;
 
   // --- dispatch selection ---------------------------------------------------
-  /// Rebinds step_fn_/drain_fn_ to the loop matching (policy, registry):
-  /// a fused (policy-tag x cost-class) instantiation when every executable
-  /// cost model carries a closed form, the generic loop otherwise (or under
-  /// SimOptions::force_generic_dispatch). Called at construction and at
-  /// every submit().
+  /// Rebinds step_fn_/drain_fn_/window_fn_ to the loop matching (policy,
+  /// registry): a fused (policy-tag x cost-class) instantiation when every
+  /// executable cost model carries a closed form, the generic loop
+  /// otherwise (or under SimOptions::force_generic_dispatch). Called at
+  /// construction and at every submit().
   void refresh_dispatch();
   template <class Mode> void set_mode();
   template <class Tag> void set_fused(CostClass cls);
+  template <class Mode> void drain_t(const Job& job);
 
   std::vector<Rank> ranks_;
-  std::vector<int> rank_of_core_;  // global core -> rank index
-  std::vector<int> first_core_of_core_;  // global core -> its rank's core 0
+  std::vector<Shard> shards_;
   Policy policy_kind_;
   const TaskTypeRegistry* registry_;
   SimOptions options_;
-  Xoshiro256 rng_;
-  EventQueue<Event> events_;
-  double now_ = 0.0;
-  std::uint64_t events_processed_ = 0;
-  std::vector<CoreState> cores_;
-  std::vector<std::uint64_t> idle_bits_;  // bit set <=> !cores_[c].active
-  std::vector<std::uint64_t> wsq_bits_;   // bit set <=> !cores_[c].wsq.empty()
 
   // Slot-indexed job table. JobIds are handed out monotonically, so the
   // id -> slot resolution is a flat window [lookup_base_, next_job_): two
@@ -393,32 +537,45 @@ class SimEngine {
   std::size_t lookup_dead_prefix_ = 0;
   int live_jobs_ = 0;
   JobId next_job_ = 0;
-  double elapsed_mark_ = 0.0;  ///< now_ at the end of the previous wait()
+  double elapsed_mark_ = 0.0;  ///< now() at the end of the previous wait()
   // completion_time() source: the most recent wait()'s task array (swapped
   // out of the retiring job, counted entries only are meaningful).
   std::unique_ptr<TaskState[]> last_waited_tasks_;
   std::size_t last_waited_cap_ = 0;
   std::size_t last_waited_count_ = 0;
 
-  // Deferred service notifications (see set_service_hooks): appended by the
-  // event handlers in event order, drained by pump_one() after step()
-  // returns. Empty unless hooks are installed.
-  struct Deferred {
-    bool timer = false;
-    std::uint64_t id = 0;  // JobId (done) or timer token
-    double time = 0.0;
-  };
-  std::vector<Deferred> deferred_;
   std::function<void(JobId, double)> job_done_hook_;
   std::function<void(std::uint64_t, double)> timer_hook_;
 
+  // --- window protocol state (multi-rank only) -----------------------------
+  /// Conservative lookahead: min Dag::min_cross_rank_delay() over every job
+  /// ever submitted. Monotone non-increasing — a deterministic function of
+  /// the submission trace, which is what makes the window partition (and
+  /// with it every cross-rank seq assignment) replayable.
+  double lookahead_ = std::numeric_limits<double>::infinity();
+  /// Inclusive horizon of the window currently executing; written by the
+  /// driving thread before the command publication, read by workers after
+  /// its acquire.
+  double window_hi_ = 0.0;
+  RankSync sync_{1};              // ctor initializes with the real rank count
+  std::uint64_t round_ = 0;       // windows issued (command sequence)
+  std::atomic<std::uint64_t> cmd_round_{0};
+  std::atomic<bool> cmd_exit_{false};
+  EventCount cmd_ec_;             // workers park here between windows
+  std::vector<std::thread> workers_;
+  int protocol_threads_ = 1;      // min(des_threads, num_ranks)
+
   // Selected event loop (see refresh_dispatch): step_fn_ dispatches one
   // event, drain_fn_ runs the wait() loop entirely inside one instantiation
-  // so not even the per-event indirect call survives on the hot path.
+  // so not even the per-event indirect call survives on the hot path;
+  // window_fn_ runs one shard's window phase 1 (the multi-rank inner loop —
+  // one indirect call per window, not per event).
   using StepFn = void (*)(SimEngine&);
   using DrainFn = void (*)(SimEngine&, const Job&);
+  using WindowFn = void (*)(SimEngine&, Shard&);
   StepFn step_fn_ = nullptr;
   DrainFn drain_fn_ = nullptr;
+  WindowFn window_fn_ = nullptr;
   const char* dispatch_variant_ = "generic";
 };
 

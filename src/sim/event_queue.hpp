@@ -23,9 +23,13 @@
 // is internally sorted and the heap yields its minimum, so the earliest
 // head across sources is the earliest event outright. The pop sequence is
 // therefore bit-identical to a single binary heap's; only the internal
-// layout differs.
+// layout differs. An occupancy mask over the sources (bit 0 = heap, bit
+// 1+i = lane i) keeps the merge from scanning empty heads: with one hot
+// source — the common regime, a lane burst or a heap-only tail — pop does
+// a single countr_zero and no compare at all.
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -48,8 +52,10 @@ class EventQueue {
   /// engines do it once at construction.
   void set_num_lanes(int n) {
     DAS_CHECK(empty());
+    DAS_CHECK(n >= 0 && n < 31);  // mask bit 1+i per lane
     lanes_.resize(static_cast<std::size_t>(n));
     heads_.assign(lanes_.size() + 1, Head{});
+    active_mask_ = 0;
   }
 
   /// Heap push: any timestamp >= 0.
@@ -59,6 +65,7 @@ class EventQueue {
     sift_up(heap_.size() - 1);
     ++size_;
     heads_[0] = Head{heap_.front().time, heap_.front().seq};
+    active_mask_ |= 1u;
   }
 
   /// Lane push: `time` must be >= the lane's newest entry (the caller's
@@ -68,8 +75,10 @@ class EventQueue {
     DAS_ASSERT(time >= 0.0);
     RingBuffer<Item>& q = lanes_[static_cast<std::size_t>(lane)];
     DAS_ASSERT(q.empty() || time >= q.back().time);
-    if (q.empty())
+    if (q.empty()) {
       heads_[static_cast<std::size_t>(lane) + 1] = Head{time, seq_};
+      active_mask_ |= 1u << (lane + 1);
+    }
     q.push_back(Item{time, seq_++, std::move(payload)});
     ++size_;
   }
@@ -102,6 +111,7 @@ class EventQueue {
     heap_.clear();
     for (auto& q : lanes_) q.clear();
     heads_.assign(lanes_.size() + 1, Head{});
+    active_mask_ = 0;
     size_ = 0;
   }
 
@@ -120,8 +130,13 @@ class EventQueue {
       RingBuffer<Item>& q = lanes_[static_cast<std::size_t>(src)];
       Item out = std::move(q.front());
       q.pop_front();
-      heads_[static_cast<std::size_t>(src) + 1] =
-          q.empty() ? Head{} : Head{q.front().time, q.front().seq};
+      if (q.empty()) {
+        heads_[static_cast<std::size_t>(src) + 1] = Head{};
+        active_mask_ &= ~(1u << (src + 1));
+      } else {
+        heads_[static_cast<std::size_t>(src) + 1] =
+            Head{q.front().time, q.front().seq};
+      }
       return out;
     }
     Item out = std::move(heap_.front());
@@ -133,16 +148,25 @@ class EventQueue {
       heads_[0] = Head{heap_.front().time, heap_.front().seq};
     } else {
       heads_[0] = Head{};
+      active_mask_ &= ~1u;
     }
     return out;
   }
 
   /// Source holding the global (time, seq) minimum: lane index, or -1 for
-  /// the heap. Caller guarantees !empty(). Scans the contiguous head
-  /// summary (empty sources sit at +inf), not the sources themselves.
+  /// the heap. Caller guarantees !empty(). Walks only the OCCUPIED bits of
+  /// the source mask: one countr_zero when a single source is hot (the
+  /// common case), a strict (time, seq) compare per extra live source
+  /// otherwise — ascending bit order keeps the lowest-index tie-break the
+  /// full scan had, so the pop order is bit-identical.
   int best_source() const {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < heads_.size(); ++i) {
+    DAS_ASSERT(active_mask_ != 0);
+    std::uint32_t m = active_mask_;
+    std::size_t best = static_cast<std::size_t>(std::countr_zero(m));
+    m &= m - 1;
+    while (m != 0) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(m));
+      m &= m - 1;
       const Head& h = heads_[i];
       const Head& b = heads_[best];
       if (h.time < b.time || (h.time == b.time && h.seq < b.seq)) best = i;
@@ -190,6 +214,7 @@ class EventQueue {
   std::vector<Item> heap_;            // 4-ary min-heap, irregular times
   std::vector<RingBuffer<Item>> lanes_;  // per-class FIFOs, sorted by contract
   std::vector<Head> heads_ = std::vector<Head>(1);  // [0]=heap, [1+i]=lane i
+  std::uint32_t active_mask_ = 0;     // bit set <=> heads_[bit] is live
   std::uint64_t seq_ = 0;
   std::size_t size_ = 0;              // heap + all lanes
 };

@@ -1,0 +1,122 @@
+#pragma once
+// Barrier-free window synchronization for the conservative parallel DES.
+//
+// Each DES rank thread (sim/engine.hpp) advances through a sequence of
+// phases per time window: (1) process every local event inside the window
+// horizon, staging cross-rank releases into boundary queues; (2) after all
+// ranks finished phase 1, drain the in-bound boundary queues and publish
+// the rank's next-event time. A rank publishes each phase transition as a
+// monotone per-rank epoch; ranks that reach a phase boundary early park on
+// the PR 4 eventcount until the stragglers' epochs catch up. There is no
+// central coordinator and no lock on the fast path — one release store +
+// notify per phase, one acquire sweep (usually already satisfied) per wait.
+//
+// Determinism contract: the epochs only order *phases*; everything a rank
+// publishes for others to read (next-event times, boundary spill buffers)
+// is written before its phase store and read after the waiter's acquire
+// sweep. The window-min rule (next window start = min over published
+// next-event times) is computed redundantly per rank over the same
+// published slots, so every rank derives the same window without another
+// round of communication.
+//
+// Templated on the sync model (util/sync_model.hpp): the model-checker
+// scenarios in tests/model_check_test.cpp explore this exact template and
+// catch the seeded clock-publication and park/wake mutants before any real
+// thread runs the protocol.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/eventcount.hpp"
+#include "util/sync_model.hpp"
+
+namespace das::sim {
+
+template <class Model = RealModel>
+class BasicRankSync {
+ public:
+  explicit BasicRankSync(int num_ranks)
+      : slots_(static_cast<std::size_t>(num_ranks)) {
+    DAS_CHECK(num_ranks > 0);
+  }
+
+  BasicRankSync(const BasicRankSync&) = delete;
+  BasicRankSync& operator=(const BasicRankSync&) = delete;
+
+  /// Publishes `rank`'s phase epoch (strictly monotone per rank) and wakes
+  /// any rank parked in wait_all_at_least. Everything the rank wrote for
+  /// other ranks to read this phase — its next-event time slot, boundary
+  /// spill buffers — happens-before this store.
+  void publish_phase(int rank, std::uint64_t phase) {
+    slot(rank).phase.store(phase, std::memory_order_release);
+    ec_.notify();
+  }
+
+  /// Blocks until every rank's published epoch is >= `phase`, parking on
+  /// the eventcount between sweeps. On return the caller is synchronized
+  /// with every rank's publish_phase(phase) — their time slots (and
+  /// anything else they published before the phase store) are visible.
+  void wait_all_at_least(std::uint64_t phase) {
+    while (!all_at_least(phase)) {
+      const auto key = ec_.prepare_wait();
+      if (all_at_least(phase)) {
+        ec_.cancel_wait();
+        return;
+      }
+      ec_.commit_wait(key);
+    }
+  }
+
+  /// Stores `rank`'s next-event time for the window-min rule. Must be
+  /// followed by publish_phase before any other rank reads it.
+  void set_time(int rank, double t) { slot(rank).time = t; }
+
+  /// Minimum published next-event time across all ranks; +infinity when
+  /// every queue drained. Callers must hold a wait_all_at_least
+  /// synchronization covering the set_time writes they read.
+  double min_time() const {
+    double m = std::numeric_limits<double>::infinity();
+    for (const Slot& s : slots_) {
+      const double t = s.time;
+      if (t < m) m = t;
+    }
+    return m;
+  }
+
+  /// `rank`'s published epoch (acquire): test/diagnostic hook.
+  std::uint64_t phase(int rank) const {
+    return slot(rank).phase.load(std::memory_order_acquire);
+  }
+
+  int num_ranks() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  // Cacheline-padded so rank A's phase stores do not invalidate the line
+  // rank B spins its sweep on. (The chk instantiation's cells are fat
+  // bookkeeping objects anyway; padding is for RealModel.)
+  struct alignas(64) Slot {
+    typename Model::template atomic<std::uint64_t> phase{0};
+    typename Model::template var<double> time{
+        std::numeric_limits<double>::infinity()};
+  };
+
+  Slot& slot(int rank) { return slots_[static_cast<std::size_t>(rank)]; }
+  const Slot& slot(int rank) const {
+    return slots_[static_cast<std::size_t>(rank)];
+  }
+
+  bool all_at_least(std::uint64_t phase) const {
+    for (const Slot& s : slots_)
+      if (s.phase.load(std::memory_order_acquire) < phase) return false;
+    return true;
+  }
+
+  std::vector<Slot> slots_;
+  BasicEventCount<Model> ec_;
+};
+
+using RankSync = BasicRankSync<RealModel>;
+
+}  // namespace das::sim

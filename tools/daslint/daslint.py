@@ -24,6 +24,15 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 on any):
                    cost models evaluate through cost_expr_eval /
                    cost_eval (core/cost_expr.hpp) instead.
 
+  hot-path-park    Same regions: no parking/blocking primitives —
+                   eventcount waits (prepare_wait / commit_wait /
+                   wait_all_at_least), condition variables, sleeps,
+                   thread joins. The parallel DES rank loop (the
+                   `rank-window` region in src/sim/engine.cpp) must only
+                   block at the window-phase boundaries OUTSIDE the
+                   region: a park inside the per-rank event loop stalls
+                   every other rank at the next phase barrier.
+
   sim-wall-clock   src/sim/** must not read wall-clock time (std::chrono
                    clocks, now_ns, clock_gettime, gettimeofday, time()).
                    The DES is deterministic virtual time; one wall-clock
@@ -60,6 +69,10 @@ import sys
 # slashes). Each carries its ordering argument in comments at the use site.
 RELAXED_WHITELIST = {
     "src/chk/chk.cpp",
+    # SPSC ring: relaxed loads are each side's OWN index (single writer);
+    # cross-thread publication rides the release/acquire pair on the
+    # opposite index. Argued in the header comment at each use site.
+    "src/sim/boundary_queue.hpp",
     "src/core/policy.cpp",
     "src/core/ptt.cpp",
     "src/rt/runtime.cpp",
@@ -83,6 +96,11 @@ HOT_LOCK = re.compile(
     r"scoped_lock|\.lock\s*\(\)"
 )
 HOT_STDFUNCTION = re.compile(r"std::function|\.cost\s*\(")
+HOT_PARK = re.compile(
+    r"prepare_wait|commit_wait|wait_all_at_least|condition_variable|"
+    r"\bcv_\.wait\b|wait_for|wait_until|sleep_for|sleep_until|"
+    r"\.join\s*\(\)|\bpthread_cond_wait\b"
+)
 SIM_WALL_CLOCK = re.compile(
     r"std::chrono|steady_clock|system_clock|high_resolution_clock|"
     r"\bnow_ns\s*\(|clock_gettime|gettimeofday|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"
@@ -188,6 +206,11 @@ def lint_file(root, rel, violations):
                        f"type-erased dispatch in hot-path region"
                        f" '{region}' (use the fused hooks / cost_expr"
                        f" evaluators, core/cost_expr.hpp)")
+            if HOT_PARK.search(code_line):
+                report("hot-path-park",
+                       f"parking/blocking primitive in hot-path region"
+                       f" '{region}' (block only at window-phase"
+                       f" boundaries, outside the region)")
         if in_sim:
             if SIM_WALL_CLOCK.search(code_line):
                 report("sim-wall-clock",
@@ -235,6 +258,7 @@ def selftest(repo_root):
         "hot-path-alloc": "src/rt/hot_alloc_bad.cpp",
         "hot-path-lock": "src/rt/hot_lock_bad.cpp",
         "hot-path-stdfunction": "src/rt/hot_stdfunction_bad.cpp",
+        "hot-path-park": "src/rt/hot_park_bad.cpp",
         "sim-wall-clock": "src/sim/wall_clock_bad.cpp",
         "sim-ambient-rand": "src/sim/rand_bad.cpp",
         "relaxed-whitelist": "src/util/relaxed_bad.cpp",

@@ -1,0 +1,16 @@
+// Planted violation: parking primitive inside a hot-path region.
+#include <cstdint>
+
+struct FakeEventCount {
+  std::uint64_t prepare_wait() { return 0; }
+  void commit_wait(std::uint64_t) {}
+};
+
+FakeEventCount g_ec;
+
+void planted_park() {
+  // daslint: begin-hot-path(selftest)
+  const std::uint64_t key = g_ec.prepare_wait();
+  g_ec.commit_wait(key);
+  // daslint: end-hot-path
+}
