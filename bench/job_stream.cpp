@@ -259,7 +259,7 @@ Fairness fairness_of(const Bench& b, const StreamResult& r) {
     TenantAgg* a = agg_of(j);
     if (a == nullptr) continue;
     ++a->jobs;
-    if (j.rejected) {
+    if (!j.ok()) {
       ++a->rejected;
       continue;
     }
@@ -270,7 +270,7 @@ Fairness fairness_of(const Bench& b, const StreamResult& r) {
   for (const TenantAgg& a : f.tenants)
     f.window_s = std::min(f.window_s, a.last_release_s);
   for (const RunResult& j : r.jobs) {
-    if (j.rejected) continue;
+    if (!j.ok()) continue;
     TenantAgg* a = agg_of(j);
     if (a != nullptr && j.arrival_s + j.queue_s <= f.window_s)
       a->window_tasks += j.tasks;
@@ -365,7 +365,7 @@ int main(int argc, char** argv) {
     std::vector<double> lat;
     double sum = 0.0, max = 0.0, last_finish = 0.0;
     for (const RunResult& j : r.jobs) {
-      if (j.rejected) continue;
+      if (!j.ok()) continue;
       lat.push_back(j.makespan_s);
       sum += j.makespan_s;
       max = std::max(max, j.makespan_s);

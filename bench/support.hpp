@@ -229,11 +229,21 @@ struct Bench {
   }
 
   /// Executor for `policy` on this bench's backend; `topology` defaults to
-  /// the TX2 model. `cfg.scenario` is overwritten with `scenario`.
+  /// the TX2 model. `cfg.scenario` is overwritten with `scenario` — unless
+  /// the --scenario override carries engine-side faults (fail-stop/freeze),
+  /// which a SpeedScenario cannot express: then the declarative spec rides
+  /// ExecutorConfig::scenario_spec instead, so the facade rebuilds the same
+  /// speed model AND arms the fault plan (the CI fault smoke cells rely on
+  /// this — a --scenario=fail-stop bench run must actually kill cores).
   std::unique_ptr<Executor> make(Policy policy, const SpeedScenario* scenario,
                                  ExecutorConfig cfg,
                                  const Topology* topology = nullptr) const {
-    cfg.scenario = scenario;
+    if (scenario_override && scenario_override->has_engine_faults()) {
+      cfg.scenario = nullptr;
+      cfg.scenario_spec = *scenario_override;
+    } else {
+      cfg.scenario = scenario;
+    }
     return make_executor(backend, topology ? *topology : topo, policy, registry,
                          cfg);
   }
@@ -335,7 +345,7 @@ struct Bench {
       j.set("arrival_s", r.arrival_s);
       j.set("queue_s", r.queue_s);
       j.set("latency_s", r.makespan_s);
-      if (r.rejected) j.set("rejected", true);
+      if (!r.ok()) j.set("rejected", true);
       per_job.push_back(std::move(j));
     }
     json::Value lat = json::Value::object();

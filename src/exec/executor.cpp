@@ -86,7 +86,7 @@ SpeedScenario build_scenario_or_exit(const scenario::ScenarioSpec& spec,
 
 namespace {
 
-rt::RtOptions to_rt_options(const ExecutorConfig& cfg) {
+rt::RtOptions to_rt_options(const ExecutorConfig& cfg, FaultPlan faults) {
   rt::RtOptions o;
   o.seed = cfg.seed;
   o.scenario = cfg.scenario;
@@ -95,6 +95,9 @@ rt::RtOptions to_rt_options(const ExecutorConfig& cfg) {
   o.stats_phases = cfg.stats_phases;
   o.pin_threads = cfg.rt.pin_threads;
   o.steal_attempts_per_round = cfg.rt.steal_attempts_per_round;
+  o.faults = std::move(faults);
+  o.enable_watchdog = cfg.rt.enable_watchdog;
+  o.watchdog_period_s = cfg.rt.watchdog_period_s;
   return o;
 }
 
@@ -119,14 +122,18 @@ sim::SimOptions to_sim_options(const ExecutorConfig& cfg) {
 // them alive for the engine's lifetime (one per rank — each rank's copy is
 // built against that rank's topology).
 using OwnedScenarios = std::vector<std::unique_ptr<SpeedScenario>>;
+// Likewise for the resolved fail-stop/freeze schedules (scenario_spec
+// faults), resolved per rank against that rank's topology.
+using OwnedFaultPlans = std::vector<std::unique_ptr<FaultPlan>>;
 
 class SimExecutor final : public Executor {
  public:
   SimExecutor(std::vector<sim::RankSpec> ranks, Policy policy,
               const TaskTypeRegistry& registry, const ExecutorConfig& cfg,
-              OwnedScenarios owned)
+              OwnedScenarios owned, OwnedFaultPlans owned_faults)
       : Executor(policy, cfg.timeline, cfg.service),
         owned_scenarios_(std::move(owned)),
+        owned_fault_plans_(std::move(owned_faults)),
         engine_(std::move(ranks), policy, registry, to_sim_options(cfg)) {
     // Deferred notifications only: installing the hooks adds no events and
     // changes no engine decision, so bare submits stay bitwise-identical
@@ -182,9 +189,25 @@ class SimExecutor final : public Executor {
     engine_.schedule_timer(offset_s, token);
   }
   bool engine_defers_arrivals() const override { return true; }
+  bool svc_finished_by(JobId id, double deadline_s) override {
+    // Single driving thread: pump virtual time until the job resolves or
+    // the virtual clock passes the deadline. Deterministic like everything
+    // else on this backend — same seed + same calls = same outcome.
+    for (;;) {
+      const JobProbe p = probe_job(id);
+      if (p.terminal) return true;
+      if (p.released && engine_.job_done(p.engine_id)) return true;
+      if (engine_.now() > deadline_s) return false;
+      if (!engine_.pump_one()) return false;  // nothing left that could finish it
+    }
+  }
+  std::uint64_t engine_tasks_reexecuted() const override {
+    return engine_.tasks_reexecuted();
+  }
 
  private:
   OwnedScenarios owned_scenarios_;  // declared before engine_: outlives it
+  OwnedFaultPlans owned_fault_plans_;
   sim::SimEngine engine_;
 };
 
@@ -192,11 +215,12 @@ class RtExecutor final : public Executor {
  public:
   RtExecutor(const Topology& topo, Policy policy,
              const TaskTypeRegistry& registry, const ExecutorConfig& cfg,
-             OwnedScenarios owned)
+             OwnedScenarios owned, FaultPlan faults)
       : Executor(policy, /*timeline=*/nullptr,  // rt records no timeline yet
                  cfg.service),
         owned_scenarios_(std::move(owned)),
-        runtime_(topo, policy, registry, to_rt_options(cfg)) {
+        runtime_(topo, policy, registry,
+                 to_rt_options(cfg, std::move(faults))) {
     // Completion hook fires on the finishing worker's thread with the
     // runtime lock released; the service layer may re-enter submit() from
     // it (lock order svc_mu_ -> runtime mu_ holds on every path).
@@ -264,6 +288,23 @@ class RtExecutor final : public Executor {
     pacer_cv_.notify_one();
   }
   bool engine_defers_arrivals() const override { return false; }
+  bool svc_finished_by(JobId id, double deadline_s) override {
+    // Completion/release/rejection all notify svc_cv_, so park on it with
+    // the remaining wall budget and re-probe on every wake.
+    MutexLock g(svc_mu_);
+    for (;;) {
+      const JobProbe p = probe_job_locked(id);
+      if (p.terminal) return true;
+      if (p.released && runtime_.job_done(p.engine_id)) return true;
+      const double remaining_s = deadline_s - now();
+      if (remaining_s <= 0.0) return false;
+      svc_cv_.wait_for(g, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::duration<double>(remaining_s)));
+    }
+  }
+  std::uint64_t engine_tasks_reexecuted() const override {
+    return runtime_.tasks_reexecuted();
+  }
 
  private:
   static std::int64_t steady_now_ns() {
@@ -352,18 +393,33 @@ std::unique_ptr<Executor> make_executor(Backend backend,
   // its interference scenario silently); a RankSpec scenario wins.
   for (sim::RankSpec& r : ranks)
     if (r.scenario == nullptr) r.scenario = config.scenario;
+  // Fail-stop/freeze faults resolve from the same spec, also per rank.
+  const bool spec_faults =
+      config.scenario_spec && config.scenario_spec->has_engine_faults();
+  OwnedFaultPlans owned_faults;
+  if (spec_faults) {
+    for (sim::RankSpec& r : ranks) {
+      if (r.faults != nullptr) continue;  // a RankSpec plan wins
+      owned_faults.push_back(std::make_unique<FaultPlan>(
+          scenario::resolve_faults(*config.scenario_spec, *r.topo)));
+      r.faults = owned_faults.back().get();
+    }
+  }
   switch (backend) {
     case Backend::kSim:
       return std::make_unique<SimExecutor>(std::move(ranks), policy, registry,
-                                           config, std::move(owned));
+                                           config, std::move(owned),
+                                           std::move(owned_faults));
     case Backend::kRt: {
       DAS_CHECK_MSG(ranks.size() == 1,
                     "Backend::kRt is single-domain; use net::World for real "
                     "multi-rank runs");
       ExecutorConfig cfg = std::move(config);
       cfg.scenario = ranks[0].scenario;
+      FaultPlan faults;
+      if (ranks[0].faults != nullptr) faults = *ranks[0].faults;
       return std::make_unique<RtExecutor>(*ranks[0].topo, policy, registry, cfg,
-                                          std::move(owned));
+                                          std::move(owned), std::move(faults));
     }
   }
   DAS_CHECK_MSG(false, "make_executor: unknown backend");

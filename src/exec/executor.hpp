@@ -135,6 +135,10 @@ struct ExecutorConfig {
     bool pin_threads = ::das::rt::RtOptions{}.pin_threads;
     /// Victims probed before backing off.
     int steal_attempts_per_round = ::das::rt::RtOptions{}.steal_attempts_per_round;
+    /// Run the fault watchdog even without a fault plan (rt/watchdog.cpp);
+    /// a scenario_spec with fail/freeze faults arms it regardless.
+    bool enable_watchdog = ::das::rt::RtOptions{}.enable_watchdog;
+    double watchdog_period_s = ::das::rt::RtOptions{}.watchdog_period_s;
   } rt;
 
   struct Sim {
@@ -187,6 +191,11 @@ class ExecutorConfig::Builder {
     cfg_.rt.steal_attempts_per_round = v;
     return *this;
   }
+  Builder& enable_watchdog(bool v) { cfg_.rt.enable_watchdog = v; return *this; }
+  Builder& watchdog_period_s(double v) {
+    cfg_.rt.watchdog_period_s = v;
+    return *this;
+  }
   Builder& sim_noise(bool v) { cfg_.sim.noise = v; return *this; }
   Builder& sim_force_generic_dispatch(bool v) {
     cfg_.sim.force_generic_dispatch = v;
@@ -223,6 +232,18 @@ inline ExecutorConfig::Builder ExecutorConfig::builder() { return {}; }
 /// Structured result of one job (one submitted DAG): what run() returns and
 /// what wait()/drain() return per job.
 struct RunResult {
+  /// How the job ended. Only kOk carries engine results (makespan, stats);
+  /// the other outcomes mean the job never ran: bounced by admission
+  /// (kRejected), cancelled by its queueing deadline (kTimedOut), or
+  /// bounced after exhausting its tenant's retry budget
+  /// (kRetriesExhausted).
+  enum class Outcome : std::uint8_t {
+    kOk = 0,
+    kRejected,
+    kTimedOut,
+    kRetriesExhausted,
+  };
+
   double makespan_s = 0.0;   ///< job latency: release -> completion, virtual
                              ///< (sim) or wall (rt) seconds
   double tasks_per_s = 0.0;  ///< this job's tasks / makespan_s
@@ -239,9 +260,17 @@ struct RunResult {
   double queue_s = 0.0;
   /// Session name the job was submitted under; empty for bare submits.
   std::string tenant;
-  /// True when admission bounced the job (Overload::kReject): the job never
-  /// reached the engine, makespan_s/tasks_per_s are 0 and stats are empty.
-  bool rejected = false;
+  /// How the job ended (see Outcome). Anything but kOk means the job never
+  /// reached the engine: makespan_s/tasks_per_s are 0 and stats are empty.
+  Outcome outcome = Outcome::kOk;
+  bool ok() const { return outcome == Outcome::kOk; }
+  [[deprecated("read RunResult::outcome — rejected() only covers one of the "
+               "three non-kOk outcomes")]]
+  bool rejected() const { return outcome == Outcome::kRejected; }
+  /// Engine-cumulative count of tasks re-executed after fail-stop faults
+  /// reclaimed their first attempt, snapshotted when this job was waited
+  /// (0 on a healthy run; monotone across jobs on the same executor).
+  std::int64_t tasks_reexecuted = 0;
   /// One snapshot per rank (scheduling domain), taken when the job was
   /// waited. Counters accumulate across jobs on the same executor (see
   /// Executor::reset_stats()).
@@ -313,6 +342,14 @@ class Executor {
   /// latency). Claims the job: each job can be waited exactly once, and
   /// waiting an unknown/already-claimed id throws.
   RunResult wait(JobId id);
+
+  /// wait() with a timeout on the engine clock (virtual seconds on sim —
+  /// deterministic; wall seconds on rt). Returns nullopt when the job is
+  /// still unfinished at the deadline; the job then remains in flight and
+  /// UNCLAIMED, so a later wait()/wait_for()/drain() can finish it. The
+  /// degrade-gracefully primitive: a driver facing a wedged backend gets
+  /// control back instead of blocking forever.
+  std::optional<RunResult> wait_for(JobId id, double timeout_s);
 
   /// Waits for every unclaimed job (bare and session-submitted alike), in
   /// submission order; returns their results (ordered by JobId). Empty
@@ -406,6 +443,25 @@ class Executor {
   /// is what keeps single-tenant sim streams bitwise-identical to pre-
   /// service builds.
   virtual bool engine_defers_arrivals() const = 0;
+  /// Timed completion probe for wait_for(): blocks until job `id` (public)
+  /// is finishable without blocking — engine-complete, rejected, or timed
+  /// out — returning true; or until `deadline_s` on the engine clock passes
+  /// first, returning false. Sim pumps virtual time; rt parks on svc_cv_.
+  virtual bool svc_finished_by(JobId id, double deadline_s) = 0;
+  /// Engine-cumulative fail-stop re-execution counter (RunResult field).
+  virtual std::uint64_t engine_tasks_reexecuted() const = 0;
+
+  /// Lock-free-to-callers snapshot used by svc_finished_by implementations.
+  struct JobProbe {
+    bool terminal = false;  ///< rejected or timed out: finish without engine
+    bool released = false;  ///< engine_id is valid
+    JobId engine_id = kInvalidJob;
+  };
+  JobProbe probe_job_locked(JobId id) DAS_REQUIRES(svc_mu_);
+  JobProbe probe_job(JobId id) {
+    MutexLock g(svc_mu_);
+    return probe_job_locked(id);
+  }
 
   /// Engine completion callback: derived classes wire their engine's
   /// job-done hook here. No-op for engine jobs the service is not tracking
@@ -437,11 +493,28 @@ class Executor {
     double arrival_s = 0.0;  ///< service clock at admission
     double release_s = 0.0;  ///< engine clock at release
     JobId engine_id = kInvalidJob;
+    double deadline_s = 0.0;  ///< SubmitOptions::deadline_s (0 = none)
+    int retries = 0;          ///< admission retries already run
     bool arrived = false;   ///< admitted into its tenant queue
     bool released = false;  ///< handed to the engine
     bool rejected = false;  ///< bounced by Overload::kReject
+    bool retries_exhausted = false;  ///< rejected after the retry budget
+    bool timed_out = false;          ///< cancelled by its queueing deadline
     bool claimed = false;   ///< a finisher owns its RunResult
   };
+
+  /// Service timer tokens: low 62 bits = public JobId, top 2 bits = kind.
+  /// kTimerArrival (0) keeps the historical plain-id encoding, so existing
+  /// sim timer traces are unchanged.
+  enum : std::uint64_t {
+    kTimerArrival = 0,
+    kTimerDeadline = 1,
+    kTimerRetry = 2,
+  };
+  static constexpr int kTimerKindShift = 62;
+  static std::uint64_t timer_token(std::uint64_t kind, JobId id) {
+    return (kind << kTimerKindShift) | static_cast<std::uint64_t>(id);
+  }
 
   /// One tenant's queue + DRR accounting (exec/session.hpp).
   struct TenantState {
@@ -465,6 +538,9 @@ class Executor {
   void pump_locked() DAS_REQUIRES(svc_mu_);
   /// Hands one queued job to the engine and updates the accounting.
   void release_locked(JobId id) DAS_REQUIRES(svc_mu_);
+  /// Deadline expiry for a still-queued session job: removes it from its
+  /// tenant's bucket and marks it Outcome::kTimedOut.
+  void timeout_locked(JobId id) DAS_REQUIRES(svc_mu_);
   /// Blocks on an already-claimed job and assembles its RunResult.
   RunResult finish_claimed(JobId id);
   /// Claims the lowest unclaimed job (optionally of one tenant; -1 = any,

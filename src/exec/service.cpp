@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "exec/executor.hpp"
@@ -25,6 +27,7 @@ JobId Executor::submit_impl(const Dag& dag, const SubmitOptions& opts,
                             int tenant) {
   DAS_CHECK_MSG(opts.arrival_offset_s >= 0.0,
                 "submit: arrival offset must be >= 0");
+  DAS_CHECK_MSG(opts.deadline_s >= 0.0, "submit: deadline must be >= 0");
   const auto tasks = static_cast<std::int64_t>(dag.num_nodes());
   JobId id = kInvalidJob;
   bool block = false;
@@ -36,6 +39,7 @@ JobId Executor::submit_impl(const Dag& dag, const SubmitOptions& opts,
     job.dag = &dag;
     job.tasks = tasks;
     job.priority = opts.priority;
+    job.deadline_s = opts.deadline_s;
     if (tenant < 0 &&
         (opts.arrival_offset_s == 0.0 || engine_defers_arrivals())) {
       // Bare submit on the engine's own arrival path: no queue, no timer,
@@ -74,7 +78,7 @@ JobId Executor::submit_impl(const Dag& dag, const SubmitOptions& opts,
       // Deferred arrival: bare rt release pacing (tenant < 0) or a session
       // job whose admission check runs at arrival time, both driven by the
       // engine-appropriate timer (virtual event on sim, pacer thread on rt).
-      svc_arm_timer(opts.arrival_offset_s, static_cast<std::uint64_t>(id));
+      svc_arm_timer(opts.arrival_offset_s, timer_token(kTimerArrival, id));
       return id;
     }
     block = !try_admit_locked(id);
@@ -90,7 +94,22 @@ bool Executor::try_admit_locked(JobId id) {
   if (t.cfg.max_queued_tasks > 0 &&
       t.pending_tasks + job.tasks > t.cfg.max_queued_tasks) {
     if (t.cfg.overload == Overload::kReject) {
+      if (job.retries < t.cfg.max_retries) {
+        // Retry policy: instead of bouncing, re-run this admission check
+        // after a capped exponential backoff. The submitter is NOT blocked
+        // (the job is simply undecided until a retry lands or the budget
+        // runs out); wait() resolves either way.
+        const double backoff =
+            std::min(t.cfg.retry_backoff_s *
+                         std::pow(2.0, static_cast<double>(job.retries)),
+                     t.cfg.retry_backoff_cap_s);
+        ++job.retries;
+        ++t.counters.retries;
+        svc_arm_timer(backoff, timer_token(kTimerRetry, id));
+        return true;
+      }
       job.rejected = true;
+      job.retries_exhausted = t.cfg.max_retries > 0;
       job.arrival_s = now();
       ++t.counters.rejected;
       svc_cv_.notify_all();
@@ -103,6 +122,8 @@ bool Executor::try_admit_locked(JobId id) {
   ++t.counters.submitted;
   t.pending_tasks += job.tasks;
   t.buckets[job.priority].push_back(id);
+  if (job.deadline_s > 0.0)
+    svc_arm_timer(job.deadline_s, timer_token(kTimerDeadline, id));
   if (!t.in_ring) {
     t.in_ring = true;
     ring_.push_back(static_cast<std::size_t>(job.tenant));
@@ -211,39 +232,92 @@ void Executor::on_engine_job_done(JobId engine_id) {
   {
     MutexLock g(svc_mu_);
     const auto it = engine_to_public_.find(engine_id);
-    if (it == engine_to_public_.end()) return;  // bare job: nothing to track
-    const JobId id = it->second;
-    engine_to_public_.erase(it);
-    --service_inflight_;
-    TenantState& t =
-        tenants_[static_cast<std::size_t>(jobs_.at(id).tenant)];
-    --t.released_in_flight;
-    ++t.counters.completed;
-    // A completion frees in-flight headroom: release what it unblocks.
-    pump_locked();
+    if (it != engine_to_public_.end()) {
+      const JobId id = it->second;
+      engine_to_public_.erase(it);
+      --service_inflight_;
+      TenantState& t =
+          tenants_[static_cast<std::size_t>(jobs_.at(id).tenant)];
+      --t.released_in_flight;
+      ++t.counters.completed;
+      // A completion frees in-flight headroom: release what it unblocks.
+      pump_locked();
+    }
+    // else: bare job — no accounting, but still fall through to the notify
+    // so a wait_for() parked on svc_cv_ re-probes its completion.
   }
   svc_cv_.notify_all();
 }
 
 void Executor::on_timer(std::uint64_t token) {
+  const std::uint64_t kind = token >> kTimerKindShift;
+  const auto id =
+      static_cast<JobId>(token & ((std::uint64_t{1} << kTimerKindShift) - 1));
   {
     MutexLock g(svc_mu_);
-    const auto it = jobs_.find(static_cast<JobId>(token));
-    if (it == jobs_.end()) return;
-    if (it->second.tenant < 0) {
-      release_locked(it->first);  // paced bare release (rt future arrival)
-    } else {
-      (void)try_admit_locked(it->first);  // deferred session arrival
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;  // claimed/finished before the timer fired
+    switch (kind) {
+      case kTimerArrival:
+        if (it->second.tenant < 0) {
+          release_locked(id);  // paced bare release (rt future arrival)
+        } else {
+          (void)try_admit_locked(id);  // deferred session arrival
+        }
+        break;
+      case kTimerDeadline:
+        // Only a still-queued job can time out: released jobs run to
+        // completion, rejected/retrying ones already have their outcome.
+        if (it->second.arrived && !it->second.released) timeout_locked(id);
+        break;
+      case kTimerRetry:
+        if (!it->second.arrived && !it->second.rejected)
+          (void)try_admit_locked(id);
+        break;
+      default:
+        DAS_CHECK_MSG(false, "on_timer: unknown timer token kind");
     }
   }
   svc_cv_.notify_all();
+}
+
+void Executor::timeout_locked(JobId id) {
+  ServiceJob& job = jobs_.at(id);
+  TenantState& t = tenants_[static_cast<std::size_t>(job.tenant)];
+  auto bucket = t.buckets.find(job.priority);
+  DAS_CHECK(bucket != t.buckets.end());
+  auto& q = bucket->second;
+  const auto pos = std::find(q.begin(), q.end(), id);
+  DAS_CHECK(pos != q.end());
+  q.erase(pos);
+  if (q.empty()) t.buckets.erase(bucket);
+  t.pending_tasks -= job.tasks;
+  ++t.counters.timed_out;
+  job.timed_out = true;
+  if (t.buckets.empty() && t.in_ring) {
+    // Mirror pump_locked's drained branch: an empty tenant leaves the DRR
+    // ring and forfeits its residual credit.
+    t.deficit = 0.0;
+    t.in_ring = false;
+    const auto rit =
+        std::find(ring_.begin(), ring_.end(),
+                  static_cast<std::size_t>(job.tenant));
+    DAS_CHECK(rit != ring_.end());
+    const auto pos_in_ring =
+        static_cast<std::size_t>(rit - ring_.begin());
+    ring_.erase(rit);
+    if (ring_cursor_ > pos_in_ring) --ring_cursor_;
+    if (!ring_.empty()) ring_cursor_ %= ring_.size();
+    else ring_cursor_ = 0;
+    cursor_credited_ = false;
+  }
 }
 
 bool Executor::svc_cond_locked(SvcWait cond, JobId id) {
   switch (cond) {
     case SvcWait::kReleased: {
       const ServiceJob& job = jobs_.at(id);
-      return job.released || job.rejected;
+      return job.released || job.rejected || job.timed_out;
     }
     case SvcWait::kAdmissionDecided:
       return try_admit_locked(id);
@@ -284,8 +358,11 @@ RunResult Executor::finish_claimed(JobId id) {
   r.job = id;
   r.arrival_s = job.arrival_s;
   r.tenant = std::move(tenant_name);
-  if (job.rejected) {
-    r.rejected = true;
+  if (job.timed_out) {
+    r.outcome = RunResult::Outcome::kTimedOut;
+  } else if (job.rejected) {
+    r.outcome = job.retries_exhausted ? RunResult::Outcome::kRetriesExhausted
+                                      : RunResult::Outcome::kRejected;
   } else {
     r.makespan_s = wait_job(job.engine_id);
     r.tasks = job.tasks;
@@ -293,6 +370,8 @@ RunResult Executor::finish_claimed(JobId id) {
                         ? static_cast<double>(job.tasks) / r.makespan_s
                         : 0.0;
     r.queue_s = job.release_s - job.arrival_s;
+    r.tasks_reexecuted =
+        static_cast<std::int64_t>(engine_tasks_reexecuted());
     r.stats.reserve(static_cast<std::size_t>(num_ranks()));
     for (int rank = 0; rank < num_ranks(); ++rank)
       r.stats.push_back(stats(rank).snapshot());
@@ -305,10 +384,41 @@ RunResult Executor::finish_claimed(JobId id) {
   // this job record disappears and before counters() can observe the wait,
   // so park until the hook has erased the engine mapping. On sim the hook
   // was delivered inside whichever pump completed the job: no wait.
-  if (!job.rejected && job.tenant >= 0)
+  if (!job.rejected && !job.timed_out && job.tenant >= 0)
     while (engine_to_public_.count(job.engine_id) != 0) svc_cv_.wait(g);
   jobs_.erase(id);
   return r;
+}
+
+Executor::JobProbe Executor::probe_job_locked(JobId id) {
+  const ServiceJob& job = jobs_.at(id);
+  JobProbe p;
+  p.terminal = job.rejected || job.timed_out;
+  p.released = job.released;
+  p.engine_id = job.engine_id;
+  return p;
+}
+
+std::optional<RunResult> Executor::wait_for(JobId id, double timeout_s) {
+  DAS_CHECK_MSG(timeout_s >= 0.0, "wait_for: timeout must be >= 0");
+  const double deadline = now() + timeout_s;
+  {
+    MutexLock g(svc_mu_);
+    const auto it = jobs_.find(id);
+    DAS_CHECK_MSG(it != jobs_.end() && !it->second.claimed,
+                  "job " + std::to_string(id) +
+                      " was not submitted through this executor (or was "
+                      "already waited)");
+    it->second.claimed = true;
+  }
+  if (!svc_finished_by(id, deadline)) {
+    // Timed out: release the claim so a later wait()/drain() can finish the
+    // job — wait_for never abandons work, it only bounds THIS caller.
+    MutexLock g(svc_mu_);
+    jobs_.at(id).claimed = false;
+    return std::nullopt;
+  }
+  return finish_claimed(id);  // everything is done; assembles without blocking
 }
 
 JobId Executor::claim_next_locked(int tenant) {

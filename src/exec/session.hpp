@@ -19,8 +19,8 @@
 //
 // * Admission is checked at ARRIVAL against `max_queued_tasks`: an over-
 //   budget submit is rejected (Overload::kReject — the job's RunResult
-//   comes back with `rejected = true`) or blocks the submitter until the
-//   queue drains (Overload::kBlock).
+//   comes back Outcome::kRejected, after the optional retry/backoff loop)
+//   or blocks the submitter until the queue drains (Overload::kBlock).
 // * Release is paced by deficit round-robin: each needy tenant is credited
 //   `weight * drr_quantum_tasks` per round and releases whole jobs while
 //   its deficit covers their task counts, subject to `max_in_flight` (its
@@ -42,7 +42,8 @@ namespace das {
 /// What to do with a submit that would exceed the tenant's queued-task
 /// budget (TenantConfig::max_queued_tasks).
 enum class Overload : std::uint8_t {
-  kReject = 0,  ///< admit nothing: wait() returns RunResult{rejected=true}
+  kReject = 0,  ///< admit nothing: wait() returns Outcome::kRejected (or
+                ///< retries first, see TenantConfig::max_retries)
   kBlock,       ///< block the submitter until the backlog drains
 };
 
@@ -61,6 +62,16 @@ struct TenantConfig {
   /// submit that would exceed it hits the `overload` policy. 0 = unbounded.
   std::int64_t max_queued_tasks = 0;
   Overload overload = Overload::kReject;
+  /// Retry policy for Overload::kReject bounces: instead of rejecting
+  /// immediately, re-run the admission check after a capped exponential
+  /// backoff (retry_backoff_s, 2x per attempt, capped at
+  /// retry_backoff_cap_s) up to max_retries times; only then does the job
+  /// come back Outcome::kRetriesExhausted. 0 = reject immediately (the
+  /// pre-retry behavior). Backoff timers run on the engine clock — virtual
+  /// time on Backend::kSim (deterministic), the wall-clock pacer on kRt.
+  int max_retries = 0;
+  double retry_backoff_s = 0.01;
+  double retry_backoff_cap_s = 1.0;
 };
 
 /// Per-submission options (Executor::submit / Session::submit).
@@ -74,6 +85,12 @@ struct SubmitOptions {
   /// Release preference WITHIN the tenant's queue: higher goes first, ties
   /// in submission order. Does not affect cross-tenant fairness.
   int priority = 0;
+  /// Queueing deadline, seconds from ARRIVAL on the engine clock: a session
+  /// job still queued (not yet released to the engine) when it expires is
+  /// cancelled and comes back Outcome::kTimedOut. Released jobs always run
+  /// to completion — the deadline bounds waiting, not execution. 0 = none.
+  /// Ignored for bare submits (they release immediately).
+  double deadline_s = 0.0;
 };
 
 /// Service-wide options (ExecutorConfig::service).
@@ -94,6 +111,8 @@ struct TenantCounters {
   std::int64_t released = 0;   ///< jobs handed to the engine
   std::int64_t completed = 0;  ///< jobs finished by the engine
   std::int64_t released_tasks = 0;  ///< task-weighted released work
+  std::int64_t timed_out = 0;  ///< jobs cancelled by SubmitOptions::deadline_s
+  std::int64_t retries = 0;    ///< admission retries run (TenantConfig retry)
 };
 
 }  // namespace das

@@ -27,7 +27,10 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
   DAS_CHECK(src >= 0 && src < size());
   DAS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
-  const Message m = world_->mailbox(rank_).take(src, tag);
+  // The deadline-less point-to-point primitive itself (MPI recv semantics);
+  // fault-tolerant loops layer recv_msg_for/recv_any_for on top.
+  const Message m =
+      world_->mailbox(rank_).take(src, tag);  // daslint: allow(unbounded-wait)
   DAS_CHECK_MSG(m.payload.size() == bytes,
                 "recv size mismatch: posted " + std::to_string(bytes) +
                     " bytes, message has " + std::to_string(m.payload.size()));
@@ -37,12 +40,33 @@ void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
 Message Comm::recv_msg(int src, int tag) {
   DAS_CHECK(src >= 0 && src < size());
   DAS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
-  return world_->mailbox(rank_).take(src, tag);
+  // Primitive, see recv().
+  return world_->mailbox(rank_).take(src, tag);  // daslint: allow(unbounded-wait)
 }
 
 Message Comm::recv_any(int tag) {
   DAS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
-  return world_->mailbox(rank_).take_any(tag);
+  // Primitive, see recv().
+  return world_->mailbox(rank_).take_any(tag);  // daslint: allow(unbounded-wait)
+}
+
+namespace {
+std::chrono::nanoseconds to_timeout(double timeout_s) {
+  DAS_CHECK(timeout_s >= 0.0);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(timeout_s));
+}
+}  // namespace
+
+std::optional<Message> Comm::recv_msg_for(int src, int tag, double timeout_s) {
+  DAS_CHECK(src >= 0 && src < size());
+  DAS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
+  return world_->mailbox(rank_).take_for(src, tag, to_timeout(timeout_s));
+}
+
+std::optional<Message> Comm::recv_any_for(int tag, double timeout_s) {
+  DAS_CHECK_MSG(tag >= 0, "negative tags are reserved for collectives");
+  return world_->mailbox(rank_).take_any_for(tag, to_timeout(timeout_s));
 }
 
 void Comm::allreduce_sum(double* data, std::size_t n) {
@@ -52,7 +76,8 @@ void Comm::allreduce_sum(double* data, std::size_t n) {
   if (rank_ == 0) {
     std::vector<double> incoming(n);
     for (int src = 1; src < size(); ++src) {
-      const Message m = world_->mailbox(0).take(src, kTagReduce);
+      const Message m = world_->mailbox(0).take(  // daslint: allow(unbounded-wait)
+          src, kTagReduce);  // collective: all ranks must participate anyway
       DAS_CHECK(m.payload.size() == n * sizeof(double));
       std::memcpy(incoming.data(), m.payload.data(), n * sizeof(double));
       for (std::size_t i = 0; i < n; ++i) data[i] += incoming[i];
@@ -81,7 +106,8 @@ void Comm::broadcast(double* data, std::size_t n, int root) {
       world_->mailbox(dst).deliver(std::move(m));
     }
   } else {
-    const Message m = world_->mailbox(rank_).take(root, kTagBcast);
+    const Message m = world_->mailbox(rank_).take(  // daslint: allow(unbounded-wait)
+        root, kTagBcast);  // collective: all ranks must participate anyway
     DAS_CHECK(m.payload.size() == n * sizeof(double));
     std::memcpy(data, m.payload.data(), n * sizeof(double));
   }

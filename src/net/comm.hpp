@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "net/mailbox.hpp"
@@ -35,6 +36,11 @@ class Comm {
   /// (variable-size payload + source rank) — the server-side accept path of
   /// net/service.hpp.
   Message recv_any(int tag);
+  /// Bounded-deadline receives: nullopt after `timeout_s` seconds without a
+  /// match. Fault-tolerant protocol loops (net/service.cpp's server tick)
+  /// use these so a dead peer cannot wedge a live one.
+  std::optional<Message> recv_msg_for(int src, int tag, double timeout_s);
+  std::optional<Message> recv_any_for(int tag, double timeout_s);
 
   template <typename T>
   void send_span(int dst, int tag, const T* data, std::size_t n) {

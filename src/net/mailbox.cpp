@@ -46,6 +46,44 @@ Message Mailbox::take_any(int tag) {
   }
 }
 
+std::optional<Message> Mailbox::take_for(int src, int tag,
+                                         std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock g(mu_);
+  for (;;) {
+    auto it = find_locked(src, tag);
+    if (it != messages_.end()) {
+      Message m = std::move(*it);
+      messages_.erase(it);
+      return m;
+    }
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining <= std::chrono::nanoseconds::zero()) return std::nullopt;
+    cv_.wait_for(g, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        remaining));
+  }
+}
+
+std::optional<Message> Mailbox::take_any_for(int tag,
+                                             std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock g(mu_);
+  for (;;) {
+    const auto it =
+        std::find_if(messages_.begin(), messages_.end(),
+                     [&](const Message& m) { return m.tag == tag; });
+    if (it != messages_.end()) {
+      Message m = std::move(*it);
+      messages_.erase(it);
+      return m;
+    }
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining <= std::chrono::nanoseconds::zero()) return std::nullopt;
+    cv_.wait_for(g, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        remaining));
+  }
+}
+
 bool Mailbox::try_take(int src, int tag, Message& out) {
   MutexLock g(mu_);
   auto it = find_locked(src, tag);

@@ -5,9 +5,11 @@
 // (source, tag) pair — the MPI non-overtaking guarantee, which the Heat
 // ghost-cell exchange relies on.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "util/mutex.hpp"
@@ -33,6 +35,13 @@ class Mailbox {
   Message take_any(int tag);
   /// Non-blocking variant; returns false if no match is queued.
   bool try_take(int src, int tag, Message& out);
+  /// Bounded-deadline variants of take/take_any: wait at most `timeout`,
+  /// return nullopt on expiry. These are what fault-tolerant receive loops
+  /// build on — a peer that died mid-protocol must not wedge its
+  /// counterpart forever (the daslint `unbounded-wait` rule points here).
+  std::optional<Message> take_for(int src, int tag,
+                                  std::chrono::nanoseconds timeout);
+  std::optional<Message> take_any_for(int tag, std::chrono::nanoseconds timeout);
   std::size_t pending() const;
 
  private:

@@ -23,13 +23,31 @@
 // same executor locally (tests/net_service_test.cpp).
 //
 // The server handles requests SEQUENTIALLY in arrival order; a wait request
-// blocks the server until that job completes, so clients needing overlap
-// should submit everything before the first wait (submissions release to
-// the engine immediately — the engine runs jobs concurrently regardless).
-// A concurrently-serving front-end (thread per client) is a documented
-// follow-up.
+// blocks the server until that job completes (or its wait_for deadline
+// expires), so clients needing overlap should submit everything before the
+// first wait (submissions release to the engine immediately — the engine
+// runs jobs concurrently regardless). A concurrently-serving front-end
+// (thread per client) is a documented follow-up.
+//
+// FAULT TOLERANCE. The server's receive loop is deadline-bounded
+// (Comm::recv_any_for), so a half-dead client cannot wedge it:
+// * ServeOptions::client_timeout_s > 0 arms SESSION REAPING — a client
+//   whose last request (any request; ServiceClient::ping() is the cheapest)
+//   is older than the timeout is treated as departed: its unwaited jobs are
+//   drained (released jobs always run to completion), their DAG buffers
+//   freed, and its seat counted as a bye, so serve_executor still returns.
+//   Staleness is only measured between requests — a server blocked inside
+//   an engine wait does not reap.
+// * Submissions carry an IDEMPOTENCY TOKEN: resending a submit with the
+//   same token (ServiceClient::resubmit, after e.g. a lost-reply timeout in
+//   a real transport) returns the original JobId instead of enqueueing the
+//   job twice — exactly-once submission over an at-least-once client retry.
+// * ServiceClient::wait_for bounds the wait server-side
+//   (Executor::wait_for): the reply says whether the job finished, and a
+//   timed-out job stays waitable.
 
 #include <cstdint>
+#include <optional>
 
 #include "exec/executor.hpp"
 #include "net/comm.hpp"
@@ -42,9 +60,27 @@ namespace das::net {
 inline constexpr int kTagServiceRequest = 0x5351;
 inline constexpr int kTagServiceReply = 0x5352;
 
-/// Serves `exec` over `comm` until `num_clients` clients (default: every
-/// other rank in the world) have sent a bye. Call from the server rank's
-/// world thread; requests are handled in arrival order across clients.
+/// serve_executor knobs.
+struct ServeOptions {
+  /// Clients to serve before returning (each bye or reap frees one seat);
+  /// -1 = every other rank in the world.
+  int num_clients = -1;
+  /// > 0 arms session reaping: a client silent for this many seconds
+  /// (wall clock, measured between requests at the server's receive loop)
+  /// is drained and counted as departed. 0 = never reap (a vanished client
+  /// then leaves the server waiting — only use with trusted clients).
+  double client_timeout_s = 0.0;
+  /// Receive-loop granularity: the bound on each mailbox wait, and hence
+  /// the reaping latency slack. Purely an internal tick — no protocol
+  /// semantics attach to it.
+  double tick_s = 0.05;
+};
+
+/// Serves `exec` over `comm` until every client seat is released (bye or
+/// reap). Call from the server rank's world thread; requests are handled in
+/// arrival order across clients.
+void serve_executor(Comm& comm, Executor& exec, const ServeOptions& opts);
+/// Back-compat overload: no reaping, default tick.
 void serve_executor(Comm& comm, Executor& exec, int num_clients = -1);
 
 /// Client-side handle: serializes requests to the server rank and decodes
@@ -61,12 +97,33 @@ class ServiceClient {
 
   /// Remote submit: encodes `dag` + `opts`; `session` < 0 submits bare.
   /// Returns the server-side public JobId. The dag is copied onto the wire
-  /// — unlike local submit, it need not outlive the call.
+  /// — unlike local submit, it need not outlive the call. Each call spends
+  /// a fresh idempotency token; last_submit_token() identifies it for
+  /// resubmit().
   JobId submit(const Dag& dag, const SubmitOptions& opts = {},
                int session = -1);
 
+  /// Idempotent re-send of an earlier submit: same payload, explicit
+  /// `token`. If the server already accepted that token it replies with
+  /// the ORIGINAL JobId and enqueues nothing — safe to fire after a
+  /// suspected lost reply.
+  JobId resubmit(const Dag& dag, const SubmitOptions& opts, int session,
+                 std::uint64_t token);
+
+  /// Token spent by the most recent submit(); 0 if none yet.
+  std::uint64_t last_submit_token() const { return next_token_ - 1; }
+
   /// Remote Executor::wait: blocks until the job's result arrives.
   WireRunResult wait(JobId id);
+
+  /// Remote Executor::wait_for: the server bounds the wait on ITS engine
+  /// clock and replies either the result or "not yet" (nullopt). A
+  /// timed-out job stays waitable (wait/wait_for again later).
+  std::optional<WireRunResult> wait_for(JobId id, double timeout_s);
+
+  /// Heartbeat: refreshes this client's liveness on a reaping server
+  /// (ServeOptions::client_timeout_s) without submitting work.
+  void ping();
 
   /// Releases this client's seat; the server returns once every client
   /// said bye. No requests may follow.
@@ -75,6 +132,7 @@ class ServiceClient {
  private:
   Comm& comm_;
   int server_;
+  std::uint64_t next_token_ = 1;  // 0 is "no token spent yet"
 };
 
 }  // namespace das::net

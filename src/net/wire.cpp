@@ -88,6 +88,9 @@ void encode_tenant_config(const TenantConfig& cfg, WireWriter& w) {
   w.pod(static_cast<std::int32_t>(cfg.max_in_flight));
   w.pod(cfg.max_queued_tasks);
   w.pod(static_cast<std::uint8_t>(cfg.overload));
+  w.pod(static_cast<std::int32_t>(cfg.max_retries));
+  w.pod(cfg.retry_backoff_s);
+  w.pod(cfg.retry_backoff_cap_s);
 }
 
 TenantConfig decode_tenant_config(WireReader& r) {
@@ -99,18 +102,23 @@ TenantConfig decode_tenant_config(WireReader& r) {
   const auto overload = r.pod<std::uint8_t>();
   DAS_CHECK_MSG(overload <= 1, "decode_tenant_config: bad overload policy");
   cfg.overload = static_cast<Overload>(overload);
+  cfg.max_retries = r.pod<std::int32_t>();
+  cfg.retry_backoff_s = r.pod<double>();
+  cfg.retry_backoff_cap_s = r.pod<double>();
   return cfg;
 }
 
 void encode_submit_options(const SubmitOptions& opts, WireWriter& w) {
   w.pod(opts.arrival_offset_s);
   w.pod(static_cast<std::int32_t>(opts.priority));
+  w.pod(opts.deadline_s);
 }
 
 SubmitOptions decode_submit_options(WireReader& r) {
   SubmitOptions opts;
   opts.arrival_offset_s = r.pod<double>();
   opts.priority = r.pod<std::int32_t>();
+  opts.deadline_s = r.pod<double>();
   return opts;
 }
 
@@ -124,7 +132,8 @@ void encode_run_result(const WireRunResult& res, WireWriter& w) {
   w.str(res.tenant);
   w.pod(res.backend);
   w.pod(res.policy);
-  w.pod(res.rejected);
+  w.pod(res.outcome);
+  w.pod(res.tasks_reexecuted);
 }
 
 WireRunResult decode_run_result(WireReader& r) {
@@ -138,7 +147,9 @@ WireRunResult decode_run_result(WireReader& r) {
   res.tenant = r.str();
   res.backend = r.pod<std::uint8_t>();
   res.policy = r.pod<std::uint8_t>();
-  res.rejected = r.pod<std::uint8_t>();
+  res.outcome = r.pod<std::uint8_t>();
+  DAS_CHECK_MSG(res.outcome <= 3, "decode_run_result: bad outcome byte");
+  res.tasks_reexecuted = r.pod<std::int64_t>();
   return res;
 }
 

@@ -1,0 +1,40 @@
+#pragma once
+// Resolved fail-stop / freeze schedules, consumed by both engines.
+//
+// Like SpeedScenario, this is the platform-layer *product* of the scenario
+// subsystem: scenario::resolve_faults() turns a declarative FaultSpec into a
+// concrete FaultPlan against one topology, and the engines replay it — the
+// simulator as seeded heap events (bitwise-deterministic), the rt runtime via
+// its heartbeat watchdog thread (wall-clock). Stragglers never appear here;
+// they expand into SpeedScenario interference windows at build() time.
+
+#include <cstdint>
+#include <vector>
+
+namespace das {
+
+/// One resolved engine-side fault on one concrete core.
+struct CoreFault {
+  enum class Kind : std::uint8_t {
+    kFail = 0,  ///< fail-stop: dead for good at t_s
+    kFreeze,    ///< no progress during [t_s, until_s), resumes afterwards
+  };
+
+  Kind kind = Kind::kFail;
+  int core = 0;          ///< topology core index (rank-local for the sim)
+  double t_s = 0.0;      ///< onset, scenario seconds
+  double until_s = 0.0;  ///< thaw time (kFreeze) or +inf (kFail)
+
+  friend bool operator==(const CoreFault&, const CoreFault&) = default;
+};
+
+/// The engine-facing fault schedule: events sorted by (t_s, core).
+struct FaultPlan {
+  std::vector<CoreFault> events;
+
+  bool empty() const { return events.empty(); }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace das

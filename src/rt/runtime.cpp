@@ -24,6 +24,18 @@ Runtime::Runtime(const Topology& topo, Policy policy,
   bind_progress();  // before the workers spawn: they read progress_fn_ raw
 
   const int n = topo.num_cores();
+  faults_armed_ = !options_.faults.empty() || options_.enable_watchdog;
+  if (faults_armed_) {
+    for (const CoreFault& f : options_.faults.events) {
+      DAS_CHECK_MSG(f.core >= 0 && f.core < n,
+                    "fault plan core out of range for this topology");
+      DAS_CHECK(f.t_s >= 0.0);
+    }
+    dead_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c)
+      dead_[static_cast<std::size_t>(c)].store(false,
+                                               std::memory_order_relaxed);
+  }
   workers_.reserve(static_cast<std::size_t>(n));
   for (int c = 0; c < n; ++c) {
     auto w = std::make_unique<Worker>();
@@ -34,6 +46,7 @@ Runtime::Runtime(const Topology& topo, Policy policy,
     workers_[static_cast<std::size_t>(c)]->thread =
         std::thread([this, c] { worker_loop(c); });
   }
+  if (faults_armed_) watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 Runtime::~Runtime() {
@@ -42,6 +55,7 @@ Runtime::~Runtime() {
   // pre-park re-check sees the flag, or their prepare_wait predates these
   // notifies and the eventcount wakes them (util/eventcount.hpp).
   for (auto& w : workers_) w->ec.notify();
+  if (watchdog_.joinable()) watchdog_.join();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -52,6 +66,14 @@ double Runtime::scenario_now() const { return ns_to_s(now_ns() - epoch_ns_); }
 int Runtime::jobs_in_flight() const {
   MutexLock g(mu_);
   return static_cast<int>(jobs_.size());
+}
+
+bool Runtime::job_done(JobId id) const {
+  MutexLock g(mu_);
+  const auto it = jobs_.find(id);
+  DAS_CHECK_MSG(it != jobs_.end(),
+                "job " + std::to_string(id) + " is not in flight");
+  return it->second->done;
 }
 
 int Runtime::parked_workers() const {

@@ -70,6 +70,7 @@
 #include "core/policy.hpp"
 #include "core/ptt.hpp"
 #include "core/task_type.hpp"
+#include "platform/fault_plan.hpp"
 #include "platform/speed_model.hpp"
 #include "platform/throttle.hpp"
 #include "platform/topology.hpp"
@@ -92,6 +93,15 @@ struct RtOptions {
   UpdateRatio ptt_ratio{};
   int stats_phases = 1;
   int steal_attempts_per_round = 4;    ///< victims probed before backing off
+  /// Fail-stop / freeze schedule (scenario::resolve_faults output). A
+  /// non-empty plan spawns the watchdog thread, which arms each fault at
+  /// epoch + t_s and re-homes the retired workers' queued tasks.
+  FaultPlan faults{};
+  /// Runs the watchdog even with an empty plan — needed by
+  /// inject_worker_wedge() and by services that want wedge detection on an
+  /// otherwise healthy pool.
+  bool enable_watchdog = false;
+  double watchdog_period_s = 0.001;  ///< watchdog tick == detection grain
 };
 
 class Runtime {
@@ -134,6 +144,10 @@ class Runtime {
   /// Jobs submitted but not yet wait()ed to completion (== the size of the
   /// internal job map: finished-and-waited jobs are erased eagerly).
   int jobs_in_flight() const;
+  /// Non-blocking probe: has job `id` (submitted, not yet wait()ed)
+  /// completed? The timed waits of Executor::wait_for poll this between
+  /// parks instead of committing to the blocking wait().
+  bool job_done(JobId id) const;
   /// Which dequeue/execute loop the workers run: a per-policy fused
   /// instantiation ("fused:DAM-C") whose scheduling hooks inline into the
   /// progress round, or "generic" (an unrecognised future policy). Cost
@@ -144,6 +158,22 @@ class Runtime {
   /// starved-pool tests use it to observe that idle workers sleep instead
   /// of spinning).
   int parked_workers() const;
+
+  /// Tasks re-executed after a fail-stop reclaimed a participation (the
+  /// at-least-once execution / exactly-once completion accounting of the
+  /// fault-tolerance layer). 0 on a healthy run.
+  std::uint64_t tasks_reexecuted() const {
+    return tasks_reexecuted_.load(std::memory_order_relaxed);
+  }
+  /// Workers retired by the watchdog (planned fail-stops + detected wedges).
+  int workers_failed() const {
+    return workers_failed_.load(std::memory_order_relaxed);
+  }
+  /// Test API: makes worker `core` go silent at its next loop top — no
+  /// heartbeat, no queue consumption, no self-quarantine — so the watchdog
+  /// must DETECT the failure from heartbeat staleness and re-home its work.
+  /// Requires the watchdog (RtOptions::enable_watchdog or a non-empty plan).
+  void inject_worker_wedge(int core);
 
   /// Installs a hook invoked (from the finishing worker's thread) each time
   /// a job's last task completes, AFTER the runtime released its internal
@@ -225,6 +255,27 @@ class Runtime {
     std::atomic<bool> parked{false};  // set before the pre-park work re-check
     Xoshiro256 rng;
     std::thread thread;
+    // Fault-tolerance plumbing (rt/watchdog.cpp); all of it inert — never
+    // loaded or stored — unless faults_armed_.
+    std::atomic<std::uint64_t> heartbeat{0};   ///< bumped each loop top
+    std::atomic<std::uint8_t> fault_state{0};  ///< FaultState transitions
+    std::atomic<std::int64_t> freeze_until_ns{0};  ///< absolute thaw time
+    std::atomic<bool> in_round{false};  ///< inside a progress round (may block
+                                    ///< in run_work; exempt from wedge scan)
+  };
+
+  /// Worker::fault_state values. Healthy -> (kWedgeRequested |
+  /// kQuarantineRequested) is written by the injector/watchdog; the worker
+  /// itself publishes kQuarantined (release) right before it stops consuming
+  /// its queues, which is the watchdog's license to become their sole
+  /// consumer (acquire) and re-home what is left. A wedged worker never
+  /// acks; the watchdog force-marks it kQuarantined after the heartbeat
+  /// grace period, relying on in_round to prove it holds no queue pop.
+  enum FaultState : std::uint8_t {
+    kHealthy = 0,
+    kWedgeRequested,       ///< test injection: go silent, never ack
+    kQuarantineRequested,  ///< planned fail-stop: ack then retire
+    kQuarantined,          ///< retired; queues belong to the watchdog
   };
 
   // worker.cpp
@@ -270,6 +321,29 @@ class Runtime {
   MpscQueue::Node* wide_hooks(Job* job, NodeId id);
   void complete_job(Job* job);
 
+  // rt/watchdog.cpp — the fault-tolerance layer. A participation reclaimed
+  // from a dead worker's AQ is a "wounded" task: the watchdog (its sole
+  // accountant) waits until every live participant of the doomed attempt
+  // has departed, then resets the record and re-wakes it — at-least-once
+  // execution, exactly-once completion, single requeuer by construction.
+  struct Wounded {
+    TaskRec* task = nullptr;
+    int lost = 0;  ///< participations reclaimed from dead workers
+  };
+  void watchdog_loop();
+  void drain_worker(int core, std::vector<Wounded>& wounded);
+  void poll_wounded(std::vector<Wounded>& wounded);
+  void requeue_task(TaskRec* task);
+  /// Cyclic scan for a non-retired worker starting at `from`; aborts if the
+  /// whole pool died (resolve_faults refuses such plans up front).
+  int live_worker_after(int from) const;
+  bool worker_dead(int c) const {  // callers gate on faults_armed_
+    return dead_[static_cast<std::size_t>(c)].load(std::memory_order_acquire);
+  }
+  void quarantine_self(int core);  // ack + retire (thread exits)
+  void wedge_self();               // go silent until shutdown
+  void freeze_self(int core, std::int64_t thaw_ns);
+
   // runtime.cpp
   void submit_roots(Job& job);
 
@@ -299,6 +373,17 @@ class Runtime {
   // notify_stealers' fence — see util/eventcount.hpp).
   std::atomic<int> parked_count_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Fault-tolerance state (rt/watchdog.cpp). faults_armed_ is written once
+  // before the workers spawn; every per-dispatch fault check hides behind
+  // it, so a healthy runtime pays one predictable branch. dead_[c] flips
+  // true exactly once, when worker c's queues pass to the watchdog; wake
+  // routing and place molding consult it to steer new work to survivors.
+  bool faults_armed_ = false;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<std::uint64_t> tasks_reexecuted_{0};
+  std::atomic<int> workers_failed_{0};
+  std::thread watchdog_;
 
   // Job coordination. jobs_ and the per-job `done` flags are guarded by
   // mu_; cv_ is the per-job completion latch (workers park on their

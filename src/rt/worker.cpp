@@ -25,10 +25,38 @@ void Runtime::worker_loop(int core) {
 
   int idle_rounds = 0;
   for (;;) {
+    if (faults_armed_) [[unlikely]] {
+      // Fault checks happen only here, at a loop top — never mid-task — so
+      // a planned fail-stop loses queued work but no in-flight
+      // participation (rt/watchdog.cpp). in_round brackets the progress
+      // round: a worker blocked in run_work is exempt from the wedge scan,
+      // and conversely any worker with in_round == false provably holds no
+      // queue pop, which is what licenses a forced takeover.
+      self.in_round.store(false, std::memory_order_seq_cst);
+      self.heartbeat.fetch_add(1, std::memory_order_relaxed);
+      const std::uint8_t fs = self.fault_state.load(std::memory_order_acquire);
+      if (fs == kWedgeRequested) {
+        wedge_self();
+        return;
+      }
+      if (fs == kQuarantineRequested || fs == kQuarantined) {
+        quarantine_self(core);
+        return;
+      }
+      const std::int64_t thaw =
+          self.freeze_until_ns.load(std::memory_order_acquire);
+      if (thaw > now_ns()) {
+        freeze_self(core, thaw);
+        continue;
+      }
+      self.in_round.store(true, std::memory_order_seq_cst);
+    }
     if (progress_fn_(*this, core)) {
       idle_rounds = 0;
       continue;
     }
+    if (faults_armed_) [[unlikely]]
+      self.in_round.store(false, std::memory_order_seq_cst);
     if (++idle_rounds <= kSpinRoundsBeforePark) {
       for (int i = 0; i < 64; ++i) cpu_relax();
       continue;
@@ -189,11 +217,24 @@ Runtime::TaskRec* Runtime::try_steal(int core) {
 template <class Hooks>
 void Runtime::distribute_t(int core, TaskRec* task,
                            const ExecutionPlace& place) {
-  DAS_ASSERT(topo_->is_valid_place(place));
-  DAS_ASSERT(place.width <= max_place_width_);
-  task->place = place;
+  ExecutionPlace p = place;
+  if (faults_armed_) [[unlikely]] {
+    // A place that touches a retired worker would strand its AQ slots:
+    // degrade to solo on the (live) distributing worker. Conservative but
+    // simple, and the policy re-molds the next wake against the shrunken
+    // pool anyway.
+    for (int i = 0; i < p.width; ++i) {
+      if (worker_dead(p.leader + i)) {
+        p = ExecutionPlace{core, 1};
+        break;
+      }
+    }
+  }
+  DAS_ASSERT(topo_->is_valid_place(p));
+  DAS_ASSERT(p.width <= max_place_width_);
+  task->place = p;
   task->has_fixed_place = true;
-  if (place.width == 1 && place.leader == core) {
+  if (p.width == 1 && p.leader == core) {
     // Solo self-assembly — the dominant fine-grained case: the distributing
     // worker is the whole place, so skip the AQ round-trip (an MPSC
     // push/pop pair plus a progress-loop lap per task) and execute in
@@ -210,14 +251,14 @@ void Runtime::distribute_t(int core, TaskRec* task,
   // lazily-allocated wide-hook arena.
   const auto* workers = workers_.data();
   MpscQueue::Node* wide =
-      place.width > 1 ? wide_hooks(task->job, task->id) : nullptr;
-  for (int i = 0; i < place.width; ++i) {
+      p.width > 1 ? wide_hooks(task->job, task->id) : nullptr;
+  for (int i = 0; i < p.width; ++i) {
     MpscQueue::Node* hook =
         i == 0 ? &task->ready_hook : &wide[static_cast<std::size_t>(i - 1)];
-    workers[static_cast<std::size_t>(place.leader + i)]->aq.push(hook, task);
+    workers[static_cast<std::size_t>(p.leader + i)]->aq.push(hook, task);
   }
-  for (int i = 0; i < place.width; ++i) {
-    const int c = place.leader + i;
+  for (int i = 0; i < p.width; ++i) {
+    const int c = p.leader + i;
     if (c != core) workers[static_cast<std::size_t>(c)]->ec.notify();
   }
 }
@@ -369,8 +410,15 @@ template <class Hooks>
 void Runtime::wake_task_t(TaskRec* task, int waking_core,
                           bool caller_is_worker) {
   const DagNode& node = *task->node;
-  const WakeDecision wd =
+  WakeDecision wd =
       Hooks::on_ready(*policy_, node.type, node.priority, waking_core);
+  if (faults_armed_) [[unlikely]] {
+    // Never route to a retired worker: its queues belong to the watchdog
+    // (which would re-home the task, but only a tick later). A fixed place
+    // that touches a dead worker degrades at distribute time.
+    if (worker_dead(wd.queue_core))
+      wd.queue_core = live_worker_after(wd.queue_core);
+  }
 
   if (wd.has_fixed_place) {
     task->place = wd.fixed_place;

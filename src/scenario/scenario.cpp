@@ -1,5 +1,6 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -70,6 +71,31 @@ void validate(const ChurnSpec& c, const std::string& ctx) {
   if (c.min_len_s > c.max_len_s) fail(ctx, "min_len_s must be <= max_len_s");
 }
 
+void validate(const FaultSpec& f, const std::string& ctx) {
+  const int ways = (f.cluster != FaultSpec::kNoCluster ? 1 : 0) +
+                   (f.fraction != 0.0 ? 1 : 0) + (f.cores.empty() ? 0 : 1);
+  if (ways == 0)
+    fail(ctx, "needs victim cores (a core list, \"cluster:<idx|fastest>\" or "
+              "\"fraction:<f>\")");
+  if (ways > 1)
+    fail(ctx, "give exactly one of a core list, a cluster reference or a "
+              "fraction");
+  if (f.cluster < 0 && f.cluster != FaultSpec::kNoCluster &&
+      f.cluster != kFastestCluster)
+    fail(ctx, "cluster must be >= 0 or \"fastest\"");
+  for (int c : f.cores)
+    if (c < 0) fail(ctx, "core ids must be >= 0");
+  if (f.fraction != 0.0 && !(f.fraction > 0.0 && f.fraction < 1.0))
+    fail(ctx, "fraction must be in (0, 1), got " + std::to_string(f.fraction));
+  if (!(f.t_s >= 0.0) || !std::isfinite(f.t_s))
+    fail(ctx, "t must be >= 0 and finite");
+  if (f.kind == FaultSpec::Kind::kFreeze &&
+      (!(f.duration_s > 0.0) || !std::isfinite(f.duration_s)))
+    fail(ctx, "duration_s must be > 0 and finite");
+  if (f.kind == FaultSpec::Kind::kStraggler)
+    validate_share(ctx, "slowdown", f.slowdown);
+}
+
 void validate(const ScenarioSpec& spec, const std::string& origin) {
   auto ctx = [&](const char* section, std::size_t i) {
     return origin + ": " + section + "[" + std::to_string(i) + "]";
@@ -82,6 +108,8 @@ void validate(const ScenarioSpec& spec, const std::string& origin) {
     validate(spec.ramps[i], ctx("ramps", i));
   for (std::size_t i = 0; i < spec.churn.size(); ++i)
     validate(spec.churn[i], ctx("churn", i));
+  for (std::size_t i = 0; i < spec.faults.size(); ++i)
+    validate(spec.faults[i], ctx("faults", i));
 }
 
 }  // namespace
@@ -167,10 +195,43 @@ ScenarioSpec make_phase_flip() {
   return s;
 }
 
+// Fail-stop limit case of the dynamic-asymmetry story: a quarter of the
+// cores (the highest-numbered ones; core 0 always survives) die for good
+// one second in. Exercises the engines' reclaim/re-release recovery path.
+ScenarioSpec make_fail_stop() {
+  ScenarioSpec s;
+  s.name = "fail-stop";
+  s.faults.push_back(FaultSpec{.kind = FaultSpec::Kind::kFail,
+                               .cores = {},
+                               .cluster = FaultSpec::kNoCluster,
+                               .fraction = 0.25,
+                               .t_s = 1.0,
+                               .duration_s = 1.0,
+                               .slowdown = 0.2});
+  return s;
+}
+
+// Permanent stragglers: a quarter of the cores drop to 20% speed half a
+// second in and never recover — the tail-latency condition. Expands into
+// forever interference windows, so it runs unchanged on both engines.
+ScenarioSpec make_straggler_tail() {
+  ScenarioSpec s;
+  s.name = "straggler-tail";
+  s.faults.push_back(FaultSpec{.kind = FaultSpec::Kind::kStraggler,
+                               .cores = {},
+                               .cluster = FaultSpec::kNoCluster,
+                               .fraction = 0.25,
+                               .t_s = 0.5,
+                               .duration_s = 1.0,
+                               .slowdown = 0.2});
+  return s;
+}
+
 const std::vector<ScenarioSpec>& catalog() {
   static const std::vector<ScenarioSpec> kCatalog = {
       make_clean(),          make_dvfs_wave(),    make_interference_burst(),
       make_ramp_down(),      make_random_churn(), make_phase_flip(),
+      make_fail_stop(),      make_straggler_tail(),
   };
   return kCatalog;
 }
@@ -208,6 +269,15 @@ namespace {
 json::Value cluster_to_json(int cluster) {
   if (cluster == kFastestCluster) return json::Value("fastest");
   return json::Value(cluster);
+}
+
+const char* fault_kind_name(FaultSpec::Kind k) {
+  switch (k) {
+    case FaultSpec::Kind::kFail: return "fail";
+    case FaultSpec::Kind::kFreeze: return "freeze";
+    case FaultSpec::Kind::kStraggler: return "straggler";
+  }
+  return "fail";
 }
 
 }  // namespace
@@ -280,6 +350,29 @@ json::Value to_json(const ScenarioSpec& spec) {
       arr.push_back(std::move(o));
     }
     doc.set("churn", std::move(arr));
+  }
+  if (!spec.faults.empty()) {
+    json::Value arr = json::Value::array();
+    for (const FaultSpec& f : spec.faults) {
+      json::Value o = json::Value::object();
+      o.set("kind", fault_kind_name(f.kind));
+      if (f.cluster != FaultSpec::kNoCluster) {
+        o.set("cores", f.cluster == kFastestCluster
+                           ? "cluster:fastest"
+                           : "cluster:" + std::to_string(f.cluster));
+      } else if (f.fraction != 0.0) {
+        o.set("fraction", f.fraction);
+      } else {
+        json::Value cores = json::Value::array();
+        for (int c : f.cores) cores.push_back(c);
+        o.set("cores", std::move(cores));
+      }
+      o.set("t", f.t_s);
+      if (f.kind == FaultSpec::Kind::kFreeze) o.set("duration_s", f.duration_s);
+      if (f.kind == FaultSpec::Kind::kStraggler) o.set("slowdown", f.slowdown);
+      arr.push_back(std::move(o));
+    }
+    doc.set("faults", std::move(arr));
   }
   return doc;
 }
@@ -419,6 +512,61 @@ RampSpec ramp_from_json(const json::Value& v, const std::string& ctx) {
   return ramp;
 }
 
+FaultSpec fault_from_json(const json::Value& v, const std::string& ctx) {
+  ObjReader r(v, ctx);
+  FaultSpec f;
+  if (const json::Value* kind = r.take("kind")) {
+    if (!kind->is_string())
+      fail(ctx, "\"kind\" must be \"fail\", \"freeze\" or \"straggler\"");
+    const std::string& s = kind->as_string();
+    if (s == "fail") {
+      f.kind = FaultSpec::Kind::kFail;
+    } else if (s == "freeze") {
+      f.kind = FaultSpec::Kind::kFreeze;
+    } else if (s == "straggler") {
+      f.kind = FaultSpec::Kind::kStraggler;
+    } else {
+      fail(ctx, "unknown fault kind \"" + s +
+                    "\" (expected \"fail\", \"freeze\" or \"straggler\")");
+    }
+  }
+  if (const json::Value* cores = r.take("cores")) {
+    if (cores->is_array()) {
+      for (const json::Value& c : cores->as_array()) {
+        if (!c.is_number() || c.as_number() != std::floor(c.as_number()))
+          fail(ctx, "\"cores\" must hold integer core ids");
+        f.cores.push_back(static_cast<int>(c.as_number()));
+      }
+      if (f.cores.empty()) fail(ctx, "\"cores\" must not be an empty list");
+    } else if (cores->is_string()) {
+      const std::string& s = cores->as_string();
+      if (s == "cluster:fastest") {
+        f.cluster = kFastestCluster;
+      } else if (s.rfind("cluster:", 0) == 0) {
+        try {
+          std::size_t used = 0;
+          f.cluster = std::stoi(s.substr(8), &used);
+          if (used != s.size() - 8 || f.cluster < 0)
+            throw std::invalid_argument(s);
+        } catch (const std::exception&) {
+          fail(ctx, "bad cluster reference \"" + s + "\"");
+        }
+      } else {
+        fail(ctx, "\"cores\" string must be \"cluster:<idx|fastest>\"");
+      }
+    } else {
+      fail(ctx, "\"cores\" must be an array or a cluster reference string");
+    }
+  }
+  f.fraction = r.num("fraction", f.fraction);
+  f.t_s = r.num("t", f.t_s);
+  f.duration_s = r.num("duration_s", f.duration_s);
+  f.slowdown = r.num("slowdown", f.slowdown);
+  r.finish();
+  validate(f, ctx);
+  return f;
+}
+
 ChurnSpec churn_from_json(const json::Value& v, const std::string& ctx) {
   ObjReader r(v, ctx);
   ChurnSpec c;
@@ -457,6 +605,7 @@ ScenarioSpec from_json(const json::Value& doc, const std::string& origin) {
   section("interference", interference_from_json, spec.interference);
   section("ramps", ramp_from_json, spec.ramps);
   section("churn", churn_from_json, spec.churn);
+  section("faults", fault_from_json, spec.faults);
   r.finish();
   return spec;
 }
@@ -487,6 +636,89 @@ ScenarioSpec load(const std::string& name_or_path) {
 }
 
 // --- building ----------------------------------------------------------------
+
+namespace {
+
+/// The concrete victim cores of one fault entry. Shared by build() (which
+/// expands stragglers into interference windows) and resolve_faults() (which
+/// schedules the engine-side fail/freeze events), so the two views of one
+/// spec always agree on who the victims are.
+std::vector<int> resolve_fault_cores(const FaultSpec& f, const Topology& topo,
+                                     const std::string& ctx) {
+  std::vector<int> cores;
+  if (f.cluster != FaultSpec::kNoCluster) {
+    const int cl = f.cluster == kFastestCluster ? topo.fastest_cluster() : f.cluster;
+    if (cl >= topo.num_clusters()) {
+      fail(ctx, "references cluster " + std::to_string(f.cluster) +
+                    " but the topology has " +
+                    std::to_string(topo.num_clusters()) + " clusters");
+    }
+    const Cluster& c = topo.cluster(cl);
+    for (int k = 0; k < c.num_cores; ++k) cores.push_back(c.first_core + k);
+    return cores;
+  }
+  if (f.fraction != 0.0) {
+    // Topology-agnostic share: the highest-numbered ceil(fraction * N)
+    // cores, capped at N-1 so core 0 — the engines' submission/root core —
+    // always survives.
+    const int n = topo.num_cores();
+    const int victims = std::min(
+        n - 1, static_cast<int>(std::ceil(f.fraction * static_cast<double>(n))));
+    for (int c = n - victims; c < n; ++c) cores.push_back(c);
+    return cores;
+  }
+  for (int c : f.cores) {
+    if (c >= topo.num_cores()) {
+      fail(ctx, "references core " + std::to_string(c) +
+                    " but the topology has " + std::to_string(topo.num_cores()) +
+                    " cores");
+    }
+  }
+  return f.cores;
+}
+
+}  // namespace
+
+FaultPlan resolve_faults(const ScenarioSpec& spec, const Topology& topo) {
+  const std::string origin = spec.name.empty() ? "<scenario>" : spec.name;
+  validate(spec, origin);
+  auto ctx = [&](std::size_t i) {
+    return origin + ": faults[" + std::to_string(i) + "]";
+  };
+
+  FaultPlan plan;
+  std::vector<char> dead(static_cast<std::size_t>(topo.num_cores()), 0);
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& f = spec.faults[i];
+    if (f.kind == FaultSpec::Kind::kStraggler) continue;  // build()'s job
+    for (int core : resolve_fault_cores(f, topo, ctx(i))) {
+      plan.events.push_back(CoreFault{
+          .kind = f.kind == FaultSpec::Kind::kFail ? CoreFault::Kind::kFail
+                                                   : CoreFault::Kind::kFreeze,
+          .core = core,
+          .t_s = f.t_s,
+          .until_s = f.kind == FaultSpec::Kind::kFail
+                         ? std::numeric_limits<double>::infinity()
+                         : f.t_s + f.duration_s});
+      if (f.kind == FaultSpec::Kind::kFail)
+        dead[static_cast<std::size_t>(core)] = 1;
+    }
+  }
+  if (!plan.events.empty()) {
+    bool survivor = false;
+    for (char d : dead) survivor = survivor || d == 0;
+    if (!survivor) {
+      fail(origin, "fail-stop faults kill every core of the topology; at "
+                   "least one core must survive to run the reclaimed work");
+    }
+  }
+  // Deterministic schedule: onset order, ties by core index.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const CoreFault& a, const CoreFault& b) {
+                     return a.t_s != b.t_s ? a.t_s < b.t_s : a.core < b.core;
+                   });
+  return plan;
+}
 
 SpeedScenario build(const ScenarioSpec& spec, const Topology& topo) {
   const std::string origin = spec.name.empty() ? "<scenario>" : spec.name;
@@ -564,6 +796,19 @@ SpeedScenario build(const ScenarioSpec& spec, const Topology& topo) {
                                             .victim_cluster_bw = 1.0,
                                             .global_bw = 1.0});
     }
+  }
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& f = spec.faults[i];
+    if (f.kind != FaultSpec::Kind::kStraggler) continue;  // engine-side
+    // A permanent straggler is pure speed-model sugar: a forever
+    // interference window at the residual share, identical on both engines.
+    std::vector<int> cores = resolve_fault_cores(f, topo, ctx("faults", i));
+    sc.add_interference(InterferenceEvent{.cores = std::move(cores),
+                                          .t_start = f.t_s,
+                                          .t_end = InterferenceSpec::kForever,
+                                          .cpu_share = f.slowdown,
+                                          .victim_cluster_bw = 1.0,
+                                          .global_bw = 1.0});
   }
   return sc;
 }

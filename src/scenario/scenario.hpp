@@ -32,7 +32,11 @@
 //                "steps": 6, "from": 1.0, "to": 0.25}],
 //     "churn": [{"seed": 2020, "events": 12, "horizon_s": 30.0,
 //                "min_share": 0.3, "max_share": 0.9,
-//                "min_len_s": 1.0, "max_len_s": 5.0}]
+//                "min_len_s": 1.0, "max_len_s": 5.0}],
+//     "faults": [{"kind": "fail"|"freeze"|"straggler",
+//                 "cores": [3,5]|"cluster:0"|"cluster:fastest",
+//                 "fraction": 0.25, "t": 1.0, "duration_s": 2.0,
+//                 "slowdown": 0.2}]
 //   }
 // "// ..." line comments are allowed. Malformed specs throw ScenarioError
 // with a file:line:col diagnostic; the CLI layer turns that into exit 2.
@@ -44,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "platform/fault_plan.hpp"
 #include "platform/speed_model.hpp"
 #include "platform/topology.hpp"
 #include "util/json.hpp"
@@ -118,15 +123,51 @@ struct ChurnSpec {
   friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
 };
 
+/// Declarative failure-domain event: a set of victim cores that fail-stop
+/// (`kFail`: dead for good at `t_s`), freeze (`kFreeze`: make no progress
+/// during [t_s, t_s + duration_s) and resume afterwards), or become
+/// permanent stragglers (`kStraggler`: run at `slowdown` x their base speed
+/// from t_s on — pure SpeedScenario sugar, so it works on both engines).
+/// Victims are an explicit core list, every core of a (possibly symbolic)
+/// cluster, or a topology-agnostic `fraction` in (0, 1): the highest-
+/// numbered ceil(fraction * num_cores) cores, capped so core 0 always
+/// survives (the engines require at least one live core).
+struct FaultSpec {
+  enum class Kind : std::uint8_t { kFail = 0, kFreeze, kStraggler };
+
+  Kind kind = Kind::kFail;
+  std::vector<int> cores;    ///< used when `cluster` == kNoCluster, fraction == 0
+  int cluster = kNoCluster;  ///< kFastestCluster or a concrete index
+  double fraction = 0.0;     ///< victim share of the topology; 0 = unused
+  double t_s = 1.0;          ///< fault onset (virtual/scenario seconds)
+  double duration_s = 1.0;   ///< freeze length (kFreeze only)
+  double slowdown = 0.2;     ///< residual speed share (kStraggler only)
+
+  static constexpr int kNoCluster = -2;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
 struct ScenarioSpec {
   std::string name;  ///< catalog name, file-given name, or "" (anonymous)
   std::vector<DvfsSpec> dvfs;
   std::vector<InterferenceSpec> interference;
   std::vector<RampSpec> ramps;
   std::vector<ChurnSpec> churn;
+  std::vector<FaultSpec> faults;
 
   bool empty() const {
-    return dvfs.empty() && interference.empty() && ramps.empty() && churn.empty();
+    return dvfs.empty() && interference.empty() && ramps.empty() &&
+           churn.empty() && faults.empty();
+  }
+
+  /// True when any fault entry needs engine-side handling (fail/freeze).
+  /// Stragglers expand into SpeedScenario windows at build() time and never
+  /// reach the engines' fault machinery.
+  bool has_engine_faults() const {
+    for (const FaultSpec& f : faults)
+      if (f.kind != FaultSpec::Kind::kStraggler) return true;
+    return false;
   }
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
@@ -135,7 +176,8 @@ struct ScenarioSpec {
 // --- catalog -----------------------------------------------------------------
 
 /// Built-in named conditions, in catalog order: "clean", "dvfs-wave",
-/// "interference-burst", "ramp-down", "random-churn", "phase-flip".
+/// "interference-burst", "ramp-down", "random-churn", "phase-flip",
+/// "fail-stop", "straggler-tail".
 const std::vector<std::string>& catalog_names();
 /// Catalog lookup (exact, case-sensitive); nullopt for unknown names.
 std::optional<ScenarioSpec> find_catalog(const std::string& name);
@@ -159,8 +201,18 @@ ScenarioSpec load(const std::string& name_or_path);
 // --- building ------------------------------------------------------------------
 
 /// Expands the spec against a concrete topology (resolves "fastest",
-/// staircases ramps, draws churn events) into the SpeedScenario both engines
-/// consume. Throws ScenarioError on references the topology cannot satisfy.
+/// staircases ramps, draws churn events, turns stragglers into forever
+/// interference windows) into the SpeedScenario both engines consume.
+/// Throws ScenarioError on references the topology cannot satisfy.
 SpeedScenario build(const ScenarioSpec& spec, const Topology& topo);
+
+/// Resolves the spec's fail/freeze faults against a concrete topology into
+/// the platform-layer plan both engines replay (kFail events carry
+/// until_s == +inf; kFreeze events thaw at until_s; stragglers expand into
+/// SpeedScenario windows instead, see build()). Throws ScenarioError on
+/// out-of-range cores, unsatisfiable cluster references, or a plan that
+/// fail-stops EVERY core (the engines need at least one survivor to run the
+/// reclaimed work).
+FaultPlan resolve_faults(const ScenarioSpec& spec, const Topology& topo);
 
 }  // namespace das::scenario

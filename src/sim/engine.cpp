@@ -114,6 +114,23 @@ SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
       for (std::size_t d = 0; d < num_ranks; ++d)
         if (d != r) sh.out[d] = std::make_unique<BoundaryQueue<BoundaryMsg>>();
     }
+    // Seed the rank's fault schedule into its heap (kFault events carry the
+    // schedule index in their job field). Without faults nothing is pushed
+    // and faults_enabled_ stays false: the event and RNG streams are
+    // byte-identical to the bare engine.
+    if (ranks[r].faults != nullptr && !ranks[r].faults->empty()) {
+      sh.faults = ranks[r].faults->events;
+      faults_enabled_ = true;
+      for (std::size_t i = 0; i < sh.faults.size(); ++i) {
+        const CoreFault& f = sh.faults[i];
+        DAS_CHECK_MSG(f.core >= 0 && f.core < sh.num_cores,
+                      "fault core " + std::to_string(f.core) +
+                          " out of range for rank " + std::to_string(r));
+        DAS_CHECK_MSG(f.t_s >= 0.0, "fault onset must be >= 0");
+        sh.events.push(f.t_s, Event{Ev::kFault, f.core,
+                                    static_cast<JobId>(i), kInvalidNode, -1});
+      }
+    }
   }
 
   protocol_threads_ =
@@ -129,9 +146,9 @@ SimEngine::SimEngine(std::vector<RankSpec> ranks, Policy policy,
 
 SimEngine::SimEngine(const Topology& topo, Policy policy,
                      const TaskTypeRegistry& registry, SimOptions options,
-                     const SpeedScenario* scenario)
-    : SimEngine(std::vector<RankSpec>{RankSpec{&topo, scenario}}, policy,
-                registry, options) {}
+                     const SpeedScenario* scenario, const FaultPlan* faults)
+    : SimEngine(std::vector<RankSpec>{RankSpec{&topo, scenario, faults}},
+                policy, registry, options) {}
 
 SimEngine::~SimEngine() {
   if (!workers_.empty()) {
@@ -169,6 +186,18 @@ std::uint64_t SimEngine::events_processed(int rank) const {
 std::uint64_t SimEngine::trace_hash(int rank) const {
   DAS_CHECK(rank >= 0 && rank < num_ranks());
   return shards_[static_cast<std::size_t>(rank)].trace_hash;
+}
+
+std::uint64_t SimEngine::tasks_reexecuted() const {
+  std::uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.tasks_reexecuted;
+  return n;
+}
+
+int SimEngine::cores_failed() const {
+  int n = 0;
+  for (const Shard& sh : shards_) n += sh.cores_failed;
+  return n;
 }
 
 bool SimEngine::events_pending() const {
@@ -402,6 +431,20 @@ void SimEngine::step_t(Shard& sh) {
     fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.task)));
     sh.trace_hash = h;
   }
+  if (faults_enabled_) [[unlikely]] {
+    // Per-core events against a failed or frozen core: a dead core's stale
+    // wakes/completions are dropped (its queued and in-flight work was
+    // reclaimed at the kFault event); a frozen core makes no progress inside
+    // its window, so its events re-materialize at the thaw instant.
+    if (e.kind == Ev::kWake || e.kind == Ev::kDone) {
+      const CoreState& cs = sh.cores[static_cast<std::size_t>(e.core)];
+      if (cs.dead) return;
+      if (sh.now < cs.frozen_until) {
+        defer_frozen(sh, e, cs.frozen_until);
+        return;
+      }
+    }
+  }
   switch (e.kind) {
     case Ev::kWake:
       set_inactive(sh, e.core);
@@ -419,6 +462,9 @@ void SimEngine::step_t(Shard& sh) {
     case Ev::kTimer:
       note_timer_fired(sh, e, sh.now);
       break;
+    case Ev::kFault:
+      handle_fault_t<Mode>(sh, e, sh.now);
+      break;
   }
 }
 // daslint: end-hot-path
@@ -428,6 +474,100 @@ void SimEngine::note_timer_fired(Shard& sh, const Event& e, double t) {
   DAS_ASSERT(timer_hook_);
   sh.deferred.push_back(
       Deferred{true, static_cast<std::uint64_t>(e.job), t});
+}
+
+// --- fail-stop / freeze machinery --------------------------------------------
+
+void SimEngine::defer_frozen(Shard& sh, const Event& e, double until) {
+  sh.events.push(until, e);
+}
+
+int SimEngine::live_fallback_core(const Shard& sh, int from) const {
+  const int n = sh.num_cores;
+  for (int i = 0; i < n; ++i) {
+    const int c = (from + i) % n;
+    if (!sh.cores[static_cast<std::size_t>(c)].dead) return c;
+  }
+  DAS_CHECK_MSG(false, "every core of rank " + std::to_string(sh.rank) +
+                           " is dead; the fault plan must leave a survivor");
+  return 0;
+}
+
+template <class Mode>
+void SimEngine::requeue_lost_t(Shard& sh, JobId job_id, NodeId id, double t) {
+  // Fresh attempt on the survivors. make_ready resets the TaskState (lost
+  // counter included) and re-runs the wake path; the dead-core reroutes in
+  // make_ready/distribute keep the new attempt off dead queues. Completion
+  // stays exactly-once: the lost attempt recorded nothing — its remaining
+  // kDone events belong to dead cores and are dropped in step_t.
+  ++sh.tasks_reexecuted;
+  make_ready_t<Mode>(sh, job_id, id, /*waking_core=*/-1, t);
+}
+
+template <class Mode>
+void SimEngine::reclaim_participation_t(Shard& sh, JobId job_id, NodeId id,
+                                        double t) {
+  Job& job = job_at(job_id);
+  TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
+  ++ts.lost;
+  DAS_ASSERT(ts.departures + ts.lost <= ts.place.width);
+  // Live participants (queued or running) still hold slots; the last of
+  // them triggers the re-release from handle_done. Only when none remain is
+  // the fault event itself the last accountant.
+  if (ts.departures + ts.lost == ts.place.width)
+    requeue_lost_t<Mode>(sh, job_id, id, t);
+}
+
+template <class Mode>
+void SimEngine::handle_fault_t(Shard& sh, const Event& e, double t) {
+  const CoreFault& f = sh.faults[static_cast<std::size_t>(e.job)];
+  CoreState& cs = sh.cores[static_cast<std::size_t>(f.core)];
+  if (f.kind == CoreFault::Kind::kFreeze) {
+    if (!cs.dead) cs.frozen_until = std::max(cs.frozen_until, f.until_s);
+    return;
+  }
+  if (cs.dead) return;  // overlapping fail-stop entries: first one wins
+  cs.dead = true;
+  ++sh.cores_failed;
+  // Pin the core "active" with no pending event: activate() no-ops forever
+  // and the idle-bitmap sweep skips it, so no new wake can ever target it.
+  set_active(sh, f.core);
+
+  // Re-home the queued-but-undistributed work. These tasks already passed
+  // make_ready (their TaskState is live), so they move queue-to-queue: the
+  // place decision happens later, at distribution, where dead members are
+  // degraded away. FIFO order keeps the re-home deterministic.
+  bool rehomed_stealable = false;
+  while (!cs.inbox.empty()) {
+    const QueuedTask qt = cs.inbox.front();
+    cs.inbox.pop_front();
+    const int target = live_fallback_core(sh, f.core);
+    sh.cores[static_cast<std::size_t>(target)].inbox.push_back(qt);
+    activate(sh, target, t, /*direct=*/true);
+  }
+  while (!cs.wsq.empty()) {
+    const QueuedTask qt = cs.wsq.front();
+    cs.wsq.pop_front();
+    const int target = live_fallback_core(sh, f.core);
+    wsq_push(sh, target, qt);
+    activate(sh, target, t);
+    rehomed_stealable = true;
+  }
+  wsq_mark_if_empty(sh, f.core);
+  if (rehomed_stealable) wake_idle_cores(sh, t);
+
+  // Account the lost participations: assembly slots queued in the dead
+  // core's AQ plus the one it was executing. Each may be the last
+  // outstanding slot of its task, in which case the task re-releases here.
+  while (!cs.aq.empty()) {
+    const Participation p = cs.aq.front();
+    cs.aq.pop_front();
+    reclaim_participation_t<Mode>(sh, p.job, p.task, t);
+  }
+  if (cs.busy) {
+    cs.busy = false;
+    reclaim_participation_t<Mode>(sh, cs.running.job, cs.running.task, t);
+  }
 }
 
 void SimEngine::set_service_hooks(
@@ -546,7 +686,13 @@ void SimEngine::make_ready_t(Shard& sh, JobId job_id, NodeId id,
 
   const WakeDecision wd = Mode::PolicyHooks::on_ready(*rank.policy, n.type,
                                                       n.priority, local_waker);
-  const int queue_core = wd.queue_core;
+  int queue_core = wd.queue_core;
+  if (faults_enabled_) [[unlikely]] {
+    // A dead core's queues are permanently unreachable; reroute to the next
+    // survivor (deterministic: pure function of the dead set).
+    if (sh.cores[static_cast<std::size_t>(queue_core)].dead)
+      queue_core = live_fallback_core(sh, queue_core);
+  }
 
   if (wd.has_fixed_place) {
     ts.has_fixed_place = true;
@@ -577,11 +723,24 @@ void SimEngine::distribute(Shard& sh, Job& job, JobId job_id, NodeId id,
   const Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
   DAS_CHECK_MSG(r.topo->is_valid_place(place),
                 "policy produced invalid place " + to_string(place));
+  ExecutionPlace p = place;
+  if (faults_enabled_) [[unlikely]] {
+    // Degrade a place containing dead members to a width-1 survivor: a
+    // participation pushed onto a dead core's AQ would be lost on arrival.
+    // Deterministic (function of the dead set); width-1 places are always
+    // valid.
+    for (int i = 0; i < p.width; ++i) {
+      if (sh.cores[static_cast<std::size_t>(p.leader + i)].dead) {
+        p = ExecutionPlace{live_fallback_core(sh, p.leader), 1};
+        break;
+      }
+    }
+  }
   TaskState& ts = job.tasks[static_cast<std::size_t>(id)];
-  ts.place = place;
+  ts.place = p;
   ts.has_fixed_place = true;
-  for (int i = 0; i < place.width; ++i) {
-    const int core = place.leader + i;
+  for (int i = 0; i < p.width; ++i) {
+    const int core = p.leader + i;
     sh.cores[static_cast<std::size_t>(core)].aq.push_back(
         Participation{job_id, id, i});
     activate(sh, core, t + options_.dispatch_overhead_s);
@@ -647,6 +806,7 @@ void SimEngine::start_participation_t(Shard& sh, int core,
   }
   set_active(sh, core);
   cs.busy = true;
+  cs.running = p;  // lets a core-death event reclaim the in-flight task
   sh.events.push(t + cost, Event{Ev::kDone, core, p.job, p.task, -1});
 }
 
@@ -767,7 +927,23 @@ void SimEngine::handle_done_t(Shard& sh, const Event& e, double t) {
   Rank& r = ranks_[static_cast<std::size_t>(sh.rank)];
 
   ts.departures++;
-  DAS_ASSERT(ts.departures <= ts.place.width);
+  DAS_ASSERT(ts.departures + ts.lost <= ts.place.width);
+  if (faults_enabled_ && ts.lost > 0) [[unlikely]] {
+    // This attempt lost participants to a core death: it can never complete
+    // (departures can no longer reach width). The last live finisher
+    // re-releases the task to the survivors; the completion bookkeeping
+    // below belongs to the fresh attempt, which starts from a reset
+    // TaskState.
+    if (ts.departures + ts.lost == ts.place.width)
+      requeue_lost_t<Mode>(sh, e.job, e.task, t);
+    CoreState& finisher = sh.cores[static_cast<std::size_t>(e.core)];
+    DAS_ASSERT(finisher.busy);
+    finisher.busy = false;
+    set_active(sh, e.core);
+    sh.events.push_lane(kLaneCompletion, t + options_.completion_overhead_s,
+                        Event{Ev::kWake, e.core, kInvalidJob, kInvalidNode, -1});
+    return;
+  }
   if (ts.departures == ts.place.width) {
     // Last finisher: train the PTT and release successors (paper Fig. 3
     // step 8). The PTT learns the task's intrinsic duration at this place —

@@ -89,6 +89,7 @@
 #include "core/policy.hpp"
 #include "core/ptt.hpp"
 #include "core/task_type.hpp"
+#include "platform/fault_plan.hpp"
 #include "platform/speed_model.hpp"
 #include "platform/topology.hpp"
 #include "sim/boundary_queue.hpp"
@@ -140,10 +141,13 @@ struct SimOptions {
   Timeline* timeline = nullptr;
 };
 
-/// One scheduling domain (a machine node). `scenario` may be null.
+/// One scheduling domain (a machine node). `scenario` and `faults` may be
+/// null; a non-empty fault plan (cores of THIS rank, rank-local ids) seeds
+/// fail-stop/freeze events into the rank's shard at construction.
 struct RankSpec {
   const Topology* topo = nullptr;
   const SpeedScenario* scenario = nullptr;
+  const FaultPlan* faults = nullptr;
 };
 
 class SimEngine {
@@ -152,7 +156,8 @@ class SimEngine {
             const TaskTypeRegistry& registry, SimOptions options = {});
   /// Single-rank convenience.
   SimEngine(const Topology& topo, Policy policy, const TaskTypeRegistry& registry,
-            SimOptions options = {}, const SpeedScenario* scenario = nullptr);
+            SimOptions options = {}, const SpeedScenario* scenario = nullptr,
+            const FaultPlan* faults = nullptr);
 
   SimEngine(const SimEngine&) = delete;
   SimEngine& operator=(const SimEngine&) = delete;
@@ -205,6 +210,11 @@ class SimEngine {
   int num_ranks() const { return static_cast<int>(ranks_.size()); }
   /// Jobs submitted but not yet wait()ed to completion.
   int jobs_in_flight() const { return live_jobs_; }
+  /// Fail-stop recovery accounting, summed over ranks: tasks re-released to
+  /// survivors after losing at least one participant, and cores fail-stopped
+  /// so far. Deterministic functions of (seed, fault plan, submission trace).
+  std::uint64_t tasks_reexecuted() const;
+  int cores_failed() const;
 
   ExecutionStats& stats(int rank = 0);
   const ExecutionStats& stats(int rank = 0) const;
@@ -244,7 +254,7 @@ class SimEngine {
   bool job_done(JobId id) { return job_of(id).done; }
 
  private:
-  enum class Ev : std::uint8_t { kWake, kDone, kRelease, kRoot, kTimer };
+  enum class Ev : std::uint8_t { kWake, kDone, kRelease, kRoot, kTimer, kFault };
   struct Event {
     Ev kind;
     int core = -1;             // rank-LOCAL core id (kWake, kDone)
@@ -294,6 +304,16 @@ class SimEngine {
     RingBuffer<Participation> aq;      // FIFO (pop front)
     bool active = false;               // has a pending kWake/kDone event
     bool busy = false;                 // mid-participation (invariant check)
+    /// Fail-stopped: queues reclaimed, active pinned true forever so
+    /// activate() no-ops and the idle-bitmap sweep never wakes it again.
+    bool dead = false;
+    /// Freeze thaw instant: pending kWake/kDone popped before this are
+    /// re-pushed at it (no progress inside the window). -inf-free sentinel.
+    double frozen_until = -1.0;
+    /// The participation currently executing (valid while busy): lets a
+    /// core-death event reclaim its in-flight task. Written unconditionally
+    /// — a plain store never perturbs the event/RNG streams.
+    Participation running{};
   };
 
   struct TaskState {
@@ -301,6 +321,11 @@ class SimEngine {
     ExecutionPlace place{};
     int arrivals = 0;
     int departures = 0;
+    /// Participations lost to core deaths: the task re-releases (fresh
+    /// attempt on survivors) once departures + lost == place.width — live
+    /// participants always finish their busy window first, so completion
+    /// stays exactly-once.
+    int lost = 0;
     double first_arrival = 0.0;
     double max_cost = 0.0;  ///< slowest participant's busy time
     double completion = -1.0;
@@ -377,6 +402,12 @@ class SimEngine {
     std::vector<std::uint64_t> idle_bits;  // bit set <=> !cores[c].active
     std::vector<std::uint64_t> wsq_bits;   // bit set <=> !cores[c].wsq.empty()
     std::vector<Deferred> deferred;
+    /// This rank's resolved fault schedule (empty without faults). Seeded
+    /// into the event heap at construction; kFault events carry an index
+    /// into this vector in their job field.
+    std::vector<CoreFault> faults;
+    std::uint64_t tasks_reexecuted = 0;
+    int cores_failed = 0;
     /// Out-bound boundary-release queues, one per destination rank
     /// ([self] stays null). This shard is the only producer; the
     /// destination shard drains in window phase 2.
@@ -456,6 +487,28 @@ class SimEngine {
   template <class Mode>
   DAS_HOT_INLINE void handle_wake_t(Shard& sh, int core, double t);
   template <class Mode> void handle_done_t(Shard& sh, const Event& e, double t);
+  // --- fail-stop / freeze machinery (engine.cpp, outside the lint regions) --
+  // Everything below is reached only when faults_enabled_; an empty fault
+  // plan leaves the event and RNG streams byte-identical to the bare engine
+  // (the determinism goldens pin this).
+  /// kFault dispatch: freeze extends the core's thaw instant; fail-stop
+  /// marks the core dead, reclaims its inbox/WSQ entries (re-homed to a
+  /// survivor) and counts its queued + in-flight participations lost.
+  template <class Mode> void handle_fault_t(Shard& sh, const Event& e, double t);
+  /// One participation lost to a core death; re-releases the task when no
+  /// live participant remains outstanding.
+  template <class Mode>
+  void reclaim_participation_t(Shard& sh, JobId job_id, NodeId id, double t);
+  /// Re-releases a task whose attempt lost participants (exactly-once: the
+  /// lost attempt recorded no completion).
+  template <class Mode>
+  void requeue_lost_t(Shard& sh, JobId job_id, NodeId id, double t);
+  /// Outlined freeze deferral (the call site sits inside the step hot-path
+  /// lint region; the heap push must not).
+  void defer_frozen(Shard& sh, const Event& e, double until);
+  /// First live core at or cyclically after `from`; checks the rank still
+  /// has survivors.
+  int live_fallback_core(const Shard& sh, int from) const;
   template <class Mode>
   void handle_release_t(Shard& sh, const Event& e, double t);
   template <class Mode>
@@ -525,6 +578,9 @@ class SimEngine {
   Policy policy_kind_;
   const TaskTypeRegistry* registry_;
   SimOptions options_;
+  /// Any rank has a non-empty fault plan. Gates every fault check in the
+  /// hot handlers behind one predicted-untaken branch.
+  bool faults_enabled_ = false;
 
   // Slot-indexed job table. JobIds are handed out monotonically, so the
   // id -> slot resolution is a flat window [lookup_base_, next_job_): two

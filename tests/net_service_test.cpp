@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "exec/executor.hpp"
@@ -98,7 +101,8 @@ TEST_F(NetServiceTest, RunResultWireRoundTrip) {
   in.tenant = "team-a";
   in.backend = 0;
   in.policy = 3;
-  in.rejected = 0;
+  in.outcome = 2;  // kTimedOut
+  in.tasks_reexecuted = 5;
   net::WireWriter w;
   net::encode_run_result(in, w);
   net::WireReader r(w.data(), w.size());
@@ -111,7 +115,8 @@ TEST_F(NetServiceTest, RunResultWireRoundTrip) {
   EXPECT_EQ(out.queue_s, in.queue_s);
   EXPECT_EQ(out.tenant, in.tenant);
   EXPECT_EQ(out.policy, in.policy);
-  EXPECT_EQ(out.rejected, in.rejected);
+  EXPECT_EQ(out.outcome, in.outcome);
+  EXPECT_EQ(out.tasks_reexecuted, in.tasks_reexecuted);
 }
 
 TEST_F(NetServiceTest, RemoteSubmissionMatchesLocalRunBitwise) {
@@ -144,7 +149,7 @@ TEST_F(NetServiceTest, RemoteSubmissionMatchesLocalRunBitwise) {
   EXPECT_EQ(got.arrival_s, want.arrival_s);
   EXPECT_EQ(static_cast<Backend>(got.backend), want.backend);
   EXPECT_EQ(static_cast<Policy>(got.policy), want.policy);
-  EXPECT_FALSE(got.rejected);
+  EXPECT_TRUE(got.ok());
 }
 
 TEST_F(NetServiceTest, MultiClientSessionsOverTheWire) {
@@ -184,9 +189,94 @@ TEST_F(NetServiceTest, MultiClientSessionsOverTheWire) {
       EXPECT_EQ(r.tenant, "client-" + std::to_string(c + 1));
       EXPECT_EQ(r.tasks, 30);
       EXPECT_GT(r.makespan_s, 0.0);
-      EXPECT_FALSE(r.rejected);
+      EXPECT_TRUE(r.ok());
     }
   }
+}
+
+TEST_F(NetServiceTest, ResubmitTokenIsIdempotent) {
+  // At-least-once client retry, exactly-once server submission: re-sending
+  // a submit with the SAME idempotency token returns the original JobId and
+  // enqueues nothing (one job's worth of tasks runs, not two).
+  net::World world(2);
+  world.run([&](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto exec = fresh_sim();
+      net::serve_executor(comm, *exec);
+      return;
+    }
+    net::ServiceClient client(comm, 0);
+    const Dag dag = paper_dag(3, 30);
+    const JobId first = client.resubmit(dag, {}, /*session=*/-1, /*token=*/77);
+    const JobId again = client.resubmit(dag, {}, /*session=*/-1, /*token=*/77);
+    EXPECT_EQ(first, again);
+    const net::WireRunResult r = client.wait(first);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.tasks, 30);
+    // A fresh token is a genuinely new job.
+    const JobId other = client.resubmit(dag, {}, /*session=*/-1, /*token=*/78);
+    EXPECT_NE(other, first);
+    EXPECT_TRUE(client.wait(other).ok());
+    client.bye();
+  });
+}
+
+TEST_F(NetServiceTest, ClientWaitForTimesOutThenCompletes) {
+  // The bounded remote wait: a too-short bound replies "not yet" and the
+  // job stays waitable; a generous bound delivers the normal result. ping()
+  // rides along as the zero-cost liveness refresh.
+  net::World world(2);
+  world.run([&](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto exec = fresh_sim();
+      net::serve_executor(comm, *exec);
+      return;
+    }
+    net::ServiceClient client(comm, 0);
+    client.ping();
+    const JobId id = client.submit(paper_dag(4, 40));
+    const std::optional<net::WireRunResult> first = client.wait_for(id, 0.0);
+    EXPECT_FALSE(first.has_value());
+    const std::optional<net::WireRunResult> second = client.wait_for(id, 60.0);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->ok());
+    EXPECT_EQ(second->tasks, 40);
+    client.bye();
+  });
+}
+
+TEST_F(NetServiceTest, ServerReapsDeadClient) {
+  // Fail-stop client: rank 2 submits a job and VANISHES without bye.
+  // A reaping server must notice the silence, drain the orphan job, count
+  // the seat as departed, and still return — world.run() completing is the
+  // liveness assertion (a non-reaping server would block forever).
+  net::WireRunResult live_result;
+  net::World world(3);
+  world.run([&](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto exec = fresh_sim();
+      net::ServeOptions opts;
+      opts.client_timeout_s = 0.25;
+      opts.tick_s = 0.02;
+      net::serve_executor(comm, *exec, opts);
+      return;
+    }
+    net::ServiceClient client(comm, 0);
+    if (comm.rank() == 2) {
+      client.submit(paper_dag(3, 30));
+      return;  // fail-stop: no wait, no bye
+    }
+    // Rank 1 stays live well past rank 2's reaping (pings keep its seat).
+    const JobId id = client.submit(paper_dag(4, 40));
+    live_result = client.wait(id);
+    for (int i = 0; i < 30; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      client.ping();
+    }
+    client.bye();
+  });
+  EXPECT_TRUE(live_result.ok());
+  EXPECT_EQ(live_result.tasks, 40);
 }
 
 }  // namespace

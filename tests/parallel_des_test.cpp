@@ -130,6 +130,70 @@ TEST_F(ParallelDesTest, OversubscribedThreadsClampToRanks) {
   EXPECT_TRUE(serial == par);
 }
 
+/// Fail-stop faults are rank-local events inside the windowed protocol: a
+/// per-rank FaultPlan (resolve_faults keeps core 0 of each rank alive, so
+/// no rank ever leaves the protocol) must replay bitwise across serial and
+/// parallel window execution — including the reclaim/re-release recovery.
+TEST_F(ParallelDesTest, FailStopFaultsBitwiseEqualAcrossDesThreads) {
+  const Dag dag = heat_dag(3);
+  const Topology* topos[] = {&tx2_, &haswell_, &small_};
+
+  // Clean serial probe sizes the onset so the kills land mid-run on every
+  // rank's schedule.
+  const CellResult clean =
+      run_cell(asymmetric_ranks(), dag, Policy::kDamC, 1, false, kDefaultSeed);
+
+  scenario::ScenarioSpec spec;
+  spec.name = "parallel-fail";
+  spec.faults.push_back(scenario::FaultSpec{
+      .kind = scenario::FaultSpec::Kind::kFail,
+      .cores = {},
+      .cluster = scenario::FaultSpec::kNoCluster,
+      .fraction = 0.25,
+      .t_s = clean.makespan * 0.3,
+      .duration_s = 0.0,
+      .slowdown = 0.0});
+  std::vector<FaultPlan> plans;
+  for (const Topology* t : topos)
+    plans.push_back(scenario::resolve_faults(spec, *t));
+  std::vector<RankSpec> ranks;
+  for (std::size_t r = 0; r < plans.size(); ++r)
+    ranks.push_back(RankSpec{topos[r], nullptr, &plans[r]});
+
+  struct FaultyRun {
+    CellResult cell;
+    std::uint64_t reexecuted = 0;
+    int failed = 0;
+  };
+  const auto run_faulty = [&](int des_threads) {
+    SimOptions o;
+    o.seed = kDefaultSeed;
+    o.des_threads = des_threads;
+    o.hash_traces = true;
+    SimEngine eng(ranks, Policy::kDamC, registry_, o);
+    FaultyRun res;
+    res.cell.makespan = eng.run(dag);
+    res.cell.lookahead = eng.lookahead_s();
+    for (int r = 0; r < static_cast<int>(ranks.size()); ++r) {
+      res.cell.hashes.push_back(eng.trace_hash(r));
+      res.cell.events.push_back(eng.events_processed(r));
+    }
+    res.reexecuted = eng.tasks_reexecuted();
+    res.failed = eng.cores_failed();
+    return res;
+  };
+
+  const FaultyRun serial = run_faulty(1);
+  const FaultyRun par = run_faulty(3);
+  // tx2 and small lose 2 cores each, haswell20 loses 5.
+  EXPECT_EQ(serial.failed, 9);
+  EXPECT_TRUE(serial.cell == par.cell);
+  EXPECT_EQ(serial.reexecuted, par.reexecuted);
+  EXPECT_EQ(serial.failed, par.failed);
+  // And the faulty schedule is genuinely different from the clean one.
+  EXPECT_NE(serial.cell.hashes, clean.hashes);
+}
+
 /// A single-rank engine has nothing to parallelize: des_threads is ignored
 /// and the historical single-rank event loop runs unchanged.
 TEST_F(ParallelDesTest, SingleRankIgnoresDesThreads) {

@@ -41,8 +41,8 @@ void expect_same_surface(const SpeedScenario& a, const SpeedScenario& b,
 TEST(ScenarioCatalog, HasTheDocumentedEntries) {
   const auto& names = scenario::catalog_names();
   const std::vector<std::string> expected = {
-      "clean",     "dvfs-wave",    "interference-burst",
-      "ramp-down", "random-churn", "phase-flip"};
+      "clean",     "dvfs-wave",    "interference-burst", "ramp-down",
+      "random-churn", "phase-flip", "fail-stop",         "straggler-tail"};
   EXPECT_EQ(names, expected);
   for (const std::string& n : names)
     EXPECT_TRUE(scenario::find_catalog(n).has_value()) << n;
@@ -79,8 +79,14 @@ TEST(ScenarioCatalog, EntriesActuallyPerturbTheMachine) {
   for (const std::string& name : scenario::catalog_names()) {
     if (name == "clean") continue;
     SCOPED_TRACE(name);
-    const SpeedScenario sc =
-        scenario::build(*scenario::find_catalog(name), topo);
+    const ScenarioSpec spec = *scenario::find_catalog(name);
+    if (spec.has_engine_faults()) {
+      // Fail/freeze entries perturb the ENGINES, not the speed surface:
+      // their plan must resolve to at least one concrete fault event.
+      EXPECT_FALSE(scenario::resolve_faults(spec, topo).empty());
+      continue;
+    }
+    const SpeedScenario sc = scenario::build(spec, topo);
     // Some core is slowed at some grid point.
     bool perturbed = false;
     for (int core = 0; core < topo.num_cores() && !perturbed; ++core)
@@ -199,6 +205,95 @@ TEST(ScenarioBuild, TopologyMismatchesAreDiagnosedNotAborted) {
   ScenarioSpec ramp;
   ramp.ramps.push_back({.cluster = 3});
   EXPECT_THROW(scenario::build(ramp, small), ScenarioError);
+}
+
+TEST(ScenarioFaults, ParseRoundTripAndStrictErrors) {
+  const ScenarioSpec spec = scenario::parse(R"({
+    "faults": [
+      {"kind": "fail", "fraction": 0.25, "t": 1.0},
+      {"kind": "freeze", "cores": [1, 2], "t": 0.5, "duration_s": 2.0},
+      {"kind": "straggler", "cores": "cluster:fastest", "t": 0.25,
+       "slowdown": 0.1}
+    ]})");
+  ASSERT_EQ(spec.faults.size(), 3u);
+  EXPECT_TRUE(spec.has_engine_faults());
+  EXPECT_EQ(spec.faults[0].fraction, 0.25);
+  EXPECT_EQ(spec.faults[1].kind, scenario::FaultSpec::Kind::kFreeze);
+  EXPECT_EQ(spec.faults[2].cluster, scenario::kFastestCluster);
+  // Spec -> JSON text -> spec is the identity for every victim form.
+  EXPECT_EQ(scenario::parse(scenario::to_json(spec).dump(2)), spec);
+
+  // The strict contract: unknown keys, bad kinds, zero or ambiguous victim
+  // forms, and out-of-range constants are all diagnosed.
+  EXPECT_THROW(scenario::parse(R"({"faults": [{"knd": "fail"}]})"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"faults": [{"kind": "explode"}]})"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse(R"({"faults": [{"kind": "fail"}]})"),
+               ScenarioError);  // no victims
+  EXPECT_THROW(scenario::parse(
+                   R"({"faults": [{"kind": "fail", "cores": [1], "fraction": 0.5}]})"),
+               ScenarioError);  // two victim forms
+  EXPECT_THROW(scenario::parse(
+                   R"({"faults": [{"kind": "fail", "fraction": 1.5}]})"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse(
+                   R"({"faults": [{"kind": "fail", "cores": [0], "t": -1}]})"),
+               ScenarioError);
+  EXPECT_THROW(
+      scenario::parse(
+          R"({"faults": [{"kind": "freeze", "cores": [0], "duration_s": 0}]})"),
+      ScenarioError);
+  EXPECT_THROW(
+      scenario::parse(
+          R"({"faults": [{"kind": "straggler", "cores": [0], "slowdown": 1.5}]})"),
+      ScenarioError);
+}
+
+TEST(ScenarioFaults, ResolvedPlansAreConcreteSortedAndGuardSurvivors) {
+  const Topology topo = Topology::tx2();  // 2 Denver + 4 A57 = 6 cores
+  ScenarioSpec spec;
+  scenario::FaultSpec fail;
+  fail.kind = scenario::FaultSpec::Kind::kFail;
+  fail.fraction = 0.25;
+  fail.t_s = 1.0;
+  spec.faults.push_back(fail);
+  scenario::FaultSpec freeze;
+  freeze.kind = scenario::FaultSpec::Kind::kFreeze;
+  freeze.cores = {1};
+  freeze.t_s = 0.5;
+  freeze.duration_s = 2.0;
+  spec.faults.push_back(freeze);
+  const FaultPlan plan = scenario::resolve_faults(spec, topo);
+  // fraction 0.25 of 6 cores -> ceil(1.5) = 2 victims, highest-numbered
+  // (cores 4, 5); events sorted by (t_s, core); kFail is forever.
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].core, 1);
+  EXPECT_EQ(plan.events[0].kind, CoreFault::Kind::kFreeze);
+  EXPECT_DOUBLE_EQ(plan.events[0].until_s, 2.5);
+  EXPECT_EQ(plan.events[1].core, 4);
+  EXPECT_EQ(plan.events[2].core, 5);
+  EXPECT_EQ(plan.events[1].kind, CoreFault::Kind::kFail);
+  EXPECT_TRUE(std::isinf(plan.events[1].until_s));
+
+  // Stragglers expand into the SpeedScenario, never into the plan.
+  EXPECT_TRUE(
+      scenario::resolve_faults(*scenario::find_catalog("straggler-tail"), topo)
+          .empty());
+  EXPECT_FALSE(scenario::find_catalog("straggler-tail")->has_engine_faults());
+
+  // A plan that fail-stops every core is rejected: the engines need a
+  // survivor to run the reclaimed work.
+  const Topology tiny = Topology::symmetric(1, 2);
+  ScenarioSpec all;
+  all.faults.push_back(
+      {.kind = scenario::FaultSpec::Kind::kFail, .cores = {0, 1}});
+  EXPECT_THROW(scenario::resolve_faults(all, tiny), ScenarioError);
+  // ...and out-of-range cores are diagnosed against the concrete topology.
+  ScenarioSpec oob;
+  oob.faults.push_back(
+      {.kind = scenario::FaultSpec::Kind::kFail, .cores = {7}});
+  EXPECT_THROW(scenario::resolve_faults(oob, tiny), ScenarioError);
 }
 
 TEST(ScenarioLoad, ResolvesCatalogThenFileThenFails) {

@@ -212,14 +212,14 @@ TEST_F(SessionTest, AdmissionRejectsOverBudgetSubmits) {
     const JobId j3 = session->submit(d3);  // over budget -> rejected
     const RunResult r3 = exec->wait(j3);   // resolves without the engine
     gate.store(true, std::memory_order_release);
-    EXPECT_TRUE(r3.rejected);
+    EXPECT_EQ(r3.outcome, RunResult::Outcome::kRejected);
     EXPECT_EQ(r3.tasks, 0);
     EXPECT_DOUBLE_EQ(r3.makespan_s, 0.0);
     EXPECT_EQ(r3.tenant, "bounded");
     const RunResult r1 = exec->wait(j1);
     const RunResult r2 = exec->wait(j2);
-    EXPECT_FALSE(r1.rejected);
-    EXPECT_FALSE(r2.rejected);
+    EXPECT_TRUE(r1.ok());
+    EXPECT_TRUE(r2.ok());
     EXPECT_EQ(r1.tasks + r2.tasks, 40);
     EXPECT_GE(r2.queue_s, 0.0);  // waited behind j1's in-flight slot
     const TenantCounters counters = session->counters();
@@ -250,7 +250,7 @@ TEST_F(SessionTest, BlockingBackpressureUnblocksAsTheQueueDrains) {
     const std::vector<RunResult> results = session->drain();
     ASSERT_EQ(results.size(), 4u);
     for (const RunResult& r : results) {
-      EXPECT_FALSE(r.rejected);
+      EXPECT_TRUE(r.ok());
       EXPECT_EQ(r.tasks, 20);
       EXPECT_GT(r.makespan_s, 0.0);
     }
@@ -375,7 +375,7 @@ TEST_F(SessionTest, RtMultiTenantConcurrentSubmitterStress) {
       for (const Dag& dag : dags) ids.push_back(session.submit(dag));
       for (JobId id : ids) {
         const RunResult r = session.wait(id);
-        if (r.rejected || r.tasks != kTasksPerJob || r.makespan_s <= 0.0)
+        if (!r.ok() || r.tasks != kTasksPerJob || r.makespan_s <= 0.0)
           failures.fetch_add(1);
         if (r.tenant != "tenant-" + std::to_string(t)) failures.fetch_add(1);
       }

@@ -93,6 +93,22 @@ const Golden kGoldens[] = {
     {"phase-flip", "DAM-P", 2020, "0x1.fcbc1d80c51fdp+1"},
     {"phase-flip", "dHEFT", 42, "0x1.2c3c32b3061cp+2"},
     {"phase-flip", "dHEFT", 2020, "0x1.2bfee1b240344p+2"},
+    {"fail-stop", "RWS", 42, "0x1.0e0c51b497b16p+2"},
+    {"fail-stop", "RWS", 2020, "0x1.0b5701905289ep+2"},
+    {"fail-stop", "DAM-C", 42, "0x1.a44383998ae8ap+1"},
+    {"fail-stop", "DAM-C", 2020, "0x1.a3b3779c8f358p+1"},
+    {"fail-stop", "DAM-P", 42, "0x1.b1545c2a1bc8ap+1"},
+    {"fail-stop", "DAM-P", 2020, "0x1.b13f1d0c71b48p+1"},
+    {"fail-stop", "dHEFT", 42, "0x1.cc9f094c067ebp+1"},
+    {"fail-stop", "dHEFT", 2020, "0x1.cd7fcc9585fbep+1"},
+    {"straggler-tail", "RWS", 42, "0x1.618dfadab2d47p+2"},
+    {"straggler-tail", "RWS", 2020, "0x1.684e00b427846p+2"},
+    {"straggler-tail", "DAM-C", 42, "0x1.a2e6f99af88f8p+1"},
+    {"straggler-tail", "DAM-C", 2020, "0x1.a33f4117d941bp+1"},
+    {"straggler-tail", "DAM-P", 42, "0x1.af54c4005b02ep+1"},
+    {"straggler-tail", "DAM-P", 2020, "0x1.afecee7bd9c46p+1"},
+    {"straggler-tail", "dHEFT", 42, "0x1.d92c0303a3cc2p+1"},
+    {"straggler-tail", "dHEFT", 2020, "0x1.d97377c02d165p+1"},
 };
 
 // Per-job makespans of the fixed 4-job DAM-C stream below, ";"-joined.
@@ -119,11 +135,15 @@ CellResult run_cell_full(const std::string& scenario_name, Policy policy,
   const kernels::PaperKernelIds ids = kernels::register_paper_kernels(registry);
   const scenario::ScenarioSpec spec = *scenario::find_catalog(scenario_name);
   const SpeedScenario sc = scenario::build(spec, topo);
+  // Passed for EVERY cell: an empty plan must leave the historical goldens
+  // byte-for-byte unchanged, and the fail-stop entry pins the reclaim /
+  // re-release machinery bitwise (re-executions included).
+  const FaultPlan faults = scenario::resolve_faults(spec, topo);
 
   sim::SimOptions opts;
   opts.seed = seed;
   opts.force_generic_dispatch = force_generic;
-  sim::SimEngine eng(topo, policy, registry, opts, &sc);
+  sim::SimEngine eng(topo, policy, registry, opts, &sc, &faults);
   // 16000 matmul tasks, one high-priority critical task per layer: exercises
   // the inbox (steal-exempt) path, WSQ pushes and steals, and — under the
   // moldable policies — wide assembly places. The makespan (~4 virtual

@@ -48,6 +48,15 @@ Rules (each violation prints `file:line: [rule] message`; exit 1 on any):
                    documents its ordering argument; new relaxed usage must
                    be argued and whitelisted, not slipped in.
 
+  unbounded-wait   src/net/** and src/exec/** must not call deadline-less
+                   blocking receives (.recv / .recv_msg / .recv_any /
+                   .recv_value / .recv_span / .take / .take_any): a dead
+                   peer then wedges the caller forever. Use the *_for
+                   bounded variants (Mailbox::take_any_for,
+                   Comm::recv_any_for, Executor::wait_for). The primitives
+                   themselves and synchronous request/reply client calls
+                   carry an allow() with their liveness argument.
+
 Suppression: append `// daslint: allow(<rule>)` to the offending line with
 a reason. Matching is textual on comment- and string-stripped source, so
 commentary about locks or allocation never trips a rule.
@@ -76,6 +85,13 @@ RELAXED_WHITELIST = {
     "src/core/policy.cpp",
     "src/core/ptt.cpp",
     "src/rt/runtime.cpp",
+    # Fault layer: heartbeat counter (freshness only — the watchdog compares
+    # successive values, never orders data through it) and the monotonic
+    # tasks_reexecuted/workers_failed stats counters. Handoff ordering rides
+    # the kQuarantined release/acquire pair and the seq_cst dead_ flips,
+    # argued in the file comment of src/rt/watchdog.cpp.
+    "src/rt/runtime.hpp",
+    "src/rt/watchdog.cpp",
     "src/rt/worker.cpp",
     "src/rt/wsq.hpp",
     "src/trace/stats.cpp",
@@ -107,6 +123,15 @@ SIM_WALL_CLOCK = re.compile(
 )
 SIM_RAND = re.compile(r"std::random_device|\brand\s*\(\s*\)|\bsrand\s*\(")
 RELAXED = re.compile(r"memory_order_relaxed")
+# Deadline-less blocking receives; the *_for variants (take_for, recv_any_for
+# ...) do not match because the name must be followed directly by "(". The
+# bare-`take` alternative requires a comma'd argument list so WireWriter::take()
+# (a buffer move-out, zero args) stays clean.
+UNBOUNDED_WAIT = re.compile(
+    r"(\.|->)\s*(recv_any|recv_msg|recv_value|recv_span|recv|take_any)"
+    r"\s*(<[^<>;]*>)?\s*\("
+    r"|(\.|->)\s*take\s*\([^()]*,"
+)
 
 BEGIN_MARK = re.compile(r"//\s*daslint:\s*begin-hot-path\(([\w-]+)\)")
 END_MARK = re.compile(r"//\s*daslint:\s*end-hot-path")
@@ -170,8 +195,10 @@ def lint_file(root, rel, violations):
         violations.append((rel, 0, "io", str(e)))
         return
     code = strip_code(raw)
-    in_sim = rel.replace(os.sep, "/").startswith("src/sim/")
-    relaxed_ok = rel.replace(os.sep, "/") in RELAXED_WHITELIST
+    posix_rel = rel.replace(os.sep, "/")
+    in_sim = posix_rel.startswith("src/sim/")
+    in_net_exec = posix_rel.startswith(("src/net/", "src/exec/"))
+    relaxed_ok = posix_rel in RELAXED_WHITELIST
 
     region = None  # name of the enclosing hot-path region, or None
     for idx, (raw_line, code_line) in enumerate(zip(raw, code), start=1):
@@ -219,6 +246,11 @@ def lint_file(root, rel, violations):
                 report("sim-ambient-rand",
                        "ambient randomness in the deterministic simulator"
                        " (use the seeded util/rng.hpp)")
+        if in_net_exec and UNBOUNDED_WAIT.search(code_line):
+            report("unbounded-wait",
+                   "deadline-less blocking receive in fault-tolerant layer"
+                   " (use the *_for bounded variants, or allow() with a"
+                   " liveness argument)")
         if RELAXED.search(code_line) and not relaxed_ok:
             report("relaxed-whitelist",
                    "memory_order_relaxed outside the whitelist"
@@ -262,6 +294,7 @@ def selftest(repo_root):
         "sim-wall-clock": "src/sim/wall_clock_bad.cpp",
         "sim-ambient-rand": "src/sim/rand_bad.cpp",
         "relaxed-whitelist": "src/util/relaxed_bad.cpp",
+        "unbounded-wait": "src/net/unbounded_wait_bad.cpp",
     }
     ok = True
     for rule, planted in expected.items():

@@ -1,0 +1,15 @@
+// Planted violation: deadline-less blocking receive in src/net (the
+// unbounded-wait rule). A real caller would use recv_any_for / take_for.
+struct FakeMailbox {
+  int take_any(int tag);
+  int take(int src, int tag);
+};
+
+int planted_unbounded_wait(FakeMailbox& box) {
+  return box.take_any(7);  // blocks forever if the peer died
+}
+
+int planted_unbounded_take(FakeMailbox& box) {
+  // A suppressed line must NOT fire (the clean-side check of this rule):
+  return box.take(0, 7);  // daslint: allow(unbounded-wait)
+}
